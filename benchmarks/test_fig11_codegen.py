@@ -1,0 +1,74 @@
+"""Fig. 11: text DSL → causal tree → generated Python detection code.
+
+Reproduces the exact two-chain example of the figure and benchmarks the
+generated function against the interpreted evaluator over the full
+24-chain default graph (the generated code is the fast path Domino runs
+per window).
+"""
+
+import random
+
+from conftest import save_result
+
+from repro.core.chains import DEFAULT_CHAINS_TEXT
+from repro.core.codegen import compile_chains, generate_python_source
+from repro.core.dsl import parse_chains
+from repro.core.features import FEATURE_NAMES
+from repro.core.trace import evaluate_chains
+
+FIG11_TEXT = (
+    "dl_rlc_retx --> forward_delay_up --> local_jitter_buffer_drain\n"
+    "dl_harq_retx --> forward_delay_up --> local_jitter_buffer_drain"
+)
+
+
+def test_fig11_generated_code(benchmark):
+    chains = parse_chains(FIG11_TEXT)
+    source = generate_python_source(chains)
+    save_result(
+        "fig11_codegen",
+        "Input:\n" + FIG11_TEXT + "\n\nGenerated Python:\n" + source,
+    )
+
+    fn = compile_chains(chains)
+    features = {name: False for name in FEATURE_NAMES}
+    features.update(
+        {
+            "local_jitter_buffer_drain": True,
+            "dl_delay_up": True,
+            "dl_rlc_retx": True,
+            "dl_harq_retx": True,
+        }
+    )
+    consequences, causes, hits = benchmark(fn, features)
+    assert consequences == {"local_jitter_buffer_drain"}
+    assert causes == {"dl_rlc_retx", "dl_harq_retx"}
+    assert sorted(hits) == [0, 1]
+    # Structure matches the figure: chains grouped under the consequence.
+    assert source.index("local_jitter_buffer_drain") < source.index(
+        "dl_delay_up"
+    )
+
+
+def test_fig11_codegen_vs_interpreter_speed(benchmark):
+    """The generated code evaluates the full default graph faster than
+    (or comparably to) the interpreted chain scan."""
+    chains = parse_chains(DEFAULT_CHAINS_TEXT)
+    fn = compile_chains(chains)
+    rng = random.Random(7)
+    vectors = [
+        {name: rng.random() < 0.3 for name in FEATURE_NAMES}
+        for _ in range(200)
+    ]
+
+    def run_generated():
+        out = 0
+        for features in vectors:
+            out += len(fn(features)[2])
+        return out
+
+    generated_hits = benchmark(run_generated)
+    interpreted_hits = sum(
+        len(evaluate_chains(features, chains)[2]) for features in vectors
+    )
+    assert generated_hits == interpreted_hits

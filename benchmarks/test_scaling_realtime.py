@@ -1,0 +1,69 @@
+"""Scaling: Domino analysis throughput vs. trace duration.
+
+The paper positions Domino for continuous, near-real-time operation on
+operator-provided traces (§1).  This benchmark measures the end-to-end
+analysis cost (resampling + 36 feature detectors + compiled backward
+trace) per minute of trace, and the implied real-time factor — how many
+concurrent sessions one core could monitor live.
+"""
+
+import time
+
+from conftest import save_result
+
+from repro.analysis.ascii import render_table
+from repro.core.detector import DominoDetector
+from repro.telemetry.records import TelemetryBundle
+
+
+def _truncate(bundle: TelemetryBundle, duration_us: int) -> TelemetryBundle:
+    return TelemetryBundle(
+        session_name=bundle.session_name,
+        duration_us=duration_us,
+        cellular_client=bundle.cellular_client,
+        wired_client=bundle.wired_client,
+        gnb_log_available=bundle.gnb_log_available,
+        dci=[r for r in bundle.dci if r.ts_us < duration_us],
+        gnb_log=[r for r in bundle.gnb_log if r.ts_us < duration_us],
+        packets=[p for p in bundle.packets if p.sent_us < duration_us],
+        webrtc_stats=[r for r in bundle.webrtc_stats if r.ts_us < duration_us],
+    )
+
+
+def test_scaling_realtime_factor(benchmark, fdd_results):
+    bundle = fdd_results[0].bundle
+    detector = DominoDetector()
+
+    def analyze_full():
+        return detector.analyze(bundle)
+
+    report = benchmark(analyze_full)
+    assert report.n_windows > 0
+
+    rows = []
+    for duration_s in (15, 30, 60):
+        truncated = _truncate(bundle, int(duration_s * 1e6))
+        start = time.perf_counter()
+        partial = detector.analyze(truncated)
+        elapsed = time.perf_counter() - start
+        realtime_factor = duration_s / elapsed
+        rows.append(
+            [
+                f"{duration_s}s trace",
+                float(partial.n_windows),
+                elapsed,
+                realtime_factor,
+            ]
+        )
+    text = render_table(
+        ["trace", "windows", "analysis s", "x realtime"], rows
+    )
+    save_result("scaling_realtime", text)
+
+    # Near-real-time claim: analysis runs much faster than the trace
+    # plays (one core can watch many sessions live).
+    final_factor = rows[-1][3]
+    assert final_factor > 10.0
+    # Cost grows roughly linearly with duration (no superlinear blowup):
+    per_window_costs = [row[2] / max(row[1], 1) for row in rows]
+    assert max(per_window_costs) < 5 * min(per_window_costs)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Fig. 8-style comparison of WebRTC performance across the four cells.
+
+Runs one call per cell profile and prints per-cell one-way delay, target
+bitrate, frame rate, and jitter-buffer delay distributions for both
+directions — the 16-panel grid of the paper's Fig. 8 as percentile rows.
+
+Usage:
+    python examples/cell_comparison.py [duration_seconds]
+"""
+
+import sys
+
+from repro.analysis.ascii import render_table
+from repro.analysis.summarize import summarize_session
+from repro.datasets.cells import CELL_PROFILES
+from repro.datasets.runner import run_cellular_session
+
+
+def main() -> None:
+    duration_s = float(sys.argv[1]) if len(sys.argv) > 1 else 30.0
+    summaries = {}
+    for key, profile in CELL_PROFILES.items():
+        print(f"Simulating {profile.name} ({duration_s:.0f}s) ...")
+        result = run_cellular_session(profile, duration_s=duration_s, seed=11)
+        summaries[key] = summarize_session(result.bundle)
+
+    rows = []
+    for key, summary in summaries.items():
+        rows.append(
+            [
+                key,
+                summary.ul_delay.median,
+                summary.dl_delay.median,
+                summary.ul_delay.percentile(99),
+                summary.dl_delay.percentile(99),
+            ]
+        )
+    print("\nOne-way delay (ms) — Fig. 8a-d:")
+    print(
+        render_table(
+            ["cell", "UL p50", "DL p50", "UL p99", "DL p99"], rows
+        )
+    )
+
+    rows = [
+        [
+            key,
+            summary.ul_target_bitrate.median / 1e6,
+            summary.dl_target_bitrate.median / 1e6,
+        ]
+        for key, summary in summaries.items()
+    ]
+    print("\nTarget bitrate (Mbps) — Fig. 8e-h:")
+    print(render_table(["cell", "UL p50", "DL p50"], rows))
+
+    rows = [
+        [key, summary.ul_fps.median, summary.dl_fps.median]
+        for key, summary in summaries.items()
+    ]
+    print("\nReceiver frame rate (fps) — Fig. 8i-l:")
+    print(render_table(["cell", "UL p50", "DL p50"], rows))
+
+    rows = [
+        [
+            key,
+            summary.ul_video_jb.median,
+            summary.dl_video_jb.median,
+            summary.ul_audio_jb.median,
+            summary.dl_audio_jb.median,
+        ]
+        for key, summary in summaries.items()
+    ]
+    print("\nJitter-buffer delay (ms) — Fig. 8m-p:")
+    print(
+        render_table(
+            ["cell", "UL vid", "DL vid", "UL aud", "DL aud"], rows
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

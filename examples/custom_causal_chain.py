@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Extensibility demo: define causal chains in text, get Python code.
+
+Reproduces the paper's Fig. 11 workflow: the two example chains are
+written in the DSL, parsed into a causal tree, compiled into executable
+Python (printed below), and then run against a real simulated session.
+Adding a new detection rule to Domino is exactly this: one line of text.
+
+Usage:
+    python examples/custom_causal_chain.py
+"""
+
+from repro.core.codegen import compile_chains, generate_python_source
+from repro.core.dsl import parse_chains
+from repro.core.features import FeatureExtractor
+from repro.datasets.workloads import jitter_drain_session
+from repro.telemetry.timeline import Timeline
+
+# The exact text input shown in Fig. 11 of the paper.
+FIG11_TEXT = """
+dl_rlc_retx --> forward_delay_up --> local_jitter_buffer_drain
+dl_harq_retx --> forward_delay_up --> local_jitter_buffer_drain
+"""
+
+# A novel, user-added chain: RRC transitions starving the uplink and
+# pushing the remote receiver's buffer to empty.
+CUSTOM_TEXT = """
+rrc_change --> ul_rate_gap --> ul_delay_up --> remote_jitter_buffer_drain
+"""
+
+
+def main() -> None:
+    print("=== Fig. 11 text input ===")
+    print(FIG11_TEXT.strip())
+    chains = parse_chains(FIG11_TEXT)
+    print("\n=== Parsed chains (aliases resolved) ===")
+    for chain in chains:
+        print("  " + " --> ".join(chain))
+
+    print("\n=== Generated Python code ===")
+    print(generate_python_source(chains))
+
+    print("=== Running the generated detector on a simulated session ===")
+    # A session with a deep downlink fade: DL HARQ/RLC retransmissions
+    # inflate forward delay and drain the local jitter buffer.
+    session = jitter_drain_session(seed=2)
+    result = session.run(20_000_000)  # 20 s
+    timeline = Timeline.from_bundle(result.bundle)
+    trace_fn = compile_chains(chains)
+    extractor = FeatureExtractor()
+    hits = 0
+    for window in extractor.extract(timeline):
+        consequences, causes, chain_ids = trace_fn(window.features)
+        if chain_ids:
+            hits += 1
+            t = window.start_us / 1e6
+            print(
+                f"  [{t:5.1f}s] consequences={sorted(consequences)} "
+                f"causes={sorted(causes)} chains={chain_ids}"
+            )
+    print(f"\n{hits} windows matched the Fig. 11 chains.")
+
+    print("\n=== Adding a custom chain (one line of text) ===")
+    custom = parse_chains(CUSTOM_TEXT)
+    for chain in custom:
+        print("  " + " --> ".join(chain))
+    print("(compile_chains(custom) yields a detector for it, same as above)")
+
+
+if __name__ == "__main__":
+    main()

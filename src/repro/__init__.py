@@ -1,0 +1,34 @@
+"""repro — reproduction of Domino (IMC 2025).
+
+Automated, cross-layer root cause analysis of 5G video-conferencing
+quality degradation: a full simulation substrate (5G RAN, network paths,
+WebRTC + GCC) plus the Domino causal-chain detection tool.
+
+Quickstart::
+
+    from repro import DominoDetector, DominoStats
+    from repro.datasets import TMOBILE_FDD, run_cellular_session
+
+    result = run_cellular_session(TMOBILE_FDD, duration_s=60, seed=1)
+    report = DominoDetector().analyze(result.bundle)
+    stats = DominoStats.from_report(report)
+    print(stats.degradation_events_per_min())
+"""
+
+from repro.core.detector import DetectorConfig, DominoDetector
+from repro.core.dsl import parse_chains
+from repro.core.stats import DominoStats
+from repro.telemetry.records import TelemetryBundle
+from repro.telemetry.timeline import Timeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DetectorConfig",
+    "DominoDetector",
+    "DominoStats",
+    "TelemetryBundle",
+    "Timeline",
+    "parse_chains",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Analysis helpers: CDFs, session summaries, terminal rendering."""
+
+from repro.analysis.cdf import Cdf, compute_cdf
+from repro.analysis.summarize import (
+    SessionSummary,
+    packet_delays_ms,
+    summarize_session,
+)
+from repro.analysis.ascii import render_cdf, render_series, render_table
+
+__all__ = [
+    "Cdf",
+    "compute_cdf",
+    "SessionSummary",
+    "packet_delays_ms",
+    "summarize_session",
+    "render_cdf",
+    "render_series",
+    "render_table",
+]

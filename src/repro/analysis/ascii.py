@@ -1,0 +1,97 @@
+"""Terminal rendering: CDF curves, time series, and aligned tables.
+
+The benchmarks print the same rows/series the paper's figures plot;
+these helpers keep the output compact and comparable across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.cdf import Cdf
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], width: int = 14
+) -> str:
+    """Simple right-aligned table with a left-aligned first column."""
+    lines = []
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    header_line = headers[0].ljust(26) + "".join(
+        h.rjust(width) for h in headers[1:]
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        cells = [fmt(c) for c in row]
+        lines.append(
+            cells[0].ljust(26) + "".join(c.rjust(width) for c in cells[1:])
+        )
+    return "\n".join(lines)
+
+
+def render_cdf(
+    curves: Dict[str, Cdf],
+    quantiles: Sequence[float] = (10, 25, 50, 75, 90, 99),
+    unit: str = "",
+) -> str:
+    """Percentile table comparison of several CDFs (one row per curve)."""
+    headers = ["series"] + [f"p{int(q)}{unit}" for q in quantiles]
+    rows = []
+    for label, cdf in curves.items():
+        rows.append([label] + [cdf.percentile(q) for q in quantiles])
+    return render_table(headers, rows)
+
+
+def render_series(
+    t_s: np.ndarray,
+    series: Dict[str, np.ndarray],
+    n_points: int = 24,
+    annotations: Optional[Dict[float, str]] = None,
+) -> str:
+    """Down-sampled multi-column time-series table (the trace figures).
+
+    Args:
+        t_s: timestamps in seconds.
+        series: name → values (same length as t_s).
+        n_points: number of rows to print.
+        annotations: time (s) → label, attached to the nearest row.
+    """
+    if len(t_s) == 0:
+        return "(empty series)"
+    indices = np.linspace(0, len(t_s) - 1, min(n_points, len(t_s))).astype(int)
+    headers = ["t[s]"] + list(series.keys())
+    rows: List[List[object]] = []
+    used_annotations = set()
+    for i in indices:
+        row: List[object] = [f"{t_s[i]:.2f}"]
+        for values in series.values():
+            value = values[i] if i < len(values) else float("nan")
+            row.append(float(value) if not np.isnan(value) else float("nan"))
+        note = ""
+        if annotations:
+            for at, label in annotations.items():
+                if at in used_annotations:
+                    continue
+                if abs(t_s[i] - at) <= (t_s[-1] - t_s[0]) / (2 * len(indices)):
+                    note = f"  <- {label}"
+                    used_annotations.add(at)
+                    break
+        rows.append(row + ([note] if note else []))
+    text = render_table(headers + [""], rows)
+    if annotations:
+        missing = [
+            f"  {at:.2f}s: {label}"
+            for at, label in annotations.items()
+            if at not in used_annotations
+        ]
+        if missing:
+            text += "\nannotations:\n" + "\n".join(missing)
+    return text

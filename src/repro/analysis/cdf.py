@@ -1,0 +1,65 @@
+"""Empirical CDFs — the paper's favourite plot type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical cumulative distribution function."""
+
+    values: np.ndarray  # sorted sample values
+    probabilities: np.ndarray  # P(X <= value)
+
+    def percentile(self, q: float) -> float:
+        """Value at quantile *q* (0..100)."""
+        if len(self.values) == 0:
+            return float("nan")
+        return float(np.percentile(self.values, q))
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def probability_at(self, x: float) -> float:
+        """P(X <= x)."""
+        if len(self.values) == 0:
+            return float("nan")
+        return float(np.searchsorted(self.values, x, side="right")) / len(
+            self.values
+        )
+
+    def sample_points(self, n: int = 50) -> Tuple[np.ndarray, np.ndarray]:
+        """Evenly spaced (value, probability) points for plotting."""
+        if len(self.values) == 0:
+            return np.empty(0), np.empty(0)
+        indices = np.linspace(0, len(self.values) - 1, min(n, len(self.values)))
+        indices = indices.astype(int)
+        return self.values[indices], self.probabilities[indices]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def compute_cdf(samples: Iterable[float]) -> Cdf:
+    """Build an empirical CDF from raw samples (NaNs dropped)."""
+    array = np.asarray(list(samples), dtype=float)
+    array = array[~np.isnan(array)]
+    array.sort()
+    n = len(array)
+    probabilities = (
+        np.arange(1, n + 1, dtype=float) / n if n else np.empty(0)
+    )
+    return Cdf(values=array, probabilities=probabilities)
+
+
+def cdf_row(
+    label: str, cdf: Cdf, quantiles: Sequence[float] = (25, 50, 75, 90, 99)
+) -> str:
+    """One summary row: label plus selected percentiles."""
+    cells = " ".join(f"p{int(q)}={cdf.percentile(q):8.2f}" for q in quantiles)
+    return f"{label:<28} n={len(cdf):<7} {cells}"

@@ -1,0 +1,30 @@
+"""Baseline diagnosis approaches Domino is compared against.
+
+The paper positions Domino against the status quo: application-layer
+monitoring that sees consequences but not causes, and statistical
+correlation over layer metrics without causal structure.  These modules
+implement those alternatives so the ablation benchmarks can quantify
+what the causal-chain approach adds:
+
+* :mod:`repro.baselines.app_only` — consequences from WebRTC stats only;
+  no access to 5G telemetry, so attribution is limited to "congestion
+  suspected" (GCC overuse) or unknown.
+* :mod:`repro.baselines.correlation` — lag cross-correlation between 5G
+  metric series and consequence indicators; picks the most correlated
+  metric as the root cause.
+* :mod:`repro.baselines.single_layer` — all Table 5 event detectors as
+  independent alerts with no chaining (alert-volume comparison).
+"""
+
+from repro.baselines.app_only import AppOnlyDetector, AppOnlyReport
+from repro.baselines.correlation import CorrelationRca, CorrelationResult
+from repro.baselines.single_layer import SingleLayerAlerts, AlertReport
+
+__all__ = [
+    "AppOnlyDetector",
+    "AppOnlyReport",
+    "CorrelationRca",
+    "CorrelationResult",
+    "SingleLayerAlerts",
+    "AlertReport",
+]

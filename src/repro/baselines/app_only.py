@@ -1,0 +1,103 @@
+"""Application-layer-only anomaly detection baseline.
+
+What a VCA operator sees without cross-layer telemetry: the WebRTC
+statistics stream.  Consequences (jitter-buffer drains, bitrate drops,
+pushback) are detectable, but the only attribution available is GCC's
+own congestion signal — every 5G mechanism (scheduling, HARQ, RLC, RRC)
+collapses into "network congestion suspected" or "unknown".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.chains import ConsequenceKind, classify_consequence
+from repro.core.events import EventConfig
+from repro.core.features import FeatureExtractor
+from repro.telemetry.records import TelemetryBundle
+from repro.telemetry.timeline import Timeline
+
+#: Features visible to an app-only observer (WebRTC stats only).
+_APP_FEATURE_PREFIXES = ("local_", "remote_")
+
+
+@dataclass
+class AppOnlyWindow:
+    """One window of app-only detection."""
+
+    start_us: int
+    consequences: List[str]
+    congestion_suspected: bool
+
+
+@dataclass
+class AppOnlyReport:
+    """Detection output of the app-only baseline."""
+
+    windows: List[AppOnlyWindow] = field(default_factory=list)
+
+    def consequence_windows(self) -> int:
+        return sum(1 for w in self.windows if w.consequences)
+
+    def attributed_windows(self) -> int:
+        """Windows where the baseline can say anything beyond 'unknown'."""
+        return sum(
+            1
+            for w in self.windows
+            if w.consequences and w.congestion_suspected
+        )
+
+    def attribution_rate(self) -> float:
+        total = self.consequence_windows()
+        return self.attributed_windows() / total if total else 0.0
+
+    def root_cause_resolution(self) -> int:
+        """Distinct root causes the method can distinguish.
+
+        App-only sees one bucket ("congestion"); Domino distinguishes
+        the six cause families of Fig. 9.
+        """
+        return 1
+
+
+class AppOnlyDetector:
+    """Runs the app-layer subset of the Table 5 conditions."""
+
+    def __init__(
+        self,
+        window_us: int = 5_000_000,
+        step_us: int = 500_000,
+        events: EventConfig = EventConfig(),
+    ) -> None:
+        self.extractor = FeatureExtractor(
+            window_us=window_us, step_us=step_us, config=events
+        )
+
+    def analyze(self, bundle: TelemetryBundle, dt_us: int = 50_000) -> AppOnlyReport:
+        timeline = Timeline.from_bundle(bundle, dt_us=dt_us)
+        report = AppOnlyReport()
+        for window in self.extractor.extract(timeline):
+            app_features = {
+                name: value
+                for name, value in window.features.items()
+                if name.startswith(_APP_FEATURE_PREFIXES)
+            }
+            consequences = [
+                name
+                for name, value in app_features.items()
+                if value and classify_consequence(name) is not None
+            ]
+            congestion = any(
+                value
+                for name, value in app_features.items()
+                if value and name.endswith("gcc_overuse")
+            )
+            report.windows.append(
+                AppOnlyWindow(
+                    start_us=window.start_us,
+                    consequences=consequences,
+                    congestion_suspected=congestion,
+                )
+            )
+        return report

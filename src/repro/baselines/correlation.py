@@ -1,0 +1,142 @@
+"""Lag cross-correlation root-cause baseline.
+
+A structure-free alternative to Domino's causal chains: correlate each
+5G-layer metric series with a consequence indicator series over a small
+lag range and attribute the consequence to the metric with the highest
+absolute correlation.  Works surprisingly often for single dominant
+causes, but cannot represent multi-hop mechanisms (e.g. reverse-path
+RTCP delay → pushback, Fig. 22) and degrades when several causes overlap
+— which is exactly what the ablation benchmark measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.telemetry.records import TelemetryBundle
+from repro.telemetry.timeline import Timeline
+
+#: 5G metric series offered to the correlator, per direction.
+_CAUSE_SERIES = (
+    "harq_retx",
+    "rlc_retx",
+    "other_prbs",
+    "mcs_deficit",  # derived: max(0, 15 - mcs_mean)
+    "rlc_buffer_bytes",
+)
+
+
+def _normalize(series: np.ndarray) -> np.ndarray:
+    values = np.nan_to_num(series.astype(float))
+    std = values.std()
+    if std == 0:
+        return np.zeros_like(values)
+    return (values - values.mean()) / std
+
+
+def _lagged_correlation(
+    cause: np.ndarray, effect: np.ndarray, max_lag_bins: int
+) -> float:
+    """Maximum correlation of cause(t - lag) with effect(t), lag >= 0."""
+    best = 0.0
+    n = len(cause)
+    for lag in range(0, max_lag_bins + 1):
+        if n - lag < 8:
+            break
+        c = cause[: n - lag] if lag else cause
+        e = effect[lag:] if lag else effect
+        if len(c) != len(e):
+            c = c[: len(e)]
+        if len(c) < 2 or c.std() == 0.0 or e.std() == 0.0:
+            continue  # constant series carry no correlation signal
+        corr = float(np.corrcoef(c, e)[0, 1])
+        if np.isnan(corr):
+            corr = 0.0
+        if abs(corr) > abs(best):
+            best = corr
+    return best
+
+
+@dataclass
+class CorrelationResult:
+    """Ranked cause attribution for one consequence indicator."""
+
+    consequence: str
+    ranking: List[Tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def top_cause(self) -> str:
+        return self.ranking[0][0] if self.ranking else "none"
+
+    @property
+    def top_correlation(self) -> float:
+        return self.ranking[0][1] if self.ranking else 0.0
+
+
+class CorrelationRca:
+    """Correlation-based root-cause analysis over a telemetry bundle."""
+
+    def __init__(self, max_lag_s: float = 2.0, dt_us: int = 50_000) -> None:
+        self.max_lag_s = max_lag_s
+        self.dt_us = dt_us
+
+    def _cause_series(self, timeline: Timeline) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {}
+        for direction in ("ul", "dl"):
+            for name in _CAUSE_SERIES:
+                if name == "mcs_deficit":
+                    mcs = timeline[f"{direction}_mcs_mean"]
+                    values = np.maximum(0.0, 15.0 - np.nan_to_num(mcs, nan=15.0))
+                elif f"{direction}_{name}" in timeline:
+                    values = timeline[f"{direction}_{name}"]
+                else:
+                    continue
+                out[f"{direction}_{name}"] = values
+        out["rrc_events"] = timeline["rrc_events"]
+        return out
+
+    def _consequence_series(self, timeline: Timeline) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {}
+        for role in ("local", "remote"):
+            jb = timeline[f"{role}_video_jitter_buffer_ms"]
+            out[f"{role}_jitter_buffer_drain"] = (
+                np.nan_to_num(jb, nan=np.inf) <= 0.5
+            ).astype(float)
+            target = np.nan_to_num(timeline[f"{role}_target_bitrate_bps"])
+            drop = np.zeros_like(target)
+            drop[1:] = np.maximum(0.0, target[:-1] - target[1:])
+            out[f"{role}_target_bitrate_down"] = drop
+            pushback = np.nan_to_num(
+                timeline[f"{role}_pushback_bitrate_bps"]
+            )
+            pdrop = np.zeros_like(pushback)
+            pdrop[1:] = np.maximum(0.0, pushback[:-1] - pushback[1:])
+            out[f"{role}_pushback_rate_down"] = pdrop
+        return out
+
+    def analyze(self, bundle: TelemetryBundle) -> List[CorrelationResult]:
+        """Rank 5G metrics per consequence indicator."""
+        timeline = Timeline.from_bundle(bundle, dt_us=self.dt_us)
+        max_lag_bins = int(self.max_lag_s * 1e6 / self.dt_us)
+        causes = {
+            name: _normalize(series)
+            for name, series in self._cause_series(timeline).items()
+        }
+        results: List[CorrelationResult] = []
+        for consequence, series in self._consequence_series(timeline).items():
+            effect = _normalize(series)
+            ranking = sorted(
+                (
+                    (name, _lagged_correlation(cause, effect, max_lag_bins))
+                    for name, cause in causes.items()
+                ),
+                key=lambda item: abs(item[1]),
+                reverse=True,
+            )
+            results.append(
+                CorrelationResult(consequence=consequence, ranking=ranking)
+            )
+        return results

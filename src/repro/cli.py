@@ -1,0 +1,180 @@
+"""Command-line interface: simulate, analyze, report, codegen.
+
+The operator workflow the paper targets, as a pipeline of commands::
+
+    python -m repro.cli simulate --profile tmobile_fdd --duration 30 \
+        --seed 1 --out trace.jsonl
+    python -m repro.cli analyze trace.jsonl
+    python -m repro.cli report trace.jsonl
+    python -m repro.cli codegen my_chains.txt
+
+``analyze`` runs Domino over a JSONL telemetry trace (simulated here,
+but the format is simulator-agnostic — see repro.telemetry.io) and
+prints detected causal chains plus the Fig. 10-style statistics;
+``codegen`` shows the Python that Domino generates from a chain file
+(Fig. 11).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.summarize import summarize_session
+from repro.core.chains import DEFAULT_CHAINS_TEXT
+from repro.core.codegen import generate_python_source
+from repro.core.detector import DetectorConfig, DominoDetector
+from repro.core.dsl import parse_chains
+from repro.core.report import render_frequency_table
+from repro.core.stats import DominoStats
+from repro.datasets.cells import CELL_PROFILES, get_profile
+from repro.datasets.runner import make_cellular_session, make_wired_session
+from repro.telemetry.io import load_bundle, save_bundle
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    duration_us = int(args.duration * 1e6)
+    if args.profile == "wired":
+        session = make_wired_session(seed=args.seed)
+    elif args.profile == "wifi":
+        session = make_wired_session(seed=args.seed, wifi=True)
+    else:
+        session = make_cellular_session(
+            get_profile(args.profile), seed=args.seed
+        )
+    result = session.run(duration_us)
+    save_bundle(result.bundle, args.out)
+    rates = result.bundle.event_rates_per_minute()
+    print(
+        f"wrote {args.out}: {len(result.bundle.packets)} packets, "
+        f"{len(result.bundle.dci)} DCI records "
+        f"({rates['packets']:.0f} pkt/min)"
+    )
+    return 0
+
+
+def _load_detector(args: argparse.Namespace) -> DominoDetector:
+    chains_text = DEFAULT_CHAINS_TEXT
+    if getattr(args, "chains", None):
+        with open(args.chains) as handle:
+            chains_text = handle.read()
+    config = DetectorConfig(
+        window_us=int(args.window * 1e6),
+        step_us=int(args.step * 1e6),
+        chains_text=chains_text,
+    )
+    return DominoDetector(config)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    bundle = load_bundle(args.trace)
+    detector = _load_detector(args)
+    report = detector.analyze(bundle)
+    detected = report.windows_with_detections()
+    print(
+        f"{report.n_windows} windows analysed, {len(detected)} with "
+        f"detected causal chains"
+    )
+    limit = args.limit if args.limit > 0 else len(detected)
+    for window in detected[:limit]:
+        for chain_id in window.chain_ids:
+            print(
+                f"[{window.start_us / 1e6:8.1f}s] "
+                + " --> ".join(report.chains[chain_id])
+            )
+    stats = DominoStats.from_report(report)
+    print()
+    print(render_frequency_table({"session": stats}))
+    print(
+        f"\ndegradation events/min: "
+        f"{stats.degradation_events_per_min():.2f}"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    bundle = load_bundle(args.trace)
+    summary = summarize_session(bundle)
+    print(f"session: {bundle.session_name}")
+    print(
+        f"one-way delay (ms): UL p50={summary.ul_delay.median:.1f} "
+        f"p99={summary.ul_delay.percentile(99):.1f}; "
+        f"DL p50={summary.dl_delay.median:.1f} "
+        f"p99={summary.dl_delay.percentile(99):.1f}"
+    )
+    print(
+        f"target bitrate (Mbps): UL p50="
+        f"{summary.ul_target_bitrate.median / 1e6:.2f}; "
+        f"DL p50={summary.dl_target_bitrate.median / 1e6:.2f}"
+    )
+    print(
+        f"jitter buffer (ms): UL video p50={summary.ul_video_jb.median:.1f}; "
+        f"DL video p50={summary.dl_video_jb.median:.1f}"
+    )
+    print(
+        f"concealed audio: UL {summary.ul_concealed_fraction * 100:.2f}%; "
+        f"DL {summary.dl_concealed_fraction * 100:.2f}%"
+    )
+    print(
+        f"frozen time: UL {summary.ul_freeze_fraction * 100:.2f}%; "
+        f"DL {summary.dl_freeze_fraction * 100:.2f}%"
+    )
+    return 0
+
+
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    with open(args.chains) as handle:
+        text = handle.read()
+    chains = parse_chains(text)
+    print(generate_python_source(chains))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Domino: cross-layer 5G VCA root-cause analysis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser(
+        "simulate", help="run a two-party call and write its telemetry"
+    )
+    simulate.add_argument(
+        "--profile",
+        default="tmobile_fdd",
+        choices=sorted(CELL_PROFILES) + ["wired", "wifi"],
+    )
+    simulate.add_argument("--duration", type=float, default=30.0)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--out", required=True)
+    simulate.set_defaults(fn=_cmd_simulate)
+
+    analyze = sub.add_parser("analyze", help="run Domino over a trace")
+    analyze.add_argument("trace")
+    analyze.add_argument("--chains", help="custom chain DSL file")
+    analyze.add_argument("--window", type=float, default=5.0)
+    analyze.add_argument("--step", type=float, default=0.5)
+    analyze.add_argument("--limit", type=int, default=20)
+    analyze.set_defaults(fn=_cmd_analyze)
+
+    report = sub.add_parser("report", help="QoE summary of a trace")
+    report.add_argument("trace")
+    report.set_defaults(fn=_cmd_report)
+
+    codegen = sub.add_parser(
+        "codegen", help="print the Python generated from a chain file"
+    )
+    codegen.add_argument("chains")
+    codegen.set_defaults(fn=_cmd_codegen)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

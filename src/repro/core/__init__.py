@@ -1,0 +1,53 @@
+"""Domino: automated cross-layer causal-chain detection (§4).
+
+The pipeline: a :class:`~repro.telemetry.timeline.Timeline` of resampled
+cross-layer series → sliding windows (W = 5 s, Δt = 0.5 s) → the 20 event
+conditions of Table 5 (:mod:`repro.core.events`) → a 36-dimension feature
+vector (:mod:`repro.core.features`) → backward trace through the causal
+DAG of Fig. 9 (:mod:`repro.core.graph`, :mod:`repro.core.trace`) →
+detected causal chains and statistics (:mod:`repro.core.detector`,
+:mod:`repro.core.stats`).
+
+The graph is user-extensible through a text DSL (``a --> b --> c``,
+:mod:`repro.core.dsl`) which compiles to executable Python detection code
+(:mod:`repro.core.codegen`, Fig. 11).
+"""
+
+from repro.core.chains import (
+    CANONICAL_CHAINS,
+    DEFAULT_CHAINS_TEXT,
+    CauseKind,
+    ConsequenceKind,
+    canonical_id,
+)
+from repro.core.codegen import compile_chains, generate_python_source
+from repro.core.detector import DetectorConfig, DominoDetector, WindowDetection
+from repro.core.dsl import parse_chains
+from repro.core.events import EventConfig
+from repro.core.extension import ExtensibleDomino
+from repro.core.features import FEATURE_NAMES, FeatureExtractor
+from repro.core.graph import CausalGraph, NodeKind
+from repro.core.stats import DominoStats
+from repro.core.trace import backward_trace
+
+__all__ = [
+    "CANONICAL_CHAINS",
+    "DEFAULT_CHAINS_TEXT",
+    "CauseKind",
+    "ConsequenceKind",
+    "canonical_id",
+    "compile_chains",
+    "generate_python_source",
+    "DetectorConfig",
+    "DominoDetector",
+    "WindowDetection",
+    "parse_chains",
+    "EventConfig",
+    "ExtensibleDomino",
+    "FEATURE_NAMES",
+    "FeatureExtractor",
+    "CausalGraph",
+    "NodeKind",
+    "DominoStats",
+    "backward_trace",
+]

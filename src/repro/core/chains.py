@@ -1,0 +1,208 @@
+"""The 24 canonical causal chains of §4.2.
+
+Fig. 9 connects six 5G root causes to three application consequences.
+Enumerating the distinct DAG paths gives 24 canonical chains: each cause
+reaches
+
+* the *jitter-buffer drain* of the receiver of the stream riding the
+  affected direction (via forward-path delay),
+* the *target-bitrate reduction* of that stream's sender (forward delay
+  → GCC overuse),
+* that sender's *pushback-rate reduction* (forward delay → outstanding
+  bytes), and
+* the *other* stream's pushback-rate reduction — its RTCP feedback rides
+  the affected direction (reverse-path delay, Fig. 22),
+
+i.e. 6 causes × 4 paths = 24.  Concretely each canonical chain
+instantiates as up to two direction-resolved chains (UL and DL variants);
+statistics aggregate back to the canonical (cause kind, consequence kind)
+cells that Fig. 10 and Tables 2/4 report.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+
+class CauseKind(enum.Enum):
+    """The six root-cause families of Fig. 9 (yellow blocks)."""
+
+    POOR_CHANNEL = "Poor Channel"
+    CROSS_TRAFFIC = "Cross Traffic"
+    UL_SCHEDULING = "UL Scheduling"
+    HARQ_RETX = "HARQ ReTX"
+    RLC_RETX = "RLC ReTX"
+    RRC_STATE = "RRC State"
+
+
+class ConsequenceKind(enum.Enum):
+    """The three consequence families (red blocks)."""
+
+    JITTER_BUFFER_DRAIN = "Jitter Buffer Drains"
+    TARGET_BITRATE_DOWN = "Target Bitrate Down"
+    PUSHBACK_RATE_DOWN = "Pushback Rate Down"
+
+
+class PathKind(enum.Enum):
+    """How the cause reaches the consequence."""
+
+    FORWARD = "forward"  # via the media path's delay
+    REVERSE = "reverse"  # via the feedback path's delay (pushback only)
+
+
+#: Feature-name fragment for each cause family, per direction.
+_CAUSE_FEATURES: Dict[CauseKind, str] = {
+    CauseKind.POOR_CHANNEL: "channel_degrades",
+    CauseKind.CROSS_TRAFFIC: "cross_traffic",
+    CauseKind.HARQ_RETX: "harq_retx",
+    CauseKind.RLC_RETX: "rlc_retx",
+}
+
+
+def cause_feature(kind: CauseKind, direction: str) -> str:
+    """Feature name for a cause family in a given direction."""
+    if kind is CauseKind.UL_SCHEDULING:
+        return "ul_scheduling"
+    if kind is CauseKind.RRC_STATE:
+        return "rrc_change"
+    return f"{direction}_{_CAUSE_FEATURES[kind]}"
+
+
+def classify_cause(feature: str) -> Optional[CauseKind]:
+    """Map a feature name back to its cause family (None if not a cause)."""
+    if feature == "ul_scheduling":
+        return CauseKind.UL_SCHEDULING
+    if feature == "rrc_change":
+        return CauseKind.RRC_STATE
+    for kind, fragment in _CAUSE_FEATURES.items():
+        if feature.endswith(fragment):
+            return kind
+    return None
+
+
+def classify_consequence(feature: str) -> Optional[ConsequenceKind]:
+    """Map a feature name to its consequence family (None otherwise)."""
+    if feature.endswith("jitter_buffer_drain"):
+        return ConsequenceKind.JITTER_BUFFER_DRAIN
+    if feature.endswith("target_bitrate_down"):
+        return ConsequenceKind.TARGET_BITRATE_DOWN
+    if feature.endswith("pushback_rate_down"):
+        return ConsequenceKind.PUSHBACK_RATE_DOWN
+    return None
+
+
+#: Canonical chain identifiers: (cause kind, consequence kind, path kind)
+#: → id 1..24.  Pushback has both a forward and a reverse path; the other
+#: consequences only a forward one.
+CANONICAL_CHAINS: Dict[Tuple[CauseKind, ConsequenceKind, PathKind], int] = {}
+_next_id = 1
+for _cause in CauseKind:
+    for _consequence, _paths in (
+        (ConsequenceKind.JITTER_BUFFER_DRAIN, (PathKind.FORWARD,)),
+        (ConsequenceKind.TARGET_BITRATE_DOWN, (PathKind.FORWARD,)),
+        (
+            ConsequenceKind.PUSHBACK_RATE_DOWN,
+            (PathKind.FORWARD, PathKind.REVERSE),
+        ),
+    ):
+        for _path in _paths:
+            CANONICAL_CHAINS[(_cause, _consequence, _path)] = _next_id
+            _next_id += 1
+assert len(CANONICAL_CHAINS) == 24, "§4.2 defines 24 causal chains"
+
+
+def canonical_id(
+    cause: CauseKind, consequence: ConsequenceKind, path: PathKind
+) -> int:
+    """Canonical chain id (1..24) for the given combination."""
+    return CANONICAL_CHAINS[(cause, consequence, path)]
+
+
+def _direction_chains(direction: str) -> List[str]:
+    """Concrete chain lines for causes affecting *direction*.
+
+    For an UL cause: the stream riding UL is sent by the local (cellular)
+    client and received by the remote one; the remote client's outbound
+    stream has its feedback riding UL.
+    """
+    if direction == "ul":
+        sender, receiver = "local", "remote"
+    else:
+        sender, receiver = "remote", "local"
+    delay = f"{direction}_delay_up"
+    lines = []
+    cause_kinds = [
+        CauseKind.POOR_CHANNEL,
+        CauseKind.CROSS_TRAFFIC,
+        CauseKind.HARQ_RETX,
+        CauseKind.RLC_RETX,
+    ]
+    if direction == "ul":
+        cause_kinds.insert(2, CauseKind.UL_SCHEDULING)
+    cause_kinds.append(CauseKind.RRC_STATE)
+    for kind in cause_kinds:
+        cause = cause_feature(kind, direction)
+        lines.append(
+            f"{cause} --> {delay} --> {receiver}_jitter_buffer_drain"
+        )
+        lines.append(
+            f"{cause} --> {delay} --> {sender}_gcc_overuse "
+            f"--> {sender}_target_bitrate_down"
+        )
+        lines.append(
+            f"{cause} --> {delay} --> {sender}_outstanding_bytes_up "
+            f"--> {sender}_pushback_rate_down"
+        )
+        lines.append(
+            f"{cause} --> {delay} --> {receiver}_outstanding_bytes_up "
+            f"--> {receiver}_pushback_rate_down"
+        )
+    return lines
+
+
+def default_chains_text() -> str:
+    """The full direction-resolved default chain configuration."""
+    header = (
+        "# Default Domino causal chains (Fig. 9), direction-resolved.\n"
+        "# 6 cause families x 4 paths = 24 canonical chains; UL and DL\n"
+        "# variants instantiate them concretely.\n"
+    )
+    return header + "\n".join(_direction_chains("ul") + _direction_chains("dl"))
+
+
+DEFAULT_CHAINS_TEXT = default_chains_text()
+
+
+def chain_path_kind(chain: Tuple[str, ...]) -> PathKind:
+    """Forward or reverse path of a concrete chain.
+
+    The chain's delay node direction versus the consequence's stream
+    direction decides: a pushback consequence whose sender's media rides
+    the *other* direction was reached via its feedback path (reverse).
+    """
+    delay_direction = None
+    for node in chain:
+        if node.endswith("_delay_up"):
+            delay_direction = node.split("_", 1)[0]
+            break
+    consequence = chain[-1]
+    kind = classify_consequence(consequence)
+    if kind is not ConsequenceKind.PUSHBACK_RATE_DOWN or delay_direction is None:
+        return PathKind.FORWARD
+    sender_role = consequence.split("_", 1)[0]  # local / remote
+    media_direction = "ul" if sender_role == "local" else "dl"
+    return (
+        PathKind.FORWARD
+        if delay_direction == media_direction
+        else PathKind.REVERSE
+    )
+
+
+def canonical_id_for_chain(chain: Tuple[str, ...]) -> Optional[int]:
+    """Canonical id (1..24) of a concrete chain, or None if unmapped."""
+    cause = classify_cause(chain[0])
+    consequence = classify_consequence(chain[-1])
+    if cause is None or consequence is None:
+        return None
+    return CANONICAL_CHAINS.get((cause, consequence, chain_path_kind(chain)))

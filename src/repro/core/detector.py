@@ -1,0 +1,152 @@
+"""The Domino detector: sliding-window causal-chain detection engine.
+
+Ties the pipeline together: telemetry bundle → timeline → feature
+windows → compiled backward trace → per-window detections, collected in
+a :class:`DominoReport` that the statistics module summarises into the
+paper's Fig. 10 / Table 2 / Table 4 outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.chains import DEFAULT_CHAINS_TEXT
+from repro.core.codegen import compile_chains
+from repro.core.dsl import parse_chains
+from repro.core.events import EventConfig
+from repro.core.features import FeatureExtractor, FeatureWindow
+from repro.core.graph import CausalGraph
+from repro.core.trace import evaluate_chains
+from repro.telemetry.records import TelemetryBundle
+from repro.telemetry.timeline import Timeline
+
+
+@dataclass
+class DetectorConfig:
+    """Configuration of one Domino instance.
+
+    Attributes:
+        window_us / step_us: sliding window W and step Δt (paper: 5 s /
+            0.5 s).
+        dt_us: resampling bin width (paper's stats rate: 50 ms).
+        events: event-condition thresholds.
+        chains_text: causal-chain definitions in the text DSL; defaults
+            to the paper's 24 canonical chains (direction-resolved).
+        use_codegen: execute generated Python (Fig. 11) instead of the
+            interpreted evaluator — results are identical; the flag
+            exists for the ablation benchmark.
+    """
+
+    window_us: int = 5_000_000
+    step_us: int = 500_000
+    dt_us: int = 50_000
+    events: EventConfig = field(default_factory=EventConfig)
+    chains_text: str = DEFAULT_CHAINS_TEXT
+    use_codegen: bool = True
+
+
+@dataclass
+class WindowDetection:
+    """Detections for one window position."""
+
+    start_us: int
+    end_us: int
+    features: dict
+    consequences: List[str]
+    causes: List[str]
+    chain_ids: List[int]  # indices into DominoReport.chains
+
+
+@dataclass
+class DominoReport:
+    """All detections for one session."""
+
+    session_name: str
+    duration_us: int
+    step_us: int
+    chains: List[Tuple[str, ...]]
+    windows: List[WindowDetection]
+
+    @property
+    def n_windows(self) -> int:
+        return len(self.windows)
+
+    def windows_with_detections(self) -> List[WindowDetection]:
+        return [w for w in self.windows if w.chain_ids]
+
+    def detected_chain_tuples(self) -> List[Tuple[str, ...]]:
+        """Concrete chains detected anywhere in the session (unique)."""
+        seen = {
+            chain_id
+            for window in self.windows
+            for chain_id in window.chain_ids
+        }
+        return [self.chains[i] for i in sorted(seen)]
+
+
+class DominoDetector:
+    """End-to-end Domino analysis over telemetry bundles.
+
+    Example::
+
+        detector = DominoDetector()
+        report = detector.analyze(bundle)
+        stats = DominoStats.from_report(report)
+    """
+
+    def __init__(self, config: Optional[DetectorConfig] = None) -> None:
+        self.config = config or DetectorConfig()
+        self.chains = parse_chains(self.config.chains_text)
+        self.graph = CausalGraph.from_chains(self.chains)
+        self.extractor = FeatureExtractor(
+            window_us=self.config.window_us,
+            step_us=self.config.step_us,
+            config=self.config.events,
+        )
+        self._trace_fn = (
+            compile_chains(self.chains) if self.config.use_codegen else None
+        )
+
+    # -- evaluation -----------------------------------------------------------
+
+    def _trace(self, features: dict) -> Tuple[set, set, List[int]]:
+        if self._trace_fn is not None:
+            return self._trace_fn(features)
+        return evaluate_chains(features, self.chains)
+
+    def analyze_timeline(
+        self, timeline: Timeline, session_name: str = "", duration_us: int = 0
+    ) -> DominoReport:
+        """Run detection over an already-built timeline."""
+        windows: List[WindowDetection] = []
+        for feature_window in self.extractor.extract(timeline):
+            consequences, causes, chain_ids = self._trace(
+                feature_window.features
+            )
+            windows.append(
+                WindowDetection(
+                    start_us=feature_window.start_us,
+                    end_us=feature_window.end_us,
+                    features=feature_window.features,
+                    consequences=sorted(consequences),
+                    causes=sorted(causes),
+                    chain_ids=sorted(chain_ids),
+                )
+            )
+        return DominoReport(
+            session_name=session_name,
+            duration_us=duration_us or timeline.n_bins * timeline.dt_us,
+            step_us=self.config.step_us,
+            chains=self.chains,
+            windows=windows,
+        )
+
+    def analyze(self, bundle: TelemetryBundle) -> DominoReport:
+        """Run the full pipeline on a telemetry bundle."""
+        timeline = Timeline.from_bundle(bundle, dt_us=self.config.dt_us)
+        return self.analyze_timeline(
+            timeline,
+            session_name=bundle.session_name,
+            duration_us=bundle.duration_us,
+        )

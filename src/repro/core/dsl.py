@@ -1,0 +1,107 @@
+"""The text DSL for causal-chain definitions (Fig. 11).
+
+One chain per line, nodes joined by ``-->`` (or ``->``)::
+
+    dl_rlc_retx --> forward_delay_up --> local_jitter_buffer_drain
+    dl_harq_retx --> forward_delay_up --> local_jitter_buffer_drain
+
+``#`` starts a comment; blank lines are ignored.
+
+Two *relative* delay aliases make definitions readable:
+
+* ``forward_delay_up`` — delay on the path the root cause sits on
+  (a ``dl_*`` cause resolves it to ``dl_delay_up``);
+* ``reverse_delay_up`` — delay on the opposite direction.
+
+A direction-less root (``rrc_change``) expands an aliased chain into
+both directions.  Unknown node names raise
+:class:`~repro.errors.UnknownEventError` listing valid names.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.features import FEATURE_NAMES
+from repro.errors import DslSyntaxError, UnknownEventError
+
+_ARROW = re.compile(r"\s*-{1,2}>\s*")
+
+FORWARD_ALIAS = "forward_delay_up"
+REVERSE_ALIAS = "reverse_delay_up"
+_ALIASES = (FORWARD_ALIAS, REVERSE_ALIAS)
+
+
+def _root_direction(root: str) -> Optional[str]:
+    """Direction prefix of a root cause node, if any."""
+    if root.startswith("ul_"):
+        return "ul"
+    if root.startswith("dl_"):
+        return "dl"
+    return None
+
+
+def _resolve_aliases(
+    chain: Sequence[str], line_number: int, line: str
+) -> List[Tuple[str, ...]]:
+    """Expand forward/reverse delay aliases into concrete node names."""
+    if not any(node in _ALIASES for node in chain):
+        return [tuple(chain)]
+    direction = _root_direction(chain[0])
+    directions = [direction] if direction else ["ul", "dl"]
+    resolved: List[Tuple[str, ...]] = []
+    for forward in directions:
+        reverse = "dl" if forward == "ul" else "ul"
+        mapping = {
+            FORWARD_ALIAS: f"{forward}_delay_up",
+            REVERSE_ALIAS: f"{reverse}_delay_up",
+        }
+        resolved.append(tuple(mapping.get(node, node) for node in chain))
+    return resolved
+
+
+def parse_chains(
+    text: str, known_events: Optional[Iterable[str]] = None
+) -> List[Tuple[str, ...]]:
+    """Parse DSL *text* into concrete chains (tuples of feature names).
+
+    Args:
+        text: the chain definitions.
+        known_events: valid node names (defaults to the 36 features).
+
+    Raises:
+        DslSyntaxError: malformed line.
+        UnknownEventError: node name not in *known_events*.
+    """
+    known = set(known_events if known_events is not None else FEATURE_NAMES)
+    chains: List[Tuple[str, ...]] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = [part.strip() for part in _ARROW.split(line)]
+        if len(parts) < 2:
+            raise DslSyntaxError(
+                line_number, raw_line, "expected at least two nodes joined by -->"
+            )
+        if any(not part for part in parts):
+            raise DslSyntaxError(line_number, raw_line, "empty node name")
+        for part in parts:
+            if not re.fullmatch(r"[a-z][a-z0-9_]*", part):
+                raise DslSyntaxError(
+                    line_number,
+                    raw_line,
+                    f"invalid node name {part!r} (lowercase identifiers only)",
+                )
+        for chain in _resolve_aliases(parts, line_number, raw_line):
+            for node in chain:
+                if node not in known:
+                    raise UnknownEventError(node, sorted(known))
+            chains.append(chain)
+    return chains
+
+
+def format_chains(chains: Iterable[Sequence[str]]) -> str:
+    """Render chains back into canonical DSL text (round-trip helper)."""
+    return "\n".join(" --> ".join(chain) for chain in chains)

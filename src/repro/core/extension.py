@@ -1,0 +1,142 @@
+"""User extensibility: custom events and chains on top of Domino.
+
+§4.2 frames extensibility as a key design principle: "network designers
+[can] readily incorporate other data features ... and implement
+detection for novel causal chains simply by providing new text-based
+definitions".  :class:`ExtensibleDomino` is that surface:
+
+* :meth:`register_event` adds a detector for a new feature (any callable
+  over the resampled window series, e.g. a new NR-Scope metric);
+* :meth:`add_chains` appends DSL text that may reference both built-in
+  and custom features;
+* :meth:`build` returns a ready :class:`~repro.core.detector.DominoDetector`
+  equivalent operating over the extended vocabulary.
+
+Example::
+
+    domino = ExtensibleDomino()
+    domino.register_event(
+        "ul_many_small_tbs",
+        lambda window, config: float((window["ul_exp_prbs"] > 0).sum()) > 50,
+    )
+    domino.add_chains(
+        "ul_many_small_tbs --> ul_delay_up --> remote_jitter_buffer_drain"
+    )
+    report = domino.build().analyze(bundle)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.chains import DEFAULT_CHAINS_TEXT
+from repro.core.codegen import compile_chains
+from repro.core.detector import (
+    DetectorConfig,
+    DominoDetector,
+    DominoReport,
+)
+from repro.core.dsl import parse_chains
+from repro.core.events import EventConfig
+from repro.core.features import FEATURE_NAMES, FeatureExtractor
+from repro.core.graph import CausalGraph
+from repro.errors import DslError
+from repro.telemetry.records import TelemetryBundle
+from repro.telemetry.timeline import Timeline
+
+DetectorFn = Callable[..., bool]
+
+
+class ExtensibleDomino:
+    """Builder for a Domino instance with custom events and chains."""
+
+    def __init__(
+        self,
+        config: Optional[DetectorConfig] = None,
+        include_default_chains: bool = True,
+    ) -> None:
+        self.config = config or DetectorConfig()
+        self._events: Dict[str, DetectorFn] = {}
+        self._chain_texts: List[str] = (
+            [DEFAULT_CHAINS_TEXT] if include_default_chains else []
+        )
+
+    # -- registration -----------------------------------------------------------
+
+    def register_event(self, name: str, detector: DetectorFn) -> "ExtensibleDomino":
+        """Add a custom event detector.
+
+        Args:
+            name: lowercase identifier usable in DSL chains.
+            detector: callable(window_series, event_config) → bool.
+        """
+        if name in FEATURE_NAMES:
+            raise DslError(f"{name!r} is a built-in feature name")
+        if not name.islower() or not name.replace("_", "a").isalnum():
+            raise DslError(
+                f"invalid event name {name!r}: lowercase identifiers only"
+            )
+        self._events[name] = detector
+        return self
+
+    def add_chains(self, text: str) -> "ExtensibleDomino":
+        """Append chain definitions (DSL text)."""
+        # Validate eagerly so errors point at the caller.
+        parse_chains(text, known_events=self.known_events())
+        self._chain_texts.append(text)
+        return self
+
+    def known_events(self) -> Tuple[str, ...]:
+        return FEATURE_NAMES + tuple(sorted(self._events))
+
+    # -- building ------------------------------------------------------------------
+
+    def build(self) -> "_ExtendedDetector":
+        """Construct the detector over the extended vocabulary."""
+        chains: List[Tuple[str, ...]] = []
+        for text in self._chain_texts:
+            chains.extend(parse_chains(text, known_events=self.known_events()))
+        return _ExtendedDetector(
+            config=self.config, chains=chains, extra_events=dict(self._events)
+        )
+
+
+class _ExtendedDetector:
+    """A DominoDetector equivalent with custom features mixed in."""
+
+    def __init__(
+        self,
+        config: DetectorConfig,
+        chains: List[Tuple[str, ...]],
+        extra_events: Dict[str, DetectorFn],
+    ) -> None:
+        self.config = config
+        self.chains = chains
+        self.graph = CausalGraph.from_chains(chains)
+        self.extractor = FeatureExtractor(
+            window_us=config.window_us,
+            step_us=config.step_us,
+            config=config.events,
+            extra_detectors=extra_events,
+        )
+        self._trace_fn = compile_chains(chains)
+
+    def analyze(self, bundle: TelemetryBundle) -> DominoReport:
+        timeline = Timeline.from_bundle(bundle, dt_us=self.config.dt_us)
+        return self.analyze_timeline(
+            timeline, bundle.session_name, bundle.duration_us
+        )
+
+    def analyze_timeline(
+        self, timeline: Timeline, session_name: str = "", duration_us: int = 0
+    ) -> DominoReport:
+        # Reuse DominoDetector's window loop by delegation.
+        shim = DominoDetector.__new__(DominoDetector)
+        shim.config = self.config
+        shim.chains = self.chains
+        shim.graph = self.graph
+        shim.extractor = self.extractor
+        shim._trace_fn = self._trace_fn
+        return DominoDetector.analyze_timeline(
+            shim, timeline, session_name, duration_us
+        )

@@ -1,0 +1,137 @@
+"""Sliding-window feature extraction: the 36-dimension vector of §4.2.
+
+For every window position Domino evaluates the 20 event conditions of
+Table 5 over the local and remote clients and both link directions,
+producing a boolean feature vector:
+
+* 10 application events × {local, remote}               = 20
+* 6 bidirectional 5G events × {UL, DL}                  = 12
+* forward/reverse packet delay, UL scheduling, RRC      =  4
+                                                    total 36
+
+Window length W = 5 s and step Δt = 0.5 s are the paper's defaults; both
+are configurable (and swept by the ablation benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.core.events import EventConfig, build_registry
+from repro.telemetry.timeline import Timeline
+
+#: Canonical feature ordering (36 names).
+FEATURE_NAMES: Tuple[str, ...] = tuple(
+    [
+        f"{role}_{event}"
+        for role in ("local", "remote")
+        for event in (
+            "inbound_framerate_down",
+            "outbound_framerate_down",
+            "outbound_resolution_down",
+            "jitter_buffer_drain",
+            "target_bitrate_down",
+            "gcc_overuse",
+            "pushback_rate_down",
+            "cwnd_full",
+            "outstanding_bytes_up",
+            "pushback_neq_target",
+        )
+    ]
+    + [
+        f"{direction}_{event}"
+        for direction in ("ul", "dl")
+        for event in (
+            "tbs_down",
+            "rate_gap",
+            "cross_traffic",
+            "channel_degrades",
+            "harq_retx",
+            "rlc_retx",
+        )
+    ]
+    + ["ul_delay_up", "dl_delay_up", "ul_scheduling", "rrc_change"]
+)
+
+assert len(FEATURE_NAMES) == 36, "the paper's vector has 36 dimensions"
+
+
+@dataclass
+class FeatureWindow:
+    """One window's feature vector with its position in time."""
+
+    start_us: int
+    end_us: int
+    features: Dict[str, bool]
+
+    def true_features(self) -> List[str]:
+        return [name for name, value in self.features.items() if value]
+
+    def as_tuple(self) -> Tuple[bool, ...]:
+        return tuple(self.features[name] for name in FEATURE_NAMES)
+
+
+@dataclass
+class FeatureExtractor:
+    """Evaluates all 36 detectors over sliding windows of a timeline.
+
+    Args:
+        window_us: window length W (paper: 5 s).
+        step_us: window step Δt (paper: 0.5 s).
+        config: event-condition thresholds.
+        extra_detectors: user-registered event detectors beyond Table 5
+            (name → callable(window, config) → bool); the extensibility
+            hook §4.2 describes ("readily incorporate other data
+            features").
+    """
+
+    window_us: int = 5_000_000
+    step_us: int = 500_000
+    config: EventConfig = field(default_factory=EventConfig)
+    extra_detectors: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._registry = build_registry()
+        missing = set(FEATURE_NAMES) - set(self._registry)
+        if missing:
+            raise RuntimeError(f"detectors missing for features: {missing}")
+        overlap = set(self.extra_detectors) & set(self._registry)
+        if overlap:
+            raise ValueError(
+                f"custom detectors shadow built-in features: {sorted(overlap)}"
+            )
+        self._registry.update(self.extra_detectors)  # type: ignore[arg-type]
+
+    @property
+    def feature_names(self) -> Tuple[str, ...]:
+        """Built-in 36 features plus any registered custom ones."""
+        return FEATURE_NAMES + tuple(sorted(self.extra_detectors))
+
+    def window_bins(self, timeline: Timeline) -> Tuple[int, int]:
+        """(window length, step) in timeline bins."""
+        window_bins = max(1, self.window_us // timeline.dt_us)
+        step_bins = max(1, self.step_us // timeline.dt_us)
+        return window_bins, step_bins
+
+    def extract(self, timeline: Timeline) -> Iterator[FeatureWindow]:
+        """Yield feature vectors for every window position."""
+        window_bins, step_bins = self.window_bins(timeline)
+        names = self.feature_names
+        start = 0
+        while start + window_bins <= timeline.n_bins:
+            view = timeline.window(start, window_bins)
+            features = {
+                name: bool(self._registry[name](view, self.config))
+                for name in names
+            }
+            yield FeatureWindow(
+                start_us=start * timeline.dt_us,
+                end_us=(start + window_bins) * timeline.dt_us,
+                features=features,
+            )
+            start += step_bins
+
+    def extract_all(self, timeline: Timeline) -> List[FeatureWindow]:
+        """Materialise :meth:`extract` into a list."""
+        return list(self.extract(timeline))

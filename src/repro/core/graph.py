@@ -1,0 +1,140 @@
+"""The causal DAG of Fig. 9.
+
+Nodes are feature names (causes in the 5G stack, intermediate delay /
+congestion-controller events, consequences at the application); directed
+edges point from cause toward consequence.  The graph is assembled from
+chain definitions (each chain is one root-to-consequence path) and
+validated to be acyclic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import GraphError
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in the causal graph (the Fig. 9 block colours)."""
+
+    CAUSE = "cause"  # yellow: events in the 5G stack
+    INTERMEDIATE = "intermediate"  # purple: delay / controller internals
+    CONSEQUENCE = "consequence"  # red: user-visible app impact
+
+
+#: Feature-name suffixes that mark a node as a consequence.
+_CONSEQUENCE_SUFFIXES = (
+    "jitter_buffer_drain",
+    "target_bitrate_down",
+    "pushback_rate_down",
+)
+
+#: Feature names (or suffixes) that mark a node as a 5G-layer cause.
+_CAUSE_SUFFIXES = (
+    "channel_degrades",
+    "cross_traffic",
+    "harq_retx",
+    "rlc_retx",
+)
+_CAUSE_EXACT = ("ul_scheduling", "rrc_change")
+
+
+def classify_node(name: str) -> NodeKind:
+    """Infer a node's role from its feature name."""
+    if name in _CAUSE_EXACT or name.endswith(_CAUSE_SUFFIXES):
+        return NodeKind.CAUSE
+    if name.endswith(_CONSEQUENCE_SUFFIXES):
+        return NodeKind.CONSEQUENCE
+    return NodeKind.INTERMEDIATE
+
+
+@dataclass
+class CausalGraph:
+    """Directed acyclic graph over feature names, built from chains."""
+
+    chains: List[Tuple[str, ...]] = field(default_factory=list)
+    nodes: Dict[str, NodeKind] = field(default_factory=dict)
+    #: edges[child] = set of parents (cause-ward neighbours).
+    parents: Dict[str, Set[str]] = field(default_factory=dict)
+    children: Dict[str, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_chains(cls, chains: Iterable[Sequence[str]]) -> "CausalGraph":
+        """Build and validate a graph from root-to-consequence chains."""
+        graph = cls()
+        for chain in chains:
+            graph.add_chain(tuple(chain))
+        graph.validate()
+        return graph
+
+    def add_chain(self, chain: Tuple[str, ...]) -> None:
+        """Add one chain (ordered cause → ... → consequence)."""
+        if len(chain) < 2:
+            raise GraphError(f"chain too short: {chain!r}")
+        self.chains.append(chain)
+        for name in chain:
+            self.nodes.setdefault(name, classify_node(name))
+            self.parents.setdefault(name, set())
+            self.children.setdefault(name, set())
+        for parent, child in zip(chain, chain[1:]):
+            self.parents[child].add(parent)
+            self.children[parent].add(child)
+
+    # -- queries --------------------------------------------------------------
+
+    def causes(self) -> List[str]:
+        return sorted(
+            n for n, kind in self.nodes.items() if kind is NodeKind.CAUSE
+        )
+
+    def consequences(self) -> List[str]:
+        return sorted(
+            n for n, kind in self.nodes.items() if kind is NodeKind.CONSEQUENCE
+        )
+
+    def intermediates(self) -> List[str]:
+        return sorted(
+            n
+            for n, kind in self.nodes.items()
+            if kind is NodeKind.INTERMEDIATE
+        )
+
+    def chains_for_consequence(self, consequence: str) -> List[Tuple[str, ...]]:
+        return [c for c in self.chains if c[-1] == consequence]
+
+    # -- validation ---------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`GraphError` if the graph has a cycle or a chain
+        whose endpoints are mis-classified."""
+        self._check_acyclic()
+        for chain in self.chains:
+            if self.nodes[chain[-1]] is not NodeKind.CONSEQUENCE:
+                raise GraphError(
+                    f"chain {' --> '.join(chain)} does not end in a "
+                    f"consequence node"
+                )
+
+    def _check_acyclic(self) -> None:
+        state: Dict[str, int] = {}  # 0 = unseen, 1 = in stack, 2 = done
+
+        def visit(node: str, stack: List[str]) -> None:
+            state[node] = 1
+            stack.append(node)
+            for child in self.children.get(node, ()):
+                if state.get(child, 0) == 1:
+                    cycle = " -> ".join(stack + [child])
+                    raise GraphError(f"causal graph has a cycle: {cycle}")
+                if state.get(child, 0) == 0:
+                    visit(child, stack)
+            stack.pop()
+            state[node] = 2
+
+        for node in list(self.nodes):
+            if state.get(node, 0) == 0:
+                visit(node, [])
+
+    def __len__(self) -> int:
+        return len(self.nodes)

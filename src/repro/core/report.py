@@ -1,0 +1,96 @@
+"""Human-readable rendering of Domino statistics (terminal tables).
+
+Formats the Fig. 10 frequencies and the Table 2/4 matrices the way the
+paper lays them out, so benchmark output can be compared side by side
+with the published numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.chains import CauseKind, ConsequenceKind
+from repro.core.stats import DominoStats
+
+_CONSEQUENCE_LABELS = {
+    ConsequenceKind.JITTER_BUFFER_DRAIN: "Jitter Buffer Drains",
+    ConsequenceKind.TARGET_BITRATE_DOWN: "Target Bitrate v",
+    ConsequenceKind.PUSHBACK_RATE_DOWN: "Pushback Rate v",
+}
+
+
+def _format_row(label: str, cells: Iterable[str], width: int = 14) -> str:
+    return label.ljust(22) + "".join(cell.rjust(width) for cell in cells)
+
+
+def render_frequency_table(
+    stats_by_deployment: Dict[str, DominoStats],
+) -> str:
+    """Fig. 10: cause/consequence occurrence frequency per minute."""
+    deployments = list(stats_by_deployment)
+    lines: List[str] = []
+    lines.append("Causes in 5G (events per minute)")
+    lines.append(_format_row("", deployments))
+    for kind in CauseKind:
+        cells = [
+            f"{stats_by_deployment[d].cause_frequencies_per_min()[kind]:.2f}"
+            for d in deployments
+        ]
+        lines.append(_format_row(kind.value, cells))
+    lines.append("")
+    lines.append("Consequences in APP (events per minute)")
+    lines.append(_format_row("", deployments))
+    for kind in ConsequenceKind:
+        cells = [
+            f"{stats_by_deployment[d].consequence_frequencies_per_min()[kind]:.2f}"
+            for d in deployments
+        ]
+        lines.append(_format_row(_CONSEQUENCE_LABELS[kind], cells))
+    return "\n".join(lines)
+
+
+def render_conditional_table(
+    commercial: DominoStats, private: Optional[DominoStats] = None
+) -> str:
+    """Table 2: P(cause | consequence), commercial vs private cells."""
+    lines: List[str] = []
+    header = [kind.value for kind in CauseKind] + ["Unknown"]
+    lines.append(_format_row("", header))
+    tables = [commercial.conditional_probabilities()]
+    unknowns = [commercial.unknown_fractions()]
+    if private is not None:
+        tables.append(private.conditional_probabilities())
+        unknowns.append(private.unknown_fractions())
+    for consequence in ConsequenceKind:
+        cells = []
+        for cause in CauseKind:
+            values = [f"{t[consequence][cause] * 100:.1f}%" for t in tables]
+            cells.append(" / ".join(values))
+        cells.append(
+            " / ".join(f"{u[consequence] * 100:.1f}%" for u in unknowns)
+        )
+        lines.append(_format_row(_CONSEQUENCE_LABELS[consequence], cells))
+    if private is not None:
+        lines.append("(cells: commercial / private)")
+    return "\n".join(lines)
+
+
+def render_chain_ratio_table(
+    commercial: DominoStats, private: Optional[DominoStats] = None
+) -> str:
+    """Table 4: chain ratio given the consequence."""
+    lines: List[str] = []
+    header = [kind.value for kind in CauseKind]
+    lines.append(_format_row("", header))
+    tables = [commercial.chain_ratios()]
+    if private is not None:
+        tables.append(private.chain_ratios())
+    for consequence in ConsequenceKind:
+        cells = []
+        for cause in CauseKind:
+            values = [f"{t[consequence][cause] * 100:.1f}%" for t in tables]
+            cells.append(" (".join(values) + (")" if len(values) > 1 else ""))
+        lines.append(_format_row(_CONSEQUENCE_LABELS[consequence], cells))
+    if private is not None:
+        lines.append("(cells: commercial (private))")
+    return "\n".join(lines)

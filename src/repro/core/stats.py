@@ -1,0 +1,215 @@
+"""Statistics over Domino detections: Fig. 10, Table 2, and Table 4.
+
+All three outputs aggregate direction-resolved detections back to the
+paper's (cause family × consequence family) cells:
+
+* **Fig. 10** — absolute occurrence frequency per minute of each cause
+  and consequence event.  Overlapping windows are merged into episodes
+  (consecutive window positions with the event active count once).
+* **Table 2** — conditional probability of each cause event co-occurring
+  with a consequence event, plus the "Unknown" share of consequence
+  windows where no chain explains the consequence.
+* **Table 4** — each full chain's detection ratio given its consequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.chains import (
+    CauseKind,
+    ConsequenceKind,
+    classify_cause,
+    classify_consequence,
+)
+from repro.core.detector import DominoReport, WindowDetection
+
+
+def _episode_count(flags: Sequence[bool]) -> int:
+    """Number of maximal runs of True in a boolean sequence."""
+    count = 0
+    previous = False
+    for flag in flags:
+        if flag and not previous:
+            count += 1
+        previous = flag
+    return count
+
+
+def _cause_active(window: WindowDetection, kind: CauseKind) -> bool:
+    """Whether any feature of the given cause family fired."""
+    return any(
+        value and classify_cause(name) is kind
+        for name, value in window.features.items()
+    )
+
+
+def _consequence_active(window: WindowDetection, kind: ConsequenceKind) -> bool:
+    return any(
+        value and classify_consequence(name) is kind
+        for name, value in window.features.items()
+    )
+
+
+@dataclass
+class DominoStats:
+    """Aggregated statistics over one or more session reports."""
+
+    reports: List[DominoReport] = field(default_factory=list)
+
+    @classmethod
+    def from_report(cls, report: DominoReport) -> "DominoStats":
+        return cls(reports=[report])
+
+    @classmethod
+    def from_reports(cls, reports: Iterable[DominoReport]) -> "DominoStats":
+        return cls(reports=list(reports))
+
+    # -- shared helpers ---------------------------------------------------------
+
+    @property
+    def total_minutes(self) -> float:
+        return sum(r.duration_us for r in self.reports) / 60e6
+
+    def _all_windows(self) -> List[WindowDetection]:
+        return [w for r in self.reports for w in r.windows]
+
+    # -- Fig. 10: absolute occurrence frequencies ----------------------------------
+
+    def cause_frequencies_per_min(self) -> Dict[CauseKind, float]:
+        """Episodes per minute of each cause family's events."""
+        minutes = max(self.total_minutes, 1e-9)
+        out: Dict[CauseKind, float] = {}
+        for kind in CauseKind:
+            episodes = 0
+            for report in self.reports:
+                flags = [_cause_active(w, kind) for w in report.windows]
+                episodes += _episode_count(flags)
+            out[kind] = episodes / minutes
+        return out
+
+    def consequence_frequencies_per_min(self) -> Dict[ConsequenceKind, float]:
+        """Episodes per minute of each consequence family's events."""
+        minutes = max(self.total_minutes, 1e-9)
+        out: Dict[ConsequenceKind, float] = {}
+        for kind in ConsequenceKind:
+            episodes = 0
+            for report in self.reports:
+                flags = [_consequence_active(w, kind) for w in report.windows]
+                episodes += _episode_count(flags)
+            out[kind] = episodes / minutes
+        return out
+
+    def degradation_events_per_min(self) -> float:
+        """Episodes per minute with any consequence active (the ~5/min
+        headline number of §1)."""
+        minutes = max(self.total_minutes, 1e-9)
+        episodes = 0
+        for report in self.reports:
+            flags = [
+                any(
+                    _consequence_active(w, kind) for kind in ConsequenceKind
+                )
+                for w in report.windows
+            ]
+            episodes += _episode_count(flags)
+        return episodes / minutes
+
+    # -- Table 2: conditional probabilities -----------------------------------------
+
+    def conditional_probabilities(
+        self,
+    ) -> Dict[ConsequenceKind, Dict[CauseKind, float]]:
+        """P(cause event | consequence event), per family pair."""
+        table: Dict[ConsequenceKind, Dict[CauseKind, float]] = {}
+        windows = self._all_windows()
+        for consequence in ConsequenceKind:
+            relevant = [
+                w for w in windows if _consequence_active(w, consequence)
+            ]
+            row: Dict[CauseKind, float] = {}
+            for cause in CauseKind:
+                if not relevant:
+                    row[cause] = 0.0
+                    continue
+                hits = sum(1 for w in relevant if _cause_active(w, cause))
+                row[cause] = hits / len(relevant)
+            table[consequence] = row
+        return table
+
+    def unknown_fractions(self) -> Dict[ConsequenceKind, float]:
+        """Fraction of consequence windows no detected chain explains
+        (Table 2's 'Unknown' column)."""
+        out: Dict[ConsequenceKind, float] = {}
+        for consequence in ConsequenceKind:
+            relevant: List[WindowDetection] = []
+            explained = 0
+            for report in self.reports:
+                for window in report.windows:
+                    if not _consequence_active(window, consequence):
+                        continue
+                    relevant.append(window)
+                    kinds = {
+                        classify_consequence(report.chains[i][-1])
+                        for i in window.chain_ids
+                    }
+                    if consequence in kinds:
+                        explained += 1
+            out[consequence] = (
+                1.0 - explained / len(relevant) if relevant else 0.0
+            )
+        return out
+
+    # -- Table 4: chain ratios ---------------------------------------------------------
+
+    def chain_ratios(
+        self,
+    ) -> Dict[ConsequenceKind, Dict[CauseKind, float]]:
+        """P(full chain cause→consequence detected | consequence event)."""
+        table: Dict[ConsequenceKind, Dict[CauseKind, float]] = {}
+        for consequence in ConsequenceKind:
+            row: Dict[CauseKind, float] = {kind: 0.0 for kind in CauseKind}
+            denominator = 0
+            hits: Dict[CauseKind, int] = {kind: 0 for kind in CauseKind}
+            for report in self.reports:
+                for window in report.windows:
+                    if not _consequence_active(window, consequence):
+                        continue
+                    denominator += 1
+                    seen: Set[CauseKind] = set()
+                    for chain_id in window.chain_ids:
+                        chain = report.chains[chain_id]
+                        if classify_consequence(chain[-1]) is not consequence:
+                            continue
+                        cause = classify_cause(chain[0])
+                        if cause is not None:
+                            seen.add(cause)
+                    for cause in seen:
+                        hits[cause] += 1
+            if denominator:
+                for cause in CauseKind:
+                    row[cause] = hits[cause] / denominator
+            table[consequence] = row
+        return table
+
+    # -- cause attribution shares (the §1 headline percentages) ------------------------
+
+    def cause_attribution_shares(self) -> Dict[CauseKind, float]:
+        """Share of detected chains attributed to each cause family
+        (the '28% cross traffic, 42% retransmissions...' numbers)."""
+        counts: Dict[CauseKind, int] = {kind: 0 for kind in CauseKind}
+        total = 0
+        for report in self.reports:
+            for window in report.windows:
+                seen: Set[CauseKind] = set()
+                for chain_id in window.chain_ids:
+                    cause = classify_cause(report.chains[chain_id][0])
+                    if cause is not None:
+                        seen.add(cause)
+                for cause in seen:
+                    counts[cause] += 1
+                    total += 1
+        if total == 0:
+            return {kind: 0.0 for kind in CauseKind}
+        return {kind: count / total for kind, count in counts.items()}

@@ -1,0 +1,220 @@
+"""Near-real-time streaming detection.
+
+§1 positions Domino for telemetry "network operators can provide on a
+continuous, near real-time basis".  :class:`StreamingDomino` consumes
+records incrementally: feed it telemetry as it arrives, call
+:meth:`advance` with the current time, and receive detections for every
+window whose data is complete — with bounded memory (old records are
+evicted once no future window can reference them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.core.detector import DetectorConfig, DominoDetector, WindowDetection
+from repro.telemetry.collect import TelemetryCollector
+from repro.telemetry.records import (
+    DciRecord,
+    GnbLogRecord,
+    PacketRecord,
+    WebRtcStatsRecord,
+)
+from repro.telemetry.timeline import Timeline
+
+
+@dataclass
+class StreamingDomino:
+    """Incremental Domino over a live telemetry feed.
+
+    Args:
+        config: detector configuration (window, step, thresholds, chains).
+        chunk_us: how much history each processing pass spans; must be at
+            least one window.  Larger chunks amortise resampling cost.
+        cellular_client / wired_client: client-name labels for the
+            WebRTC stats feed.
+        gnb_log_available: whether gNB records should be retained.
+    """
+
+    config: DetectorConfig = field(default_factory=DetectorConfig)
+    chunk_us: int = 30_000_000
+    cellular_client: str = "cellular"
+    wired_client: str = "wired"
+    gnb_log_available: bool = True
+
+    def __post_init__(self) -> None:
+        if self.chunk_us < self.config.window_us:
+            raise ValueError("chunk_us must cover at least one window")
+        self._detector = DominoDetector(self.config)
+        self._next_window_start_us = 0
+        self._records: List[object] = []
+        self.windows_emitted = 0
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def feed_dci(self, record: DciRecord) -> None:
+        self._records.append(record)
+
+    def feed_gnb_log(self, record: GnbLogRecord) -> None:
+        self._records.append(record)
+
+    def feed_packet(self, record: PacketRecord) -> None:
+        self._records.append(record)
+
+    def feed_webrtc_stats(self, record: WebRtcStatsRecord) -> None:
+        self._records.append(record)
+
+    def feed(self, record) -> None:
+        """Type-dispatching convenience ingester."""
+        self._records.append(record)
+
+    # -- processing ----------------------------------------------------------------
+
+    def _record_time(self, record) -> int:
+        if isinstance(record, PacketRecord):
+            return record.sent_us
+        return record.ts_us
+
+    def advance(self, now_us: int) -> List[WindowDetection]:
+        """Process every window that ends at or before *now_us*.
+
+        Returns newly completed window detections, in order.  Records
+        older than one window before the processing frontier are
+        evicted.
+        """
+        out: List[WindowDetection] = []
+        window_us = self.config.window_us
+        step_us = self.config.step_us
+        while self._next_window_start_us + window_us <= now_us:
+            chunk_start = self._next_window_start_us
+            chunk_end = min(chunk_start + self.chunk_us, now_us)
+            n_windows = (chunk_end - chunk_start - window_us) // step_us + 1
+            if n_windows <= 0:
+                break
+            out.extend(self._process_chunk(chunk_start, chunk_end))
+        self._evict(self._next_window_start_us)
+        return out
+
+    def _process_chunk(
+        self, chunk_start: int, chunk_end: int
+    ) -> Iterator[WindowDetection]:
+        collector = TelemetryCollector(
+            "stream",
+            cellular_client=self.cellular_client,
+            wired_client=self.wired_client,
+            gnb_log_available=self.gnb_log_available,
+        )
+        for record in self._records:
+            ts = self._record_time(record)
+            if ts >= chunk_end:
+                continue
+            shifted = self._shift(record, -chunk_start)
+            if shifted is None:
+                continue
+            if isinstance(shifted, DciRecord):
+                collector.record_dci(shifted)
+            elif isinstance(shifted, GnbLogRecord):
+                collector.record_gnb_log(shifted)
+            elif isinstance(shifted, PacketRecord):
+                collector.record_packet_sent(shifted)
+            elif isinstance(shifted, WebRtcStatsRecord):
+                collector.record_webrtc_stats(shifted)
+        bundle = collector.bundle(chunk_end - chunk_start)
+        timeline = Timeline.from_bundle(bundle, dt_us=self.config.dt_us)
+        report = self._detector.analyze_timeline(timeline)
+        emitted = []
+        for window in report.windows:
+            emitted.append(
+                WindowDetection(
+                    start_us=window.start_us + chunk_start,
+                    end_us=window.end_us + chunk_start,
+                    features=window.features,
+                    consequences=window.consequences,
+                    causes=window.causes,
+                    chain_ids=window.chain_ids,
+                )
+            )
+        if emitted:
+            self._next_window_start_us = (
+                emitted[-1].start_us + self.config.step_us
+            )
+        else:
+            self._next_window_start_us = chunk_start + self.config.step_us
+        self.windows_emitted += len(emitted)
+        return emitted
+
+    @staticmethod
+    def _shift(record, delta_us: int):
+        """Return a copy of *record* with timestamps shifted by delta."""
+        if isinstance(record, DciRecord):
+            ts = record.ts_us + delta_us
+            if ts < 0:
+                return None
+            return DciRecord(
+                ts_us=ts,
+                slot=record.slot,
+                rnti=record.rnti,
+                is_uplink=record.is_uplink,
+                n_prb=record.n_prb,
+                mcs=record.mcs,
+                tbs_bits=record.tbs_bits,
+                is_retx=record.is_retx,
+                harq_attempt=record.harq_attempt,
+                crc_ok=record.crc_ok,
+                proactive=record.proactive,
+                used_bytes=record.used_bytes,
+            )
+        if isinstance(record, GnbLogRecord):
+            ts = record.ts_us + delta_us
+            if ts < 0:
+                return None
+            return GnbLogRecord(
+                ts_us=ts,
+                kind=record.kind,
+                is_uplink=record.is_uplink,
+                buffer_bytes=record.buffer_bytes,
+                rnti=record.rnti,
+            )
+        if isinstance(record, PacketRecord):
+            sent = record.sent_us + delta_us
+            if sent < 0:
+                return None
+            received = (
+                record.received_us + delta_us
+                if record.received_us is not None
+                else None
+            )
+            return PacketRecord(
+                packet_id=record.packet_id,
+                stream=record.stream,
+                size_bytes=record.size_bytes,
+                sent_us=sent,
+                received_us=received,
+                is_uplink=record.is_uplink,
+                frame_id=record.frame_id,
+            )
+        if isinstance(record, WebRtcStatsRecord):
+            ts = record.ts_us + delta_us
+            if ts < 0:
+                return None
+            kwargs = {
+                f: getattr(record, f)
+                for f in record.__dataclass_fields__
+            }
+            kwargs["ts_us"] = ts
+            return WebRtcStatsRecord(**kwargs)
+        return None
+
+    def _evict(self, frontier_us: int) -> None:
+        """Drop records no future window can reference."""
+        horizon = frontier_us - self.config.window_us
+        if horizon <= 0:
+            return
+        self._records = [
+            r for r in self._records if self._record_time(r) >= horizon
+        ]
+
+    @property
+    def buffered_records(self) -> int:
+        return len(self._records)

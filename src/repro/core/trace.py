@@ -1,0 +1,65 @@
+"""Interpreted backward trace over the causal graph.
+
+The reference (non-codegen) implementation of Domino's search: starting
+from every consequence whose event fired in the window, walk the causal
+DAG backward along edges whose nodes are all true, and report every
+complete path that terminates at a root cause.  Used as the oracle the
+generated code (:mod:`repro.core.codegen`) is property-tested against,
+and directly by callers who want path discovery on arbitrary graphs
+rather than fixed chain lists.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Set, Tuple
+
+from repro.core.graph import CausalGraph, NodeKind
+
+
+def evaluate_chains(
+    features: Mapping[str, bool], chains: Sequence[Tuple[str, ...]]
+) -> Tuple[Set[str], Set[str], List[int]]:
+    """Fixed-chain evaluation: a chain fires iff all its nodes are true.
+
+    Returns ``(consequences, causes, chain_ids)`` with the same semantics
+    as the generated ``backward_trace`` function.
+    """
+    detected: List[int] = []
+    causes: Set[str] = set()
+    consequences: Set[str] = set()
+    for chain_id, chain in enumerate(chains):
+        if features.get(chain[-1], False):
+            consequences.add(chain[-1])
+            if all(features.get(node, False) for node in chain):
+                detected.append(chain_id)
+                causes.add(chain[0])
+    return consequences, causes, detected
+
+
+def backward_trace(
+    features: Mapping[str, bool], graph: CausalGraph
+) -> List[Tuple[str, ...]]:
+    """Graph-based backward search for complete true cause paths.
+
+    For every consequence node whose feature is true, DFS backward
+    through parents whose features are also true; emit each root-to-
+    consequence path whose root is a cause node.  Paths are returned in
+    cause→consequence order, deduplicated, sorted for determinism.
+    """
+    paths: Set[Tuple[str, ...]] = set()
+
+    def visit(node: str, suffix: Tuple[str, ...]) -> None:
+        parents = [
+            parent
+            for parent in graph.parents.get(node, ())
+            if features.get(parent, False)
+        ]
+        if graph.nodes.get(node) is NodeKind.CAUSE:
+            paths.add((node,) + suffix)
+        for parent in parents:
+            visit(parent, (node,) + suffix)
+
+    for consequence in graph.consequences():
+        if features.get(consequence, False):
+            visit(consequence, ())
+    return sorted(paths)

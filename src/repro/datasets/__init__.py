@@ -1,0 +1,38 @@
+"""Dataset generation: cell profiles, session runners, campus Zoom data.
+
+Replaces the paper's testbeds and proprietary feeds with calibrated
+synthetic equivalents (see DESIGN.md's substitution table):
+:mod:`repro.datasets.cells` defines the four measured cells of Table 1;
+:mod:`repro.datasets.runner` builds and runs two-party call sessions over
+them; :mod:`repro.datasets.zoom` generates the campus-wide Zoom QoS
+dataset of §2.2; :mod:`repro.datasets.workloads` provides scripted
+cross-traffic and channel scenarios for the §5 figure reproductions.
+"""
+
+from repro.datasets.cells import (
+    AMARISOFT,
+    CELL_PROFILES,
+    MOSOLABS,
+    TMOBILE_FDD,
+    TMOBILE_TDD,
+    CellProfile,
+)
+from repro.datasets.runner import (
+    make_cellular_session,
+    make_wired_session,
+    run_cellular_session,
+    run_wired_session,
+)
+
+__all__ = [
+    "AMARISOFT",
+    "CELL_PROFILES",
+    "MOSOLABS",
+    "TMOBILE_FDD",
+    "TMOBILE_TDD",
+    "CellProfile",
+    "make_cellular_session",
+    "make_wired_session",
+    "run_cellular_session",
+    "run_wired_session",
+]

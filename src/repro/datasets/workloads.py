@@ -1,0 +1,225 @@
+"""Scripted workload scenarios for the §5/§6 single-trace figures.
+
+Each paper trace figure isolates one mechanism with a known disturbance:
+a deep channel fade (Fig. 12), a cross-traffic burst (Fig. 13), forced
+HARQ/RLC failures (Figs. 17-18), scripted RRC transitions (Fig. 19),
+and delay surges on the forward or reverse path (Figs. 20-22).  The
+builders here return fully configured sessions whose disturbance timing
+is deterministic, so the benchmark output annotates the same ①②③ event
+sequence the paper's figures do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Tuple
+
+from repro.datasets.cells import AMARISOFT, MOSOLABS, TMOBILE_FDD, CellProfile
+from repro.datasets.runner import make_cellular_session
+from repro.phy.channel import FadeEvent
+from repro.rtc.session import TwoPartySession
+from repro.units import seconds
+
+
+def _quiet(profile: CellProfile) -> CellProfile:
+    """Strip random disturbances so only the scripted one remains."""
+    quiet_ul = replace(profile.ul_channel, random_fade_rate_per_min=0.0)
+    quiet_dl = replace(profile.dl_channel, random_fade_rate_per_min=0.0)
+    return replace(
+        profile,
+        ul_channel=quiet_ul,
+        dl_channel=quiet_dl,
+        cell=replace(profile.cell, rrc_flap_rate_per_min=0.0),
+    )
+
+
+def channel_degradation_session(
+    duration_s: float = 12.0,
+    fade_start_s: float = 4.0,
+    fade_duration_s: float = 3.0,
+    fade_depth_db: float = 16.0,
+    seed: int = 0,
+) -> TwoPartySession:
+    """Fig. 12: a deep UL fade on the Amarisoft cell.
+
+    MCS and PRBs drop, the rate gap turns positive, the RLC buffer
+    builds, one-way delay surges, then recovers after the fade.
+
+    The profile's persistently-poor UL channel is raised to a healthy
+    level so the pre-fade baseline is clean and the scripted fade is the
+    only disturbance (the paper's trace likewise starts from a stable
+    state).
+    """
+    profile = _quiet(AMARISOFT)
+    profile = replace(
+        profile,
+        ul_channel=replace(
+            profile.ul_channel,
+            base_sinr_db=16.0,
+            conservative_mcs_offset=0,
+        ),
+    )
+    fades = [
+        FadeEvent(
+            start_us=seconds(fade_start_s),
+            duration_us=seconds(fade_duration_s),
+            depth_db=fade_depth_db,
+        )
+    ]
+    return make_cellular_session(
+        profile, seed=seed, ul_fade_events=fades, keep_tb_map=True
+    )
+
+
+def cross_traffic_session(
+    duration_s: float = 12.0,
+    burst_start_s: float = 4.0,
+    burst_duration_s: float = 3.0,
+    burst_prbs: int = 260,
+    seed: int = 0,
+) -> TwoPartySession:
+    """Fig. 13: a scripted DL cross-traffic burst on the T-Mobile FDD cell.
+
+    The experiment UE's PRBs shrink, the rate gap turns positive, delay
+    grows until GCC detects overuse and backs off.
+    """
+    profile = _quiet(TMOBILE_FDD)
+    profile = replace(
+        profile,
+        dl_cross=replace(profile.dl_cross, n_ues=0),
+        ul_cross=replace(profile.ul_cross, n_ues=0),
+    )
+    bursts = [
+        (
+            seconds(burst_start_s),
+            seconds(burst_duration_s),
+            burst_prbs,
+        )
+    ]
+    return make_cellular_session(
+        profile, seed=seed, dl_cross_bursts=bursts, keep_tb_map=True
+    )
+
+
+def delay_spread_session(
+    profile: CellProfile, seed: int = 0
+) -> TwoPartySession:
+    """Fig. 14: a clean session with TB→packet mapping retained."""
+    return make_cellular_session(_quiet(profile), seed=seed, keep_tb_map=True)
+
+
+def proactive_grant_session(seed: int = 0) -> TwoPartySession:
+    """Fig. 16: the Mosolabs cell with proactive UL grants."""
+    return make_cellular_session(_quiet(MOSOLABS), seed=seed, keep_tb_map=True)
+
+
+def harq_retx_session(
+    seed: int = 0, ul_base_sinr_db: float = 10.0
+) -> TwoPartySession:
+    """Fig. 17: elevated HARQ activity via a marginal UL channel."""
+    profile = _quiet(AMARISOFT)
+    profile = replace(
+        profile,
+        ul_channel=replace(
+            profile.ul_channel,
+            base_sinr_db=ul_base_sinr_db,
+            conservative_mcs_offset=0,  # aggressive MCS → more HARQ
+        ),
+    )
+    return make_cellular_session(profile, seed=seed, keep_tb_map=True)
+
+
+def rlc_retx_session(
+    duration_s: float = 20.0,
+    fade_start_s: float = 5.0,
+    fade_duration_s: float = 2.0,
+    seed: int = 0,
+) -> TwoPartySession:
+    """Fig. 18: a fade deep enough to exhaust HARQ and trigger RLC ReTX."""
+    profile = _quiet(AMARISOFT)
+    profile = replace(
+        profile,
+        ul_channel=replace(
+            profile.ul_channel, base_sinr_db=14.0, conservative_mcs_offset=0
+        ),
+    )
+    fades = [
+        FadeEvent(
+            start_us=seconds(fade_start_s),
+            duration_us=seconds(fade_duration_s),
+            depth_db=30.0,
+        )
+    ]
+    return make_cellular_session(
+        profile, seed=seed, ul_fade_events=fades, keep_tb_map=True
+    )
+
+
+def rrc_transition_session(
+    release_times_s: Tuple[float, ...] = (4.0, 9.0),
+    seed: int = 0,
+) -> TwoPartySession:
+    """Fig. 19: scripted RRC release/re-establishment on T-Mobile FDD."""
+    profile = _quiet(TMOBILE_FDD)
+    profile = replace(
+        profile,
+        dl_cross=replace(profile.dl_cross, n_ues=0),
+        ul_cross=replace(profile.ul_cross, n_ues=0),
+    )
+    releases: List[int] = [seconds(t) for t in release_times_s]
+    return make_cellular_session(
+        profile, seed=seed, scripted_rrc_releases_us=releases, keep_tb_map=True
+    )
+
+
+def jitter_drain_session(seed: int = 0) -> TwoPartySession:
+    """Fig. 20: a delay surge on the DL path draining the local jitter
+    buffer.
+
+    The fade is deep enough (~32 dB below an 18 dB baseline) that even
+    MCS 0 fails to decode: HARQ thrashes, RLC recovers with ~100 ms
+    penalties, and delivery stalls long enough (> 150 ms playout gap)
+    to register a WebRTC freeze — the paper's trace shows the same
+    interruption pattern.
+    """
+    profile = _quiet(TMOBILE_FDD)
+    profile = replace(
+        profile,
+        dl_cross=replace(profile.dl_cross, n_ues=0),
+        ul_cross=replace(profile.ul_cross, n_ues=0),
+    )
+    session = make_cellular_session(profile, seed=seed)
+    session.access_a.ran.dl.channel.fade_events.append(
+        FadeEvent(start_us=seconds(5.0), duration_us=seconds(1.2), depth_db=32.0)
+    )
+    return session
+
+
+def gcc_target_rate_session(seed: int = 0) -> TwoPartySession:
+    """Fig. 21: UL delay surges driving GCC overuse + target-rate drops."""
+    profile = _quiet(AMARISOFT)
+    fades = [
+        FadeEvent(start_us=seconds(3.0), duration_us=seconds(1.5), depth_db=18.0),
+        FadeEvent(start_us=seconds(8.0), duration_us=seconds(1.5), depth_db=18.0),
+    ]
+    return make_cellular_session(profile, seed=seed, ul_fade_events=fades)
+
+
+def pushback_session(seed: int = 0) -> TwoPartySession:
+    """Fig. 22: reverse-path (RTCP) delay only — a deep DL fade while UL
+    stays clean.  Feedback stalls, outstanding bytes exceed the
+    congestion window, and the pushback rate drops despite a stable
+    target bitrate.  The fade must be a near-blackout (~30 dB) so that
+    RTCP delivery actually halts rather than merely slowing.
+    """
+    profile = _quiet(TMOBILE_FDD)
+    profile = replace(
+        profile,
+        dl_cross=replace(profile.dl_cross, n_ues=0),
+        ul_cross=replace(profile.ul_cross, n_ues=0),
+    )
+    session = make_cellular_session(profile, seed=seed)
+    session.access_a.ran.dl.channel.fade_events.append(
+        FadeEvent(start_us=seconds(4.0), duration_us=seconds(1.5), depth_db=30.0)
+    )
+    return session

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+All package-specific failures derive from :class:`ReproError` so callers can
+catch everything from this library with a single ``except`` clause while
+still distinguishing configuration mistakes from runtime protocol errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an impossible state (internal invariant broken)."""
+
+
+class DslError(ReproError):
+    """The causal-chain text DSL could not be parsed."""
+
+
+class DslSyntaxError(DslError):
+    """A line in the DSL input is syntactically malformed."""
+
+    def __init__(self, line_number: int, line: str, reason: str) -> None:
+        self.line_number = line_number
+        self.line = line
+        self.reason = reason
+        super().__init__(f"line {line_number}: {reason}: {line!r}")
+
+
+class UnknownEventError(DslError):
+    """A DSL node name does not map to any known feature/event."""
+
+    def __init__(self, name: str, known: "list[str]") -> None:
+        self.name = name
+        self.known = list(known)
+        super().__init__(
+            f"unknown event {name!r}; known events include "
+            f"{', '.join(sorted(self.known)[:8])}..."
+        )
+
+
+class GraphError(ReproError):
+    """The causal graph is structurally invalid (e.g. contains a cycle)."""
+
+
+class TelemetryError(ReproError):
+    """Telemetry records are malformed or cannot be aligned."""

@@ -1,0 +1,25 @@
+"""5G NR medium-access-control models.
+
+Implements the MAC-layer mechanisms the paper traces quality degradation
+to: PRB scheduling under cross traffic (:mod:`repro.mac.scheduler`,
+:mod:`repro.mac.crosstraffic`), the uplink request-grant loop with
+optional proactive grants (:mod:`repro.mac.ulgrant`), and HARQ
+retransmissions (:mod:`repro.mac.harq`).
+"""
+
+from repro.mac.crosstraffic import CrossTrafficModel, CrossTrafficUe
+from repro.mac.harq import HarqEntity, HarqOutcome, TransportBlock
+from repro.mac.scheduler import Allocation, DlScheduler
+from repro.mac.ulgrant import UlGrant, UlGrantLoop
+
+__all__ = [
+    "CrossTrafficModel",
+    "CrossTrafficUe",
+    "HarqEntity",
+    "HarqOutcome",
+    "TransportBlock",
+    "Allocation",
+    "DlScheduler",
+    "UlGrant",
+    "UlGrantLoop",
+]

@@ -1,0 +1,110 @@
+"""Downlink/uplink PRB scheduler with cross-traffic contention.
+
+The scheduler divides the cell's PRBs between the experiment UE (the
+WebRTC client) and cross-traffic UEs each slot.  Two behaviours from the
+paper are modeled explicitly:
+
+* **Cross-traffic squeeze** (§5.1.2, Fig. 13): when other UEs demand many
+  PRBs, the experiment UE is pushed toward its fair share, shrinking its
+  TBS and creating a positive rate gap.
+* **Poor-channel de-prioritisation** (§5.1.1, Fig. 12): "the base
+  station's scheduler assigns fewer PRBs to a UE with poor channel
+  conditions to improve transmission reliability and resource
+  efficiency" — we cap the PRB share of a UE whose MCS falls below a
+  threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.phy.mcs import DATA_RE_PER_PRB, mcs_table
+
+
+@dataclass
+class Allocation:
+    """Result of one slot's scheduling decision for the experiment UE."""
+
+    exp_prbs: int
+    cross_allocations: List[Tuple[int, int]]  # (rnti, prbs)
+
+    @property
+    def cross_prbs(self) -> int:
+        return sum(p for _, p in self.cross_allocations)
+
+
+def prbs_needed(payload_bytes: int, mcs: int) -> int:
+    """PRBs needed to carry *payload_bytes* at MCS *mcs* in one slot."""
+    if payload_bytes <= 0:
+        return 0
+    efficiency = mcs_table()[mcs].spectral_efficiency
+    bits_per_prb = DATA_RE_PER_PRB * efficiency
+    return max(1, math.ceil(payload_bytes * 8 / bits_per_prb))
+
+
+@dataclass
+class DlScheduler:
+    """Per-slot PRB allocator shared by both directions.
+
+    Args:
+        total_prbs: PRBs available per slot in this direction.
+        max_exp_fraction: hard cap on the experiment UE's share.
+        poor_channel_mcs_threshold: below this MCS the UE is considered to
+            be in poor channel conditions and its PRB share is capped.
+        poor_channel_prb_fraction: the cap applied in that case.
+    """
+
+    total_prbs: int
+    max_exp_fraction: float = 1.0
+    poor_channel_mcs_threshold: int = 6
+    poor_channel_prb_fraction: float = 0.5
+
+    def allocate(
+        self,
+        exp_demand_prbs: int,
+        exp_mcs: int,
+        cross_demands: Sequence[Tuple[int, int]],
+    ) -> Allocation:
+        """Allocate PRBs for one slot.
+
+        The experiment UE receives what it asks for when the cell is
+        uncongested.  Under contention, PRBs are split proportionally to
+        demand — how a loaded proportional-fair scheduler behaves when
+        greedy full-buffer flows share the cell, and what produces the
+        PRB starvation the paper's Fig. 13 shows.  Poor-channel UEs are
+        additionally capped (Fig. 12's reliability de-prioritisation).
+        """
+        exp_cap = int(self.total_prbs * self.max_exp_fraction)
+        if exp_mcs < self.poor_channel_mcs_threshold:
+            exp_cap = min(
+                exp_cap, int(self.total_prbs * self.poor_channel_prb_fraction)
+            )
+        exp_want = min(exp_demand_prbs, exp_cap)
+
+        cross_total = sum(d for _, d in cross_demands)
+        if exp_want + cross_total <= self.total_prbs:
+            # No contention: everyone gets their demand.
+            return Allocation(
+                exp_prbs=exp_want,
+                cross_allocations=[(r, d) for r, d in cross_demands],
+            )
+
+        # Contention: demand-proportional shares (min 1 PRB if wanted).
+        total_demand = exp_want + cross_total
+        exp_prbs = int(round(self.total_prbs * exp_want / total_demand))
+        exp_prbs = min(exp_want, max(1 if exp_want > 0 else 0, exp_prbs))
+        remaining = self.total_prbs - exp_prbs
+
+        cross_allocations: List[Tuple[int, int]] = []
+        if cross_total > 0 and remaining > 0:
+            # Distribute the remainder proportionally to demand.
+            scale = min(1.0, remaining / cross_total)
+            used = 0
+            for rnti, demand in cross_demands:
+                prbs = min(int(demand * scale), remaining - used)
+                if prbs > 0:
+                    cross_allocations.append((rnti, prbs))
+                    used += prbs
+        return Allocation(exp_prbs=exp_prbs, cross_allocations=cross_allocations)

@@ -1,0 +1,29 @@
+"""Network-layer models: packets, access links, and end-to-end paths.
+
+Provides the plumbing between the WebRTC clients and their access
+networks: a wired access with configurable delay/jitter/loss, a Wi-Fi
+variant, a cellular access wrapping the RAN simulator, and the internet
+segment between the two endpoints (the GCP leg in the paper's Fig. 7).
+"""
+
+from repro.net.link import (
+    AccessLink,
+    CellularAccess,
+    DelayModel,
+    InternetSegment,
+    WiredAccess,
+    wifi_delay_model,
+    wired_delay_model,
+)
+from repro.net.packet import Packet
+
+__all__ = [
+    "AccessLink",
+    "CellularAccess",
+    "DelayModel",
+    "InternetSegment",
+    "WiredAccess",
+    "wifi_delay_model",
+    "wired_delay_model",
+    "Packet",
+]

@@ -1,0 +1,43 @@
+"""Packet abstraction shared by the application and network layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.telemetry.records import StreamKind
+
+
+@dataclass
+class Packet:
+    """One application packet in flight.
+
+    Attributes:
+        packet_id: globally unique id (doubles as the transport-wide
+            sequence number GCC feedback refers to).
+        stream: video / audio / rtcp classification.
+        size_bytes: wire size.
+        sent_us: timestamp the sender's pacer released it.
+        sender: client name that sent it.
+        media_seq: per-sender sequence number over media (video + audio)
+            packets; the transport-wide sequence GCC feedback uses.
+        frame_id: for video packets, the frame they belong to.
+        packets_in_frame: how many packets make up that frame.
+        capture_us: media capture timestamp (sender clock).
+        resolution_p: encoded resolution of the frame (video only).
+        audio_seq: per-sender audio packet index (audio only).
+        payload: opaque attachment (RTCP feedback contents ride here).
+    """
+
+    packet_id: int
+    stream: StreamKind
+    size_bytes: int
+    sent_us: int
+    sender: str
+    media_seq: Optional[int] = None
+    frame_id: Optional[int] = None
+    packets_in_frame: int = 1
+    capture_us: Optional[int] = None
+    resolution_p: int = 0
+    audio_seq: Optional[int] = None
+    payload: object = None

@@ -1,0 +1,41 @@
+"""5G NR physical-layer models.
+
+This subpackage provides the PHY substrate the paper's measurements come
+from: the time-frequency resource grid (:mod:`repro.phy.grid`), the
+modulation-and-coding-scheme and transport-block-size tables
+(:mod:`repro.phy.mcs`), stochastic wireless channel models
+(:mod:`repro.phy.channel`), and cell-level configuration
+(:mod:`repro.phy.cell`).
+"""
+
+from repro.phy.cell import CellConfig, Duplex
+from repro.phy.channel import ChannelModel, ChannelSample, FadeEvent
+from repro.phy.grid import ResourceGrid, SlotType
+from repro.phy.mcs import (
+    MAX_MCS,
+    McsEntry,
+    bler,
+    cqi_from_sinr,
+    mcs_from_cqi,
+    mcs_table,
+    required_sinr_db,
+    transport_block_size_bits,
+)
+
+__all__ = [
+    "CellConfig",
+    "Duplex",
+    "ChannelModel",
+    "ChannelSample",
+    "FadeEvent",
+    "ResourceGrid",
+    "SlotType",
+    "MAX_MCS",
+    "McsEntry",
+    "bler",
+    "cqi_from_sinr",
+    "mcs_from_cqi",
+    "mcs_table",
+    "required_sinr_db",
+    "transport_block_size_bits",
+]

@@ -1,0 +1,111 @@
+"""Cell-level configuration.
+
+A :class:`CellConfig` bundles the static parameters of one 5G cell —
+frequency, bandwidth, duplexing, numerology, and the scheduling/protocol
+knobs the paper shows to matter (UL scheduling delay, proactive grants,
+HARQ round-trip and retry limit, RLC retransmission delay, RRC flap
+behaviour).  The four measured cells of Table 1 are instantiated as
+profiles in :mod:`repro.datasets.cells`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.phy.grid import ResourceGrid
+
+
+class Duplex(enum.Enum):
+    """Duplexing mode of a cell."""
+
+    TDD = "TDD"
+    FDD = "FDD"
+
+
+@dataclass
+class CellConfig:
+    """Static configuration of one 5G cell.
+
+    Attributes:
+        name: human-readable cell identifier (e.g. ``"T-Mobile 15 MHz FDD"``).
+        duplex: TDD or FDD.
+        frequency_mhz: carrier frequency (informational; Table 1 column).
+        bandwidth_mhz: channel bandwidth.
+        scs_khz: subcarrier spacing — 15 kHz (1 ms slots) or 30 kHz
+            (0.5 ms slots).
+        tdd_pattern: repeating TDD slot pattern over ``DUS``; ignored for FDD.
+        ul_grant_delay_slots: slots between the gNB receiving a BSR and the
+            corresponding UL grant becoming usable (the request-grant delay
+            of §5.2.1; 5–25 ms across the measured cells).
+        bsr_period_slots: how often a BSR opportunity occurs.
+        proactive_grant_bytes: if > 0 the cell issues small periodic UL
+            grants before any BSR (the Mosolabs strategy, Fig. 16).
+        proactive_grant_period_slots: period of those proactive grants.
+        harq_rtt_slots: slots between a failed TB and its HARQ
+            retransmission (≈10 ms in the paper's Amarisoft traces).
+        harq_max_retx: HARQ retransmission limit before RLC takes over.
+        rlc_retx_delay_us: extra delay an RLC retransmission adds on top of
+            exhausted HARQ attempts (≈105 ms in Fig. 18; timer-driven).
+        gnb_log_available: whether gNB logs (RLC buffer/retransmissions,
+            RRC state) are visible to telemetry.  The RLC *mechanism* always
+            runs; the paper could only observe it on the Amarisoft cell
+            ("The absence of RLC ReTX detections in commercial cells is
+            because their RLC-layer information is unavailable", §4.2).
+        rrc_flap_rate_per_min: rate of spontaneous RRC release/re-establish
+            events (only the T-Mobile FDD cell showed these).
+        rrc_outage_us: data outage duration during an RRC transition
+            (≈300 ms in Fig. 19).
+        max_prb_per_ue_fraction: scheduler cap on the share of PRBs a single
+            UE may take in one slot.
+    """
+
+    name: str
+    duplex: Duplex
+    frequency_mhz: float
+    bandwidth_mhz: int
+    scs_khz: int = 30
+    tdd_pattern: str = "DDDSU"
+    ul_grant_delay_slots: int = 16
+    bsr_period_slots: int = 8
+    proactive_grant_bytes: int = 0
+    proactive_grant_period_slots: int = 10
+    harq_rtt_slots: int = 20
+    harq_max_retx: int = 4
+    rlc_retx_delay_us: int = 95_000
+    gnb_log_available: bool = False
+    rrc_flap_rate_per_min: float = 0.0
+    rrc_outage_us: int = 300_000
+    max_prb_per_ue_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mhz <= 0:
+            raise ConfigError("bandwidth must be positive")
+        if self.duplex is Duplex.FDD and self.scs_khz not in (15, 30):
+            raise ConfigError("FDD cells here use 15 or 30 kHz SCS")
+        if self.harq_max_retx < 0:
+            raise ConfigError("harq_max_retx must be >= 0")
+        if not 0.0 < self.max_prb_per_ue_fraction <= 1.0:
+            raise ConfigError("max_prb_per_ue_fraction must be in (0, 1]")
+
+    def make_grid(self) -> ResourceGrid:
+        """Build the :class:`ResourceGrid` implied by this configuration."""
+        pattern = None if self.duplex is Duplex.FDD else self.tdd_pattern
+        return ResourceGrid(
+            scs_khz=self.scs_khz,
+            bandwidth_mhz=self.bandwidth_mhz,
+            tdd_pattern=pattern,
+        )
+
+    @property
+    def slot_us(self) -> int:
+        return self.make_grid().slot_us
+
+    def ul_grant_delay_us(self) -> int:
+        """UL request-grant delay in µs."""
+        return self.ul_grant_delay_slots * self.slot_us
+
+    def harq_rtt_us(self) -> int:
+        """HARQ retransmission round trip in µs."""
+        return self.harq_rtt_slots * self.slot_us

@@ -1,0 +1,12 @@
+"""The slot-stepped radio access network simulator.
+
+Connects the PHY (:mod:`repro.phy`), MAC (:mod:`repro.mac`), RLC
+(:mod:`repro.rlc`) and RRC (:mod:`repro.rrc`) models into a bidirectional
+bearer: packets enter an RLC buffer, get scheduled into transport blocks
+slot by slot, survive HARQ/RLC retransmissions, and emerge with realistic
+delay — while emitting the DCI and gNB-log telemetry Domino consumes.
+"""
+
+from repro.ran.simulator import RanDelivery, RanSimulator, TbPacketMap
+
+__all__ = ["RanDelivery", "RanSimulator", "TbPacketMap"]

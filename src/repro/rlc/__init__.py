@@ -1,0 +1,20 @@
+"""Radio Link Control (RLC) layer models.
+
+The RLC acknowledged mode recovers data that HARQ gave up on and enforces
+in-order delivery to higher layers, which creates head-of-line blocking
+when a retransmission is pending (§5.2.3, Fig. 15c, Fig. 18).  The send
+side is a byte-stream buffer (:mod:`repro.rlc.buffer`); the receive side
+is a reassembly entity (:mod:`repro.rlc.am`).
+"""
+
+from repro.rlc.am import DeliveredPacket, ReassemblyEntity, RlcRetxEvent
+from repro.rlc.buffer import BufferedPacket, RlcSendBuffer, Segment
+
+__all__ = [
+    "DeliveredPacket",
+    "ReassemblyEntity",
+    "RlcRetxEvent",
+    "BufferedPacket",
+    "RlcSendBuffer",
+    "Segment",
+]

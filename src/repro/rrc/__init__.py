@@ -1,0 +1,5 @@
+"""Radio Resource Control (RRC) state management."""
+
+from repro.rrc.state import RrcManager, RrcState, RrcTransition
+
+__all__ = ["RrcManager", "RrcState", "RrcTransition"]

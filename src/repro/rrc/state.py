@@ -1,0 +1,141 @@
+"""RRC connection state machine with disruptive release/re-establishment.
+
+The paper observed (uniquely on the T-Mobile 15 MHz FDD cell) RRC Release
+followed by re-establishment *during active data transfer*, halting all
+PHY transmission for ≈300 ms while the application keeps sending — so
+packets pile up in the UE buffer and one-way delay spikes to ≈400 ms
+(§5.3, Fig. 19).  A new RNTI is assigned on every re-establishment, which
+is exactly how Domino's event condition 20 detects these events.
+
+Triggers in the wild are unknown (inactivity timers / policy / radio-link
+failures); we model them as a Poisson process plus optional scripted
+transition times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RrcTransition:
+    """One release + re-establishment cycle."""
+
+    release_us: int
+    reconnect_us: int
+    old_rnti: int
+    new_rnti: int
+
+    @property
+    def outage_us(self) -> int:
+        return self.reconnect_us - self.release_us
+
+
+class RrcState:
+    """RRC states relevant to data transfer."""
+
+    CONNECTED = "connected"
+    TRANSITIONING = "transitioning"
+
+
+@dataclass
+class RrcManager:
+    """Per-UE RRC state with random and scripted transitions.
+
+    Args:
+        flap_rate_per_min: Poisson rate of spontaneous release events.
+        outage_us: how long each transition halts data transfer.
+        scripted_releases_us: explicit release times (for reproducible
+            Fig. 19 traces).
+        initial_rnti: starting MAC identifier.
+        seed: RNG seed.
+    """
+
+    flap_rate_per_min: float = 0.0
+    outage_us: int = 300_000
+    scripted_releases_us: List[int] = field(default_factory=list)
+    initial_rnti: int = 17_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._rnti = self.initial_rnti
+        self._transition_until_us: Optional[int] = None
+        self._next_random_release_us = self._draw_next_release(0)
+        self._scripted = sorted(self.scripted_releases_us)
+        self.transitions: List[RrcTransition] = []
+
+    def _draw_next_release(self, after_us: int) -> Optional[int]:
+        if self.flap_rate_per_min <= 0:
+            return None
+        rate_per_us = self.flap_rate_per_min / 60e6
+        gap = float(self._rng.exponential(1.0 / rate_per_us))
+        return after_us + int(gap)
+
+    def _next_new_rnti(self) -> int:
+        # RNTIs are 16-bit values in real cells; draw a fresh random one
+        # distinct from the current identifier.  Stay below 40000 — the
+        # simulator reserves higher values for cross-traffic UEs (see
+        # repro.mac.crosstraffic), and telemetry uses that convention to
+        # tell the experiment UE apart across RRC transitions.
+        while True:
+            candidate = int(self._rng.integers(1_000, 39_000))
+            if candidate != self._rnti:
+                return candidate
+
+    def _begin_transition(self, now_us: int) -> None:
+        old = self._rnti
+        self._rnti = self._next_new_rnti()
+        self._transition_until_us = now_us + self.outage_us
+        self.transitions.append(
+            RrcTransition(
+                release_us=now_us,
+                reconnect_us=now_us + self.outage_us,
+                old_rnti=old,
+                new_rnti=self._rnti,
+            )
+        )
+
+    def step(self, now_us: int) -> None:
+        """Advance the state machine to *now_us* (call once per slot)."""
+        if (
+            self._transition_until_us is not None
+            and now_us >= self._transition_until_us
+        ):
+            self._transition_until_us = None
+        if self._transition_until_us is not None:
+            return  # already transitioning; new triggers are absorbed
+        while self._scripted and self._scripted[0] <= now_us:
+            release = self._scripted.pop(0)
+            self._begin_transition(max(release, now_us))
+            return
+        if (
+            self._next_random_release_us is not None
+            and now_us >= self._next_random_release_us
+        ):
+            self._begin_transition(now_us)
+            self._next_random_release_us = self._draw_next_release(
+                now_us + self.outage_us
+            )
+
+    def is_connected(self, now_us: int) -> bool:
+        """True if the UE can exchange data at *now_us*."""
+        if self._transition_until_us is None:
+            return True
+        return now_us >= self._transition_until_us
+
+    @property
+    def state(self) -> str:
+        return (
+            RrcState.TRANSITIONING
+            if self._transition_until_us is not None
+            else RrcState.CONNECTED
+        )
+
+    @property
+    def rnti(self) -> int:
+        """Current RNTI (changes across every transition)."""
+        return self._rnti

@@ -1,0 +1,28 @@
+"""WebRTC application-layer simulator.
+
+Models the instrumented WebRTC client of the paper (§3): media sources
+and the encoder adaptation ladder (:mod:`repro.rtc.encoder`), the pacer
+(:mod:`repro.rtc.pacer`), adaptive jitter buffers and playout with
+freeze/concealment accounting (:mod:`repro.rtc.jitter_buffer`,
+:mod:`repro.rtc.receiver`), transport-wide RTCP feedback
+(:mod:`repro.rtc.rtcp`), the GCC congestion controller
+(:mod:`repro.rtc.gcc`), the full client (:mod:`repro.rtc.client`), and
+the two-party call session (:mod:`repro.rtc.session`).
+"""
+
+from repro.rtc.client import ClientConfig, WebRtcClient
+from repro.rtc.encoder import EncoderAdapter, LadderRung, LADDER
+from repro.rtc.jitter_buffer import AudioJitterBuffer, VideoJitterBuffer
+from repro.rtc.session import SessionResult, TwoPartySession
+
+__all__ = [
+    "ClientConfig",
+    "WebRtcClient",
+    "EncoderAdapter",
+    "LadderRung",
+    "LADDER",
+    "AudioJitterBuffer",
+    "VideoJitterBuffer",
+    "SessionResult",
+    "TwoPartySession",
+]

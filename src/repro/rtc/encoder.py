@@ -1,0 +1,125 @@
+"""Video encoder adaptation: bitrate → resolution / frame-rate ladder.
+
+WebRTC's encoder follows the rate the congestion controller provides:
+when the pushback rate drops, the encoder first reduces frame rate, then
+steps down the resolution ladder (Fig. 20 ④, Fig. 21 ⑤, Table 3).
+
+The ladder thresholds approximate libwebrtc's simulcast/singlecast rate
+allocations.  ``resolution_bias`` shifts the ladder down a rung — the
+paper's DL streams (wired sender → cellular receiver) sit predominantly
+at 360p while UL streams sit at 540p (Table 3, Appendix B); the bias
+reproduces that operating-point asymmetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LadderRung:
+    """One rung of the resolution ladder."""
+
+    resolution_p: int
+    min_bps: float  # rate below which this rung is not sustainable
+    good_bps: float  # rate at which this rung runs at full frame rate
+
+
+#: Ascending ladder; thresholds follow common WebRTC rate allocations.
+LADDER: List[LadderRung] = [
+    LadderRung(180, 90_000.0, 250_000.0),
+    LadderRung(360, 300_000.0, 700_000.0),
+    LadderRung(540, 850_000.0, 1_600_000.0),
+    LadderRung(720, 1_900_000.0, 3_000_000.0),
+    LadderRung(1080, 3_600_000.0, 5_500_000.0),
+]
+
+#: Upgrade hysteresis: rate must exceed the next rung's good_bps by this
+#: factor before stepping up (prevents resolution flapping).
+UPGRADE_MARGIN = 1.10
+
+MAX_FPS = 30.0
+MIN_FPS = 10.0
+
+
+@dataclass
+class EncoderAdapter:
+    """Tracks the current (resolution, fps) operating point.
+
+    Args:
+        resolution_bias: rungs subtracted from the rate-implied rung
+            (>= 0).  0 for the cellular sender, 1 for the wired sender.
+        max_resolution_p: operating ceiling.  The paper's calls run a
+            pre-recorded virtual camera whose streams sit almost
+            entirely at <= 540p (Table 3: 720p+ under 3% everywhere),
+            so 540p is the default cap.
+        keyframe_interval: every Nth frame is a keyframe (larger).
+        seed: RNG seed for frame-size variation.
+    """
+
+    resolution_bias: int = 0
+    max_resolution_p: int = 540
+    keyframe_interval: int = 300
+    seed: int = 0
+    _rung_index: int = 1  # start at 360p like WebRTC's initial ramp
+    _frame_counter: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._max_index = max(
+            i
+            for i, rung in enumerate(LADDER)
+            if rung.resolution_p <= self.max_resolution_p
+        )
+
+    def adapt(self, rate_bps: float) -> Tuple[int, float]:
+        """Update the operating point for *rate_bps*.
+
+        Returns (resolution_p, fps).
+        """
+        index = self._rung_index
+        # Step down while the current rung is unsustainable.
+        while index > 0 and rate_bps < LADDER[index].min_bps:
+            index -= 1
+        # Step up when there is comfortable headroom for the next rung.
+        while (
+            index < self._max_index
+            and rate_bps > LADDER[index + 1].good_bps * UPGRADE_MARGIN
+        ):
+            index += 1
+        index = min(index, self._max_index)
+        index = max(0, index - self.resolution_bias)
+        self._rung_index = min(index + self.resolution_bias, self._max_index)
+        rung = LADDER[index]
+        if rate_bps >= rung.good_bps:
+            fps = MAX_FPS
+        else:
+            span = max(rung.good_bps - rung.min_bps, 1.0)
+            fraction = (rate_bps - rung.min_bps) / span
+            fps = MIN_FPS + (MAX_FPS - MIN_FPS) * max(0.0, min(1.0, fraction))
+        return rung.resolution_p, fps
+
+    @property
+    def resolution_p(self) -> int:
+        index = max(0, self._rung_index - self.resolution_bias)
+        return LADDER[index].resolution_p
+
+    def frame_bytes(self, rate_bps: float, fps: float) -> int:
+        """Size of the next encoded frame at the given rate and fps.
+
+        Keyframes are ~3x larger; delta frames vary ±25 % around the
+        rate budget (content-dependent), as real encoders do.
+        """
+        if fps <= 0:
+            return 0
+        budget = rate_bps / 8.0 / fps
+        self._frame_counter += 1
+        if self._frame_counter % self.keyframe_interval == 1:
+            size = budget * 3.0
+        else:
+            size = budget * float(self._rng.uniform(0.75, 1.25))
+        return max(200, int(size))

@@ -1,0 +1,41 @@
+"""Google Congestion Control (GCC), as used by WebRTC.
+
+A faithful Python port of the send-side congestion controller the paper
+instruments (§6.2–6.3, Carlucci et al. [7]):
+
+* delay-based estimator: packet-group inter-arrival deltas
+  (:mod:`repro.rtc.gcc.interarrival`) → trendline filter
+  (:mod:`repro.rtc.gcc.trendline`) → adaptive-threshold overuse detector
+  (:mod:`repro.rtc.gcc.overuse`) → AIMD rate control
+  (:mod:`repro.rtc.gcc.aimd`);
+* loss-based bound (:mod:`repro.rtc.gcc.loss_based`);
+* acknowledged-bitrate estimator (:mod:`repro.rtc.gcc.ack_bitrate`);
+* congestion-window pushback controller
+  (:mod:`repro.rtc.gcc.pushback`, Appendix E / Fig. 23);
+* the combined controller (:mod:`repro.rtc.gcc.controller`).
+"""
+
+from repro.rtc.gcc.ack_bitrate import AckedBitrateEstimator
+from repro.rtc.gcc.aimd import AimdRateControl, RateControlState
+from repro.rtc.gcc.controller import GccController, GccOutput, PacketResult
+from repro.rtc.gcc.interarrival import InterArrival, PacketGroupDelta
+from repro.rtc.gcc.loss_based import LossBasedControl
+from repro.rtc.gcc.overuse import BandwidthUsage, OveruseDetector
+from repro.rtc.gcc.pushback import PushbackController
+from repro.rtc.gcc.trendline import TrendlineEstimator
+
+__all__ = [
+    "AckedBitrateEstimator",
+    "AimdRateControl",
+    "RateControlState",
+    "GccController",
+    "GccOutput",
+    "PacketResult",
+    "InterArrival",
+    "PacketGroupDelta",
+    "LossBasedControl",
+    "BandwidthUsage",
+    "OveruseDetector",
+    "PushbackController",
+    "TrendlineEstimator",
+]

@@ -1,0 +1,110 @@
+"""Packet-group inter-arrival computation.
+
+GCC's delay-based estimator does not look at individual packets: packets
+sent within a short burst window (5 ms) form a *group* (VCAs send each
+video frame as a burst, §5.2.1), and the estimator compares consecutive
+groups.  For groups ``i-1`` and ``i``::
+
+    d_send    = send_time(i)    - send_time(i-1)      (last packet each)
+    d_arrival = arrival_time(i) - arrival_time(i-1)
+    delay_variation = d_arrival - d_send
+
+A sustained positive delay variation means the bottleneck queue is
+growing.  This is the signal the trendline filter smooths (§6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+#: Packets sent within this window of the group's first packet belong to
+#: the same group (libwebrtc kBurstDeltaThreshold ~ 5 ms).
+BURST_WINDOW_US = 5_000
+
+
+@dataclass
+class PacketGroupDelta:
+    """Deltas between two consecutive, completed packet groups."""
+
+    send_delta_us: int
+    arrival_delta_us: int
+    size_delta_bytes: int
+    last_arrival_us: int
+
+    @property
+    def delay_variation_us(self) -> int:
+        return self.arrival_delta_us - self.send_delta_us
+
+
+class _Group:
+    __slots__ = ("first_send_us", "last_send_us", "last_arrival_us", "size_bytes")
+
+    def __init__(self, send_us: int, arrival_us: int, size: int) -> None:
+        self.first_send_us = send_us
+        self.last_send_us = send_us
+        self.last_arrival_us = arrival_us
+        self.size_bytes = size
+
+    def add(self, send_us: int, arrival_us: int, size: int) -> None:
+        self.last_send_us = max(self.last_send_us, send_us)
+        self.last_arrival_us = max(self.last_arrival_us, arrival_us)
+        self.size_bytes += size
+
+
+class InterArrival:
+    """Groups acked packets and emits inter-group deltas.
+
+    Packets must be offered in send-time order (the controller sorts each
+    feedback batch).  Out-of-order arrivals within a group are tolerated;
+    an arrival-time regression across groups discards the sample, like
+    libwebrtc does.
+    """
+
+    def __init__(self, burst_window_us: int = BURST_WINDOW_US) -> None:
+        self.burst_window_us = burst_window_us
+        self._current: Optional[_Group] = None
+        self._previous: Optional[_Group] = None
+
+    def add_packet(
+        self, send_us: int, arrival_us: int, size_bytes: int
+    ) -> Optional[PacketGroupDelta]:
+        """Add one acked packet; returns a delta when a group completes."""
+        if self._current is None:
+            self._current = _Group(send_us, arrival_us, size_bytes)
+            return None
+        if send_us - self._current.first_send_us <= self.burst_window_us:
+            self._current.add(send_us, arrival_us, size_bytes)
+            return None
+        # The current group is complete; compute a delta vs the previous.
+        delta: Optional[PacketGroupDelta] = None
+        if self._previous is not None:
+            send_delta = (
+                self._current.last_send_us - self._previous.last_send_us
+            )
+            arrival_delta = (
+                self._current.last_arrival_us - self._previous.last_arrival_us
+            )
+            if arrival_delta >= 0 and send_delta >= 0:
+                delta = PacketGroupDelta(
+                    send_delta_us=send_delta,
+                    arrival_delta_us=arrival_delta,
+                    size_delta_bytes=(
+                        self._current.size_bytes - self._previous.size_bytes
+                    ),
+                    last_arrival_us=self._current.last_arrival_us,
+                )
+        self._previous = self._current
+        self._current = _Group(send_us, arrival_us, size_bytes)
+        return delta
+
+    def add_batch(
+        self, packets: List[Tuple[int, int, int]]
+    ) -> List[PacketGroupDelta]:
+        """Add (send_us, arrival_us, size) tuples; returns all new deltas."""
+        deltas = []
+        for send_us, arrival_us, size in sorted(packets):
+            delta = self.add_packet(send_us, arrival_us, size)
+            if delta is not None:
+                deltas.append(delta)
+        return deltas

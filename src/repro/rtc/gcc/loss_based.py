@@ -1,0 +1,56 @@
+"""Loss-based rate bound.
+
+GCC complements the delay-based estimator with a loss-driven controller:
+above ~10 % loss the rate is cut proportionally; below ~2 % it may grow;
+in between it holds.  The final GCC target is the minimum of the two
+estimators.  In the paper's 5G traces loss is rare (RLC recovers
+everything), so the delay-based path dominates — but the loss controller
+matters for the Wi-Fi/wired campus comparisons (Figs. 5–6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class LossBasedControl:
+    """Windowed loss-fraction controller (libwebrtc semantics).
+
+    Args:
+        initial_bps: starting bound.
+        min_bps / max_bps: clamp bounds.
+        low_loss: below this fraction the rate may increase.
+        high_loss: above this fraction the rate decreases.
+        increase_gain_per_s: multiplicative growth while loss is low.
+    """
+
+    initial_bps: float = 1_000_000.0
+    min_bps: float = 30_000.0
+    max_bps: float = 8_000_000.0
+    low_loss: float = 0.02
+    high_loss: float = 0.10
+    increase_gain_per_s: float = 1.08
+
+    target_bps: float = 0.0
+    _last_update_us: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.target_bps = float(self.initial_bps)
+
+    def update(self, loss_fraction: float, now_us: int) -> float:
+        """Feed one loss report (fraction of packets lost since last)."""
+        dt_s = 0.0
+        if self._last_update_us is not None:
+            dt_s = max(0.0, (now_us - self._last_update_us) / 1e6)
+        dt_s = min(dt_s, 1.0)
+        self._last_update_us = now_us
+
+        if loss_fraction > self.high_loss:
+            self.target_bps *= 1.0 - 0.5 * loss_fraction
+        elif loss_fraction < self.low_loss:
+            self.target_bps *= self.increase_gain_per_s ** dt_s
+        # between low and high: hold
+        self.target_bps = min(max(self.target_bps, self.min_bps), self.max_bps)
+        return self.target_bps

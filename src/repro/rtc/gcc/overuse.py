@@ -1,0 +1,95 @@
+"""Overuse detector with adaptive threshold.
+
+Compares the (modified) trendline slope against an adaptive threshold to
+classify the network as *overuse* (queue building), *underuse* (queue
+draining), or *normal* (§6.2, Fig. 21 subplots 2–3).  The threshold
+itself adapts toward the observed trend magnitude so that repetitive,
+self-inflicted delay patterns do not trigger endless overuse — the
+asymmetric gain constants are libwebrtc's.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class BandwidthUsage(enum.Enum):
+    """Detector output state."""
+
+    UNDERUSE = "underuse"
+    NORMAL = "normal"
+    OVERUSE = "overuse"
+
+
+@dataclass
+class OveruseDetector:
+    """Adaptive-threshold hypothesis test on the trendline slope.
+
+    Attributes:
+        threshold: current adaptive threshold (initial 12.5, the
+            libwebrtc default).
+        k_up / k_down: threshold adaptation gains when the trend is
+            above / below the threshold.
+        overuse_time_threshold_ms: overuse must persist this long before
+            it is signalled.
+    """
+
+    threshold: float = 12.5
+    k_up: float = 0.0087
+    k_down: float = 0.039
+    overuse_time_threshold_ms: float = 10.0
+    min_threshold: float = 6.0
+    max_threshold: float = 600.0
+
+    state: BandwidthUsage = BandwidthUsage.NORMAL
+    _time_over_using_ms: float = -1.0
+    _overuse_counter: int = 0
+    _prev_trend: float = 0.0
+    _last_update_us: int = -1
+
+    def detect(self, modified_trend: float, now_us: int) -> BandwidthUsage:
+        """Classify the network state given the current modified trend."""
+        delta_ms = 0.0
+        if self._last_update_us >= 0:
+            delta_ms = (now_us - self._last_update_us) / 1000.0
+
+        if modified_trend > self.threshold:
+            if self._time_over_using_ms < 0:
+                self._time_over_using_ms = delta_ms / 2.0
+            else:
+                self._time_over_using_ms += delta_ms
+            self._overuse_counter += 1
+            if (
+                self._time_over_using_ms > self.overuse_time_threshold_ms
+                and self._overuse_counter > 1
+                and modified_trend >= self._prev_trend
+            ):
+                self._time_over_using_ms = 0.0
+                self._overuse_counter = 0
+                self.state = BandwidthUsage.OVERUSE
+        elif modified_trend < -self.threshold:
+            self._time_over_using_ms = -1.0
+            self._overuse_counter = 0
+            self.state = BandwidthUsage.UNDERUSE
+        else:
+            self._time_over_using_ms = -1.0
+            self._overuse_counter = 0
+            self.state = BandwidthUsage.NORMAL
+
+        self._prev_trend = modified_trend
+        self._update_threshold(modified_trend, delta_ms)
+        self._last_update_us = now_us
+        return self.state
+
+    def _update_threshold(self, modified_trend: float, delta_ms: float) -> None:
+        magnitude = abs(modified_trend)
+        # Ignore extreme outliers (e.g. a route change) per libwebrtc.
+        if magnitude > self.threshold + 15.0:
+            return
+        k = self.k_down if magnitude < self.threshold else self.k_up
+        delta_ms = min(delta_ms, 100.0)
+        self.threshold += k * (magnitude - self.threshold) * delta_ms
+        self.threshold = min(
+            max(self.threshold, self.min_threshold), self.max_threshold
+        )

@@ -1,0 +1,69 @@
+"""Congestion-window pushback controller (Appendix E, Fig. 23).
+
+On top of the bandwidth estimate, GCC maintains a congestion window
+derived from the RTT and tracks *outstanding bytes* (sent but not yet
+acknowledged).  When outstanding bytes exceed the window — because the
+forward path delays media or the reverse path delays RTCP feedback
+(Fig. 22) — the pushback controller scales the encoder's rate below the
+target bitrate until the window drains.  The fill-ratio thresholds and
+multiplicative steps follow libwebrtc's
+``CongestionWindowPushbackController``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PushbackController:
+    """Scales the target rate by a congestion-window fill ratio.
+
+    Args:
+        queue_allowance_ms: extra queuing time budgeted into the window
+            on top of the RTT (libwebrtc adds ~100 ms).
+        min_window_bytes: floor on the congestion window.
+        min_ratio: floor on the rate-scaling ratio.
+        min_pushback_bps: floor on the output rate.
+    """
+
+    queue_allowance_ms: float = 150.0
+    min_window_bytes: int = 6_000
+    min_ratio: float = 0.30
+    min_pushback_bps: float = 30_000.0
+
+    encoding_ratio: float = 1.0
+    window_bytes: int = 6_000
+    outstanding_bytes: int = 0
+
+    def update_window(self, target_bps: float, rtt_ms: float) -> int:
+        """Recompute the congestion window from rate × (RTT + allowance)."""
+        window = target_bps / 8.0 * (rtt_ms + self.queue_allowance_ms) / 1000.0
+        self.window_bytes = max(self.min_window_bytes, int(window))
+        return self.window_bytes
+
+    def set_outstanding(self, outstanding_bytes: int) -> None:
+        self.outstanding_bytes = max(0, outstanding_bytes)
+
+    @property
+    def fill_ratio(self) -> float:
+        return self.outstanding_bytes / max(1, self.window_bytes)
+
+    @property
+    def window_full(self) -> bool:
+        return self.outstanding_bytes > self.window_bytes
+
+    def pushback_rate(self, target_bps: float) -> float:
+        """Advance the ratio one step and return the constrained rate."""
+        ratio = self.fill_ratio
+        if ratio > 1.5:
+            self.encoding_ratio *= 0.9
+        elif ratio > 1.0:
+            self.encoding_ratio *= 0.95
+        elif ratio < 0.1:
+            self.encoding_ratio = 1.0
+        else:
+            self.encoding_ratio = min(1.0, self.encoding_ratio * 1.02)
+        self.encoding_ratio = max(self.min_ratio, self.encoding_ratio)
+        rate = target_bps * self.encoding_ratio
+        return max(self.min_pushback_bps, rate)

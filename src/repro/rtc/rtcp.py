@@ -1,0 +1,56 @@
+"""RTCP transport-wide feedback payloads.
+
+The receiver periodically reports, for every media packet it saw (or
+gave up waiting for), the arrival timestamp — the input GCC's delay-based
+estimator needs.  Feedback packets travel the reverse network path, so
+reverse-path delay postpones rate-control reactions (Fig. 21's noted
+feedback lag) and inflates outstanding bytes (Fig. 22).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: Fixed RTCP header overhead plus per-packet entry size (bytes).
+FEEDBACK_BASE_BYTES = 60
+FEEDBACK_ENTRY_BYTES = 4
+
+
+@dataclass(frozen=True)
+class FeedbackEntry:
+    """One media packet's fate at the receiver."""
+
+    seq: int
+    send_us: int
+    arrival_us: Optional[int]  # None = declared lost
+    size_bytes: int
+
+
+@dataclass
+class FeedbackPayload:
+    """Contents of one transport-wide feedback packet.
+
+    ``nacks`` lists media sequence numbers the receiver wants
+    retransmitted (WebRTC's NACK/RTX mechanism); the sender re-sends the
+    corresponding video packets under fresh sequence numbers.
+    """
+
+    entries: List[FeedbackEntry] = field(default_factory=list)
+    nacks: List[int] = field(default_factory=list)
+    generated_us: int = 0
+
+    @property
+    def wire_bytes(self) -> int:
+        return (
+            FEEDBACK_BASE_BYTES
+            + FEEDBACK_ENTRY_BYTES * len(self.entries)
+            + 2 * len(self.nacks)
+        )
+
+    @property
+    def loss_fraction(self) -> float:
+        if not self.entries:
+            return 0.0
+        lost = sum(1 for e in self.entries if e.arrival_us is None)
+        return lost / len(self.entries)

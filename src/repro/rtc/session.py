@@ -1,0 +1,149 @@
+"""Two-party WebRTC call session (the paper's Fig. 7 topology).
+
+Client A sits behind an access network (cellular → the RAN simulator, or
+wired/Wi-Fi → a stochastic delay pipe); client B is the far endpoint
+(a GCP server over wired access in the paper).  Both send media and
+feedback through:
+
+    A ──access_a.up──▶ internet(a→b) ──access_b.down──▶ B
+    B ──access_b.up──▶ internet(b→a) ──access_a.down──▶ A
+
+The session owns the clock (stepped at the finest access granularity),
+routes packets hop by hop, and writes the packet trace + WebRTC stats
+into the shared telemetry collector.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.link import AccessLink, InternetSegment
+from repro.net.packet import Packet
+from repro.rtc.client import ClientConfig, WebRtcClient
+from repro.telemetry.collect import TelemetryCollector
+from repro.telemetry.records import PacketRecord, TelemetryBundle
+
+
+@dataclass
+class SessionResult:
+    """Output of one simulated call."""
+
+    bundle: TelemetryBundle
+    client_a: WebRtcClient
+    client_b: WebRtcClient
+
+
+class TwoPartySession:
+    """Simulates one two-party call and collects all telemetry.
+
+    Args:
+        name: session identifier.
+        access_a / access_b: the two endpoints' access networks.
+        client_a / client_b: client configurations.  Client A is the
+            "cellular"/local endpoint for telemetry labelling even when
+            its access is wired (baseline runs).
+        internet_ab / internet_ba: wide-area segments per direction.
+        collector: telemetry sink; a fresh one is created if omitted.
+        gnb_log_available: whether gNB logs should be retained.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        access_a: AccessLink,
+        access_b: AccessLink,
+        client_a: ClientConfig,
+        client_b: ClientConfig,
+        internet_ab: Optional[InternetSegment] = None,
+        internet_ba: Optional[InternetSegment] = None,
+        collector: Optional[TelemetryCollector] = None,
+        gnb_log_available: bool = False,
+    ) -> None:
+        self.name = name
+        self.access_a = access_a
+        self.access_b = access_b
+        self.internet_ab = internet_ab or InternetSegment(seed=101)
+        self.internet_ba = internet_ba or InternetSegment(seed=102)
+        self.collector = collector or TelemetryCollector(
+            name,
+            cellular_client=client_a.name,
+            wired_client=client_b.name,
+            gnb_log_available=gnb_log_available,
+        )
+        ids = itertools.count()
+        alloc = lambda: next(ids)  # noqa: E731 - tiny shared allocator
+        self.client_a = WebRtcClient(client_a, alloc, self.collector)
+        self.client_b = WebRtcClient(client_b, alloc, self.collector)
+        self._packets: Dict[int, Packet] = {}
+        self.step_us = min(access_a.step_us, access_b.step_us)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _route_outgoing(self, sender_is_a: bool, packets: List[Packet]) -> None:
+        access = self.access_a if sender_is_a else self.access_b
+        for packet in packets:
+            self._packets[packet.packet_id] = packet
+            self.collector.record_packet_sent(
+                PacketRecord(
+                    packet_id=packet.packet_id,
+                    stream=packet.stream,
+                    size_bytes=packet.size_bytes,
+                    sent_us=packet.sent_us,
+                    is_uplink=sender_is_a,
+                    frame_id=packet.frame_id,
+                )
+            )
+            access.send_up(packet.packet_id, packet.size_bytes, packet.sent_us)
+
+    def _pump_access(
+        self, now_us: int
+    ) -> Tuple[List[Tuple[Packet, int]], List[Tuple[Packet, int]]]:
+        """Move packets through both accesses; return per-client arrivals."""
+        arrivals_a: List[Tuple[Packet, int]] = []
+        arrivals_b: List[Tuple[Packet, int]] = []
+        for pid, ts, was_up in self.access_a.poll(now_us):
+            packet = self._packets.get(pid)
+            if packet is None:
+                continue
+            if was_up:
+                self.internet_ab.send(pid, ts)
+            else:
+                self.collector.record_packet_received(pid, ts)
+                arrivals_a.append((packet, ts))
+        for pid, ts, was_up in self.access_b.poll(now_us):
+            packet = self._packets.get(pid)
+            if packet is None:
+                continue
+            if was_up:
+                self.internet_ba.send(pid, ts)
+            else:
+                self.collector.record_packet_received(pid, ts)
+                arrivals_b.append((packet, ts))
+        for pid, ts in self.internet_ab.poll(now_us):
+            packet = self._packets.get(pid)
+            if packet is not None:
+                self.access_b.send_down(pid, packet.size_bytes, ts)
+        for pid, ts in self.internet_ba.poll(now_us):
+            packet = self._packets.get(pid)
+            if packet is not None:
+                self.access_a.send_down(pid, packet.size_bytes, ts)
+        return arrivals_a, arrivals_b
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self, duration_us: int) -> SessionResult:
+        """Simulate the call for *duration_us* and return all telemetry."""
+        now = 0
+        while now < duration_us:
+            now += self.step_us
+            arrivals_a, arrivals_b = self._pump_access(now)
+            out_a = self.client_a.step(now, arrivals_a)
+            out_b = self.client_b.step(now, arrivals_b)
+            self._route_outgoing(True, out_a)
+            self._route_outgoing(False, out_b)
+        bundle = self.collector.bundle(duration_us)
+        return SessionResult(
+            bundle=bundle, client_a=self.client_a, client_b=self.client_b
+        )

@@ -1,0 +1,86 @@
+"""Telemetry collector the simulators write into during a session.
+
+One collector instance is shared by the RAN simulator (DCI + gNB log),
+the network path (packet records), and both WebRTC clients (stats
+records).  At the end of a run :meth:`TelemetryCollector.bundle` freezes
+everything into a :class:`~repro.telemetry.records.TelemetryBundle`,
+sorted by timestamp — the input format Domino consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.telemetry.records import (
+    DciRecord,
+    GnbLogRecord,
+    PacketRecord,
+    TelemetryBundle,
+    WebRtcStatsRecord,
+)
+
+
+class TelemetryCollector:
+    """Accumulates telemetry records during one simulated session."""
+
+    def __init__(
+        self,
+        session_name: str,
+        cellular_client: str = "cellular",
+        wired_client: str = "wired",
+        gnb_log_available: bool = False,
+    ) -> None:
+        self.session_name = session_name
+        self.cellular_client = cellular_client
+        self.wired_client = wired_client
+        self.gnb_log_available = gnb_log_available
+        self._dci: List[DciRecord] = []
+        self._gnb_log: List[GnbLogRecord] = []
+        self._packets: Dict[int, PacketRecord] = {}
+        self._webrtc: List[WebRtcStatsRecord] = []
+
+    # -- RAN-side records ---------------------------------------------------
+
+    def record_dci(self, record: DciRecord) -> None:
+        self._dci.append(record)
+
+    def record_gnb_log(self, record: GnbLogRecord) -> None:
+        if self.gnb_log_available:
+            self._gnb_log.append(record)
+
+    # -- packet trace ---------------------------------------------------------
+
+    def record_packet_sent(self, record: PacketRecord) -> None:
+        """Register a packet at its sender-side capture point."""
+        self._packets[record.packet_id] = record
+
+    def record_packet_received(
+        self, packet_id: int, received_us: int
+    ) -> None:
+        """Join the receiver-side capture for *packet_id*."""
+        record = self._packets.get(packet_id)
+        if record is not None:
+            record.received_us = received_us
+
+    # -- application stats ------------------------------------------------------
+
+    def record_webrtc_stats(self, record: WebRtcStatsRecord) -> None:
+        self._webrtc.append(record)
+
+    # -- output -----------------------------------------------------------------
+
+    def bundle(self, duration_us: int) -> TelemetryBundle:
+        """Freeze all records into a sorted TelemetryBundle."""
+        return TelemetryBundle(
+            session_name=self.session_name,
+            duration_us=duration_us,
+            cellular_client=self.cellular_client,
+            wired_client=self.wired_client,
+            gnb_log_available=self.gnb_log_available,
+            dci=sorted(self._dci, key=lambda r: r.ts_us),
+            gnb_log=sorted(self._gnb_log, key=lambda r: r.ts_us),
+            packets=sorted(
+                self._packets.values(), key=lambda r: r.sent_us
+            ),
+            webrtc_stats=sorted(self._webrtc, key=lambda r: r.ts_us),
+        )

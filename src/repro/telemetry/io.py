@@ -1,0 +1,249 @@
+"""Telemetry bundle serialization (JSON-lines interchange format).
+
+Operators deploying Domino feed it traces collected elsewhere (NR-Scope
+captures, gNB logs, pcaps, WebRTC stats dumps).  This module defines a
+simple, stable on-disk format: one JSON object per record, each tagged
+with its source, plus a header line carrying session metadata.  Files
+round-trip exactly through :func:`save_bundle` / :func:`load_bundle`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Union
+
+from repro.errors import TelemetryError
+from repro.telemetry.records import (
+    DciRecord,
+    GnbLogKind,
+    GnbLogRecord,
+    PacketRecord,
+    StreamKind,
+    TelemetryBundle,
+    WebRtcStatsRecord,
+)
+
+FORMAT_VERSION = 1
+
+
+def _header_line(bundle: TelemetryBundle) -> dict:
+    return {
+        "type": "header",
+        "version": FORMAT_VERSION,
+        "session_name": bundle.session_name,
+        "duration_us": bundle.duration_us,
+        "cellular_client": bundle.cellular_client,
+        "wired_client": bundle.wired_client,
+        "gnb_log_available": bundle.gnb_log_available,
+    }
+
+
+def _dci_to_json(record: DciRecord) -> dict:
+    return {
+        "type": "dci",
+        "ts_us": record.ts_us,
+        "slot": record.slot,
+        "rnti": record.rnti,
+        "ul": record.is_uplink,
+        "prb": record.n_prb,
+        "mcs": record.mcs,
+        "tbs": record.tbs_bits,
+        "retx": record.is_retx,
+        "attempt": record.harq_attempt,
+        "crc": record.crc_ok,
+        "proactive": record.proactive,
+        "used": record.used_bytes,
+    }
+
+
+def _dci_from_json(data: dict) -> DciRecord:
+    return DciRecord(
+        ts_us=data["ts_us"],
+        slot=data["slot"],
+        rnti=data["rnti"],
+        is_uplink=data["ul"],
+        n_prb=data["prb"],
+        mcs=data["mcs"],
+        tbs_bits=data["tbs"],
+        is_retx=data["retx"],
+        harq_attempt=data["attempt"],
+        crc_ok=data["crc"],
+        proactive=data["proactive"],
+        used_bytes=data["used"],
+    )
+
+
+def _gnb_to_json(record: GnbLogRecord) -> dict:
+    return {
+        "type": "gnb",
+        "ts_us": record.ts_us,
+        "kind": record.kind.value,
+        "ul": record.is_uplink,
+        "buffer": record.buffer_bytes,
+        "rnti": record.rnti,
+    }
+
+
+def _gnb_from_json(data: dict) -> GnbLogRecord:
+    return GnbLogRecord(
+        ts_us=data["ts_us"],
+        kind=GnbLogKind(data["kind"]),
+        is_uplink=data["ul"],
+        buffer_bytes=data["buffer"],
+        rnti=data["rnti"],
+    )
+
+
+def _packet_to_json(record: PacketRecord) -> dict:
+    return {
+        "type": "pkt",
+        "id": record.packet_id,
+        "stream": record.stream.value,
+        "size": record.size_bytes,
+        "sent_us": record.sent_us,
+        "recv_us": record.received_us,
+        "ul": record.is_uplink,
+        "frame": record.frame_id,
+    }
+
+
+def _packet_from_json(data: dict) -> PacketRecord:
+    return PacketRecord(
+        packet_id=data["id"],
+        stream=StreamKind(data["stream"]),
+        size_bytes=data["size"],
+        sent_us=data["sent_us"],
+        received_us=data["recv_us"],
+        is_uplink=data["ul"],
+        frame_id=data["frame"],
+    )
+
+
+def _stats_to_json(record: WebRtcStatsRecord) -> dict:
+    return {
+        "type": "webrtc",
+        "ts_us": record.ts_us,
+        "client": record.client,
+        "out_fps": record.outbound_fps,
+        "out_res": record.outbound_resolution_p,
+        "target": record.target_bitrate_bps,
+        "pushback": record.pushback_bitrate_bps,
+        "state": record.gcc_state,
+        "slope": record.gcc_trend_slope,
+        "threshold": record.gcc_threshold,
+        "outstanding": record.outstanding_bytes,
+        "cwnd": record.congestion_window_bytes,
+        "in_fps": record.inbound_fps,
+        "in_res": record.inbound_resolution_p,
+        "vjb_ms": record.video_jitter_buffer_ms,
+        "ajb_ms": record.audio_jitter_buffer_ms,
+        "frozen": record.frozen,
+        "freeze_ms": record.freeze_duration_ms,
+        "concealed": record.concealed_samples,
+        "samples": record.total_samples,
+    }
+
+
+def _stats_from_json(data: dict) -> WebRtcStatsRecord:
+    return WebRtcStatsRecord(
+        ts_us=data["ts_us"],
+        client=data["client"],
+        outbound_fps=data["out_fps"],
+        outbound_resolution_p=data["out_res"],
+        target_bitrate_bps=data["target"],
+        pushback_bitrate_bps=data["pushback"],
+        gcc_state=data["state"],
+        gcc_trend_slope=data["slope"],
+        gcc_threshold=data["threshold"],
+        outstanding_bytes=data["outstanding"],
+        congestion_window_bytes=data["cwnd"],
+        inbound_fps=data["in_fps"],
+        inbound_resolution_p=data["in_res"],
+        video_jitter_buffer_ms=data["vjb_ms"],
+        audio_jitter_buffer_ms=data["ajb_ms"],
+        frozen=data["frozen"],
+        freeze_duration_ms=data["freeze_ms"],
+        concealed_samples=data["concealed"],
+        total_samples=data["samples"],
+    )
+
+
+def dump_lines(bundle: TelemetryBundle) -> Iterable[str]:
+    """Yield the JSONL lines for *bundle* (header first)."""
+    yield json.dumps(_header_line(bundle))
+    for dci in bundle.dci:
+        yield json.dumps(_dci_to_json(dci))
+    for log in bundle.gnb_log:
+        yield json.dumps(_gnb_to_json(log))
+    for packet in bundle.packets:
+        yield json.dumps(_packet_to_json(packet))
+    for stats in bundle.webrtc_stats:
+        yield json.dumps(_stats_to_json(stats))
+
+
+def save_bundle(bundle: TelemetryBundle, path_or_file: Union[str, IO[str]]) -> None:
+    """Write *bundle* as JSON lines to a path or open text file."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w") as handle:
+            save_bundle(bundle, handle)
+        return
+    for line in dump_lines(bundle):
+        path_or_file.write(line + "\n")
+
+
+def load_bundle(path_or_file: Union[str, IO[str]]) -> TelemetryBundle:
+    """Read a JSONL telemetry file back into a bundle."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file) as handle:
+            return load_bundle(handle)
+    header = None
+    dci, gnb, packets, stats = [], [], [], []
+    parsers = {
+        "dci": (_dci_from_json, dci),
+        "gnb": (_gnb_from_json, gnb),
+        "pkt": (_packet_from_json, packets),
+        "webrtc": (_stats_from_json, stats),
+    }
+    for line_number, line in enumerate(path_or_file, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TelemetryError(
+                f"line {line_number}: invalid JSON: {exc}"
+            ) from exc
+        kind = data.get("type")
+        if kind == "header":
+            if data.get("version") != FORMAT_VERSION:
+                raise TelemetryError(
+                    f"unsupported format version {data.get('version')!r}"
+                )
+            header = data
+            continue
+        try:
+            parser, sink = parsers[kind]
+        except KeyError:
+            raise TelemetryError(
+                f"line {line_number}: unknown record type {kind!r}"
+            )
+        try:
+            sink.append(parser(data))
+        except (KeyError, ValueError) as exc:
+            raise TelemetryError(
+                f"line {line_number}: malformed {kind} record: {exc}"
+            ) from exc
+    if header is None:
+        raise TelemetryError("missing header line")
+    return TelemetryBundle(
+        session_name=header["session_name"],
+        duration_us=header["duration_us"],
+        cellular_client=header["cellular_client"],
+        wired_client=header["wired_client"],
+        gnb_log_available=header["gnb_log_available"],
+        dci=dci,
+        gnb_log=gnb,
+        packets=packets,
+        webrtc_stats=stats,
+    )

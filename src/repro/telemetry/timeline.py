@@ -1,0 +1,298 @@
+"""Time-aligned, uniformly resampled view of a telemetry bundle.
+
+Domino's event conditions (Table 5) operate on windows of synchronised
+time series.  :class:`Timeline` resamples all four telemetry sources of a
+:class:`~repro.telemetry.records.TelemetryBundle` onto one uniform grid
+(default 50 ms — the paper's WebRTC stats rate), producing named numpy
+arrays.  Bins without records hold NaN (or 0 for counters) and sparse
+app-state series are forward-filled, matching how the paper's pipeline
+vectorises its data before the sliding-window pass (§4.2).
+
+Naming convention (all per-bin):
+
+* ``local_*`` / ``remote_*`` — application metrics of the cellular and
+  wired client respectively (outbound = that client's sent stream).
+* ``ul_*`` / ``dl_*`` — 5G/packet metrics per physical direction
+  (uplink = cellular client → network).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import TelemetryError
+from repro.telemetry.records import (
+    GnbLogKind,
+    StreamKind,
+    TelemetryBundle,
+)
+
+#: GCC network-state encoding in the resampled arrays.
+GCC_STATE_CODE = {"underuse": -1, "normal": 0, "overuse": 1}
+
+
+def _forward_fill(values: np.ndarray) -> np.ndarray:
+    """Forward-fill NaNs in place (leading NaNs become 0)."""
+    mask = np.isnan(values)
+    if not mask.any():
+        return values
+    idx = np.where(~mask, np.arange(len(values)), 0)
+    np.maximum.accumulate(idx, out=idx)
+    filled = values[idx]
+    filled[np.isnan(filled)] = 0.0
+    return filled
+
+
+@dataclass
+class Timeline:
+    """Uniform cross-layer time series for one session.
+
+    Attributes:
+        dt_us: bin width of the grid.
+        n_bins: number of bins.
+        series: mapping from variable name to a float array of length
+            ``n_bins``.
+    """
+
+    dt_us: int
+    n_bins: int
+    series: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    #: App-stat fields copied per client from WebRtcStatsRecord.
+    _APP_FIELDS = (
+        "inbound_fps",
+        "outbound_fps",
+        "outbound_resolution_p",
+        "inbound_resolution_p",
+        "video_jitter_buffer_ms",
+        "audio_jitter_buffer_ms",
+        "target_bitrate_bps",
+        "pushback_bitrate_bps",
+        "outstanding_bytes",
+        "congestion_window_bytes",
+        "gcc_trend_slope",
+        "gcc_threshold",
+    )
+
+    @classmethod
+    def from_bundle(
+        cls, bundle: TelemetryBundle, dt_us: int = 50_000
+    ) -> "Timeline":
+        """Resample *bundle* onto a uniform grid of *dt_us* bins."""
+        if dt_us <= 0:
+            raise TelemetryError("dt_us must be positive")
+        n_bins = max(1, math.ceil(bundle.duration_us / dt_us))
+        timeline = cls(dt_us=dt_us, n_bins=n_bins)
+        timeline._ingest_webrtc(bundle)
+        timeline._ingest_packets(bundle)
+        timeline._ingest_dci(bundle)
+        timeline._ingest_gnb_log(bundle)
+        return timeline
+
+    # -- construction helpers -------------------------------------------------
+
+    def _bin(self, ts_us: int) -> Optional[int]:
+        index = ts_us // self.dt_us
+        if 0 <= index < self.n_bins:
+            return int(index)
+        return None
+
+    def _new(self, name: str, fill: float = np.nan) -> np.ndarray:
+        array = np.full(self.n_bins, fill, dtype=float)
+        self.series[name] = array
+        return array
+
+    def _ingest_webrtc(self, bundle: TelemetryBundle) -> None:
+        client_role = {
+            bundle.cellular_client: "local",
+            bundle.wired_client: "remote",
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        for role in ("local", "remote"):
+            for fieldname in self._APP_FIELDS:
+                arrays[f"{role}_{fieldname}"] = self._new(
+                    f"{role}_{fieldname}"
+                )
+            arrays[f"{role}_gcc_state"] = self._new(f"{role}_gcc_state")
+            arrays[f"{role}_frozen"] = self._new(f"{role}_frozen", 0.0)
+            arrays[f"{role}_concealed"] = self._new(f"{role}_concealed", 0.0)
+            arrays[f"{role}_total_samples"] = self._new(
+                f"{role}_total_samples", 0.0
+            )
+        for record in bundle.webrtc_stats:
+            role = client_role.get(record.client)
+            if role is None:
+                continue
+            index = self._bin(record.ts_us)
+            if index is None:
+                continue
+            for fieldname in self._APP_FIELDS:
+                arrays[f"{role}_{fieldname}"][index] = getattr(
+                    record, fieldname
+                )
+            arrays[f"{role}_gcc_state"][index] = GCC_STATE_CODE.get(
+                record.gcc_state, 0
+            )
+            arrays[f"{role}_frozen"][index] = float(record.frozen)
+            arrays[f"{role}_concealed"][index] += record.concealed_samples
+            arrays[f"{role}_total_samples"][index] += record.total_samples
+        for name in list(self.series):
+            if name.endswith(("_frozen", "_concealed", "_total_samples")):
+                continue
+            if name.startswith(("local_", "remote_")):
+                self.series[name] = _forward_fill(self.series[name])
+
+    def _ingest_packets(self, bundle: TelemetryBundle) -> None:
+        for direction, flag in (("ul", True), ("dl", False)):
+            delay_sum = np.zeros(self.n_bins)
+            delay_count = np.zeros(self.n_bins)
+            bytes_sent = np.zeros(self.n_bins)
+            lost = np.zeros(self.n_bins)
+            rtcp_delay_sum = np.zeros(self.n_bins)
+            rtcp_delay_count = np.zeros(self.n_bins)
+            for packet in bundle.packets:
+                if packet.is_uplink != flag:
+                    continue
+                index = self._bin(packet.sent_us)
+                if index is None:
+                    continue
+                bytes_sent[index] += packet.size_bytes
+                if packet.received_us is None:
+                    lost[index] += 1
+                    continue
+                delay = packet.received_us - packet.sent_us
+                if packet.stream is StreamKind.RTCP:
+                    rtcp_delay_sum[index] += delay
+                    rtcp_delay_count[index] += 1
+                else:
+                    delay_sum[index] += delay
+                    delay_count[index] += 1
+            with np.errstate(invalid="ignore"):
+                delay_ms = np.where(
+                    delay_count > 0, delay_sum / np.maximum(delay_count, 1), np.nan
+                ) / 1000.0
+                rtcp_ms = np.where(
+                    rtcp_delay_count > 0,
+                    rtcp_delay_sum / np.maximum(rtcp_delay_count, 1),
+                    np.nan,
+                ) / 1000.0
+            self.series[f"{direction}_packet_delay_ms"] = _forward_fill(delay_ms)
+            self.series[f"{direction}_rtcp_delay_ms"] = _forward_fill(rtcp_ms)
+            self.series[f"{direction}_lost_packets"] = lost
+            # App send rate in bit/s over each bin (condition 14 input).
+            self.series[f"{direction}_app_bitrate_bps"] = (
+                bytes_sent * 8.0 * 1e6 / self.dt_us
+            )
+
+    def _ingest_dci(self, bundle: TelemetryBundle) -> None:
+        for direction, flag in (("ul", True), ("dl", False)):
+            exp_prbs = np.zeros(self.n_bins)
+            other_prbs = np.zeros(self.n_bins)
+            tbs_bits = np.zeros(self.n_bins)
+            harq_retx = np.zeros(self.n_bins)
+            mcs_sum = np.zeros(self.n_bins)
+            mcs_count = np.zeros(self.n_bins)
+            mcs_min = np.full(self.n_bins, np.nan)
+            rnti = np.full(self.n_bins, np.nan)
+            exp_rntis = self._experiment_rntis(bundle)
+            for record in bundle.dci:
+                if record.is_uplink != flag:
+                    continue
+                index = self._bin(record.ts_us)
+                if index is None:
+                    continue
+                if record.rnti in exp_rntis:
+                    exp_prbs[index] += record.n_prb
+                    if record.is_retx:
+                        harq_retx[index] += 1
+                    else:
+                        tbs_bits[index] += record.tbs_bits
+                    mcs_sum[index] += record.mcs
+                    mcs_count[index] += 1
+                    current_min = mcs_min[index]
+                    if np.isnan(current_min) or record.mcs < current_min:
+                        mcs_min[index] = record.mcs
+                    rnti[index] = record.rnti
+                else:
+                    other_prbs[index] += record.n_prb
+            with np.errstate(invalid="ignore"):
+                mcs_mean = np.where(
+                    mcs_count > 0, mcs_sum / np.maximum(mcs_count, 1), np.nan
+                )
+            self.series[f"{direction}_exp_prbs"] = exp_prbs
+            self.series[f"{direction}_other_prbs"] = other_prbs
+            self.series[f"{direction}_tbs_bits"] = tbs_bits
+            self.series[f"{direction}_tbs_bitrate_bps"] = (
+                tbs_bits * 1e6 / self.dt_us
+            )
+            self.series[f"{direction}_harq_retx"] = harq_retx
+            self.series[f"{direction}_mcs_mean"] = mcs_mean  # NaN = not sched.
+            self.series[f"{direction}_mcs_min"] = mcs_min
+            self.series[f"{direction}_scheduled"] = (mcs_count > 0).astype(
+                float
+            )
+            self.series[f"{direction}_rnti"] = _forward_fill(rnti)
+
+    @staticmethod
+    def _experiment_rntis(bundle: TelemetryBundle) -> set:
+        """RNTIs belonging to the experiment UE.
+
+        Cross-traffic UEs use RNTIs >= 40000 by convention (see
+        :class:`repro.mac.crosstraffic.CrossTrafficUe`); the experiment
+        UE's RNTI changes across RRC transitions, so collect every RNTI
+        below that range.
+        """
+        return {r.rnti for r in bundle.dci if r.rnti < 40_000}
+
+    def _ingest_gnb_log(self, bundle: TelemetryBundle) -> None:
+        for direction, flag in (("ul", True), ("dl", False)):
+            buffer_bytes = np.full(self.n_bins, np.nan)
+            rlc_retx = np.zeros(self.n_bins)
+            for record in bundle.gnb_log:
+                index = self._bin(record.ts_us)
+                if index is None:
+                    continue
+                if record.kind is GnbLogKind.RLC_BUFFER:
+                    if record.is_uplink == flag:
+                        buffer_bytes[index] = record.buffer_bytes
+                elif record.kind is GnbLogKind.RLC_RETX:
+                    if record.is_uplink == flag:
+                        rlc_retx[index] += 1
+            self.series[f"{direction}_rlc_buffer_bytes"] = _forward_fill(
+                buffer_bytes
+            )
+            self.series[f"{direction}_rlc_retx"] = rlc_retx
+        rrc_change = np.zeros(self.n_bins)
+        for record in bundle.gnb_log:
+            if record.kind in (GnbLogKind.RRC_RELEASE, GnbLogKind.RRC_CONNECT):
+                index = self._bin(record.ts_us)
+                if index is not None:
+                    rrc_change[index] += 1
+        self.series["rrc_events"] = rrc_change
+
+    # -- accessors -----------------------------------------------------------
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self.series[name]
+        except KeyError:
+            raise TelemetryError(f"timeline has no series named {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.series
+
+    @property
+    def t_us(self) -> np.ndarray:
+        """Bin start times."""
+        return np.arange(self.n_bins, dtype=np.int64) * self.dt_us
+
+    def window(self, start_bin: int, length_bins: int) -> "Dict[str, np.ndarray]":
+        """Slice every series to [start_bin, start_bin + length_bins)."""
+        stop = min(self.n_bins, start_bin + length_bins)
+        return {
+            name: values[start_bin:stop] for name, values in self.series.items()
+        }

@@ -1,0 +1,55 @@
+"""Shared fixtures: simulated sessions are expensive, so the bundles the
+integration-level tests share are built once per test session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.cells import AMARISOFT, TMOBILE_FDD, TMOBILE_TDD
+from repro.datasets.runner import (
+    make_cellular_session,
+    make_wired_session,
+)
+
+
+@pytest.fixture(scope="session")
+def cellular_result():
+    """A 20 s call over the commercial FDD profile (rich in events)."""
+    session = make_cellular_session(TMOBILE_FDD, seed=42)
+    return session.run(20_000_000)
+
+
+@pytest.fixture(scope="session")
+def cellular_bundle(cellular_result):
+    return cellular_result.bundle
+
+
+@pytest.fixture(scope="session")
+def private_result():
+    """A 20 s call over the Amarisoft private profile (gNB logs on)."""
+    session = make_cellular_session(AMARISOFT, seed=42)
+    return session.run(20_000_000)
+
+
+@pytest.fixture(scope="session")
+def private_bundle(private_result):
+    return private_result.bundle
+
+
+@pytest.fixture(scope="session")
+def wired_result():
+    """A 15 s wired↔wired baseline call."""
+    session = make_wired_session(seed=42)
+    return session.run(15_000_000)
+
+
+@pytest.fixture(scope="session")
+def wired_bundle(wired_result):
+    return wired_result.bundle
+
+
+@pytest.fixture(scope="session")
+def tdd_result():
+    """A 15 s call over the 100 MHz TDD profile."""
+    session = make_cellular_session(TMOBILE_TDD, seed=42)
+    return session.run(15_000_000)

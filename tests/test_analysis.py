@@ -1,0 +1,110 @@
+"""CDF computation, session summaries, and ASCII rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.ascii import render_cdf, render_series, render_table
+from repro.analysis.cdf import Cdf, cdf_row, compute_cdf
+from repro.analysis.summarize import (
+    loss_rate,
+    packet_delays_ms,
+    summarize_session,
+)
+
+
+def test_cdf_basic():
+    cdf = compute_cdf([3.0, 1.0, 2.0])
+    assert list(cdf.values) == [1.0, 2.0, 3.0]
+    assert cdf.probabilities[-1] == 1.0
+    assert cdf.median == 2.0
+    assert cdf.probability_at(2.0) == pytest.approx(2 / 3)
+    assert cdf.probability_at(0.5) == 0.0
+
+
+def test_cdf_drops_nans():
+    cdf = compute_cdf([1.0, float("nan"), 2.0])
+    assert len(cdf) == 2
+
+
+def test_cdf_empty():
+    cdf = compute_cdf([])
+    assert len(cdf) == 0
+    assert np.isnan(cdf.median)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+def test_property_cdf_monotone(samples):
+    cdf = compute_cdf(samples)
+    assert np.all(np.diff(cdf.values) >= 0)
+    assert np.all(np.diff(cdf.probabilities) >= 0)
+    assert cdf.probabilities[0] > 0
+    assert cdf.probabilities[-1] == pytest.approx(1.0)
+
+
+def test_cdf_sample_points():
+    cdf = compute_cdf(range(1000))
+    x, y = cdf.sample_points(10)
+    assert len(x) == 10
+    assert list(y) == sorted(y)
+
+
+def test_cdf_row_format():
+    row = cdf_row("test", compute_cdf([1.0, 2.0, 3.0]))
+    assert "test" in row and "p50" in row
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "a", "b"], [["x", 1.0, 2.0], ["y", 3, 4]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "x" in lines[2] and "1.00" in lines[2]
+
+
+def test_render_cdf():
+    curves = {"cellular": compute_cdf([10, 20, 30]), "wired": compute_cdf([1, 2, 3])}
+    text = render_cdf(curves)
+    assert "cellular" in text and "wired" in text
+
+
+def test_render_series_with_annotations():
+    t = np.linspace(0, 10, 100)
+    text = render_series(
+        t,
+        {"delay": np.linspace(10, 50, 100)},
+        n_points=10,
+        annotations={5.0: "spike"},
+    )
+    assert "spike" in text
+    assert "delay" in text
+
+
+def test_render_series_empty():
+    assert "(empty series)" in render_series(np.empty(0), {})
+
+
+# -- session summaries -------------------------------------------------------------
+
+
+def test_summarize_session_shape(cellular_bundle):
+    summary = summarize_session(cellular_bundle)
+    assert len(summary.ul_delay) > 0
+    assert len(summary.dl_delay) > 0
+    assert summary.ul_delay.median > 0
+    row = summary.row()
+    assert set(row) >= {"ul_delay_median_ms", "dl_delay_median_ms"}
+    assert 0.0 <= summary.ul_concealed_fraction <= 1.0
+    assert 0.0 <= summary.dl_freeze_fraction <= 1.0
+
+
+def test_packet_delays_direction_split(cellular_bundle):
+    ul = packet_delays_ms(cellular_bundle, uplink=True)
+    dl = packet_delays_ms(cellular_bundle, uplink=False)
+    assert len(ul) > 0 and len(dl) > 0
+    assert np.all(ul >= 0) and np.all(dl >= 0)
+
+
+def test_loss_rate_bounded(cellular_bundle, wired_bundle):
+    for bundle in (cellular_bundle, wired_bundle):
+        for uplink in (True, False):
+            assert 0.0 <= loss_rate(bundle, uplink) <= 0.2

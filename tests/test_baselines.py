@@ -1,0 +1,56 @@
+"""Baseline detectors: app-only, correlation RCA, single-layer alerts."""
+
+from repro.baselines.app_only import AppOnlyDetector
+from repro.baselines.correlation import CorrelationRca
+from repro.baselines.single_layer import SingleLayerAlerts
+from repro.core.detector import DominoDetector
+
+
+def test_app_only_sees_consequences_but_one_cause_bucket(cellular_bundle):
+    report = AppOnlyDetector().analyze(cellular_bundle)
+    assert report.root_cause_resolution() == 1
+    assert len(report.windows) > 0
+    # Consequences are visible from app stats alone.
+    assert report.consequence_windows() > 0
+    assert 0.0 <= report.attribution_rate() <= 1.0
+
+
+def test_app_only_windows_use_app_features_only(cellular_bundle):
+    report = AppOnlyDetector().analyze(cellular_bundle)
+    for window in report.windows:
+        for name in window.consequences:
+            assert name.startswith(("local_", "remote_"))
+
+
+def test_correlation_rca_produces_rankings(cellular_bundle):
+    results = CorrelationRca().analyze(cellular_bundle)
+    assert len(results) == 6  # 3 consequences x {local, remote}
+    for result in results:
+        assert len(result.ranking) > 3
+        correlations = [abs(c) for _, c in result.ranking]
+        assert correlations == sorted(correlations, reverse=True)
+        assert all(-1.0 <= c <= 1.0 for _, c in result.ranking)
+
+
+def test_correlation_rca_finds_signal_on_private_cell(private_bundle):
+    """On the Amarisoft cell (poor UL channel) the correlator should put
+    a UL metric near the top for at least one consequence."""
+    results = CorrelationRca().analyze(private_bundle)
+    top_causes = {r.top_cause for r in results if r.top_correlation > 0.1}
+    assert any(name.startswith("ul_") for name in top_causes) or not top_causes
+
+
+def test_single_layer_alert_volume(cellular_bundle):
+    alerts = SingleLayerAlerts().analyze(cellular_bundle)
+    assert alerts.n_windows > 0
+    assert alerts.total_alerts > 0
+    # UL scheduling fires in essentially every window; it alone exceeds
+    # any consolidated chain count.
+    assert alerts.alert_counts["ul_scheduling"] >= alerts.n_windows * 0.9
+
+
+def test_single_layer_reduction_vs_domino(cellular_bundle):
+    alerts = SingleLayerAlerts().analyze(cellular_bundle)
+    report = DominoDetector().analyze(cellular_bundle)
+    reduction = alerts.reduction_vs(report)
+    assert reduction >= 1.0  # chaining never *increases* volume

@@ -1,0 +1,95 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry.io import load_bundle, save_bundle
+
+
+@pytest.fixture()
+def trace_path(tmp_path, private_bundle):
+    path = str(tmp_path / "trace.jsonl")
+    save_bundle(private_bundle, path)
+    return path
+
+
+def test_simulate_writes_trace(tmp_path, capsys):
+    out = str(tmp_path / "sim.jsonl")
+    code = main(
+        [
+            "simulate",
+            "--profile",
+            "wired",
+            "--duration",
+            "5",
+            "--seed",
+            "3",
+            "--out",
+            out,
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "wrote" in captured
+    bundle = load_bundle(out)
+    assert bundle.duration_us == 5_000_000
+    assert len(bundle.packets) > 100
+
+
+def test_simulate_cellular_profile(tmp_path):
+    out = str(tmp_path / "cell.jsonl")
+    code = main(
+        [
+            "simulate",
+            "--profile",
+            "mosolabs",
+            "--duration",
+            "4",
+            "--out",
+            out,
+        ]
+    )
+    assert code == 0
+    bundle = load_bundle(out)
+    assert len(bundle.dci) > 0
+
+
+def test_analyze_prints_chains(trace_path, capsys):
+    code = main(["analyze", trace_path])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "windows analysed" in captured
+    assert "degradation events/min" in captured
+
+
+def test_analyze_with_custom_chains(trace_path, tmp_path, capsys):
+    chains = tmp_path / "chains.txt"
+    chains.write_text(
+        "ul_channel_degrades --> ul_delay_up --> remote_jitter_buffer_drain\n"
+    )
+    code = main(["analyze", trace_path, "--chains", str(chains)])
+    assert code == 0
+
+
+def test_report_prints_summary(trace_path, capsys):
+    code = main(["report", trace_path])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "one-way delay" in captured
+    assert "jitter buffer" in captured
+
+
+def test_codegen_prints_python(tmp_path, capsys):
+    chains = tmp_path / "chains.txt"
+    chains.write_text(
+        "dl_rlc_retx --> forward_delay_up --> local_jitter_buffer_drain\n"
+    )
+    code = main(["codegen", str(chains)])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "def backward_trace(features):" in captured
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

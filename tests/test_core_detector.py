@@ -1,0 +1,180 @@
+"""The Domino detector end to end, plus chains/statistics units."""
+
+import pytest
+
+from repro.core.chains import (
+    CANONICAL_CHAINS,
+    DEFAULT_CHAINS_TEXT,
+    CauseKind,
+    ConsequenceKind,
+    PathKind,
+    canonical_id,
+    canonical_id_for_chain,
+    chain_path_kind,
+    classify_cause,
+    classify_consequence,
+)
+from repro.core.detector import DetectorConfig, DominoDetector
+from repro.core.dsl import parse_chains
+from repro.core.features import FEATURE_NAMES, FeatureExtractor
+from repro.core.stats import DominoStats, _episode_count
+from repro.telemetry.timeline import Timeline
+
+
+# -- canonical chains ------------------------------------------------------------
+
+
+def test_twenty_four_canonical_chains():
+    assert len(CANONICAL_CHAINS) == 24
+    assert sorted(CANONICAL_CHAINS.values()) == list(range(1, 25))
+
+
+def test_default_text_covers_all_canonical_ids():
+    chains = parse_chains(DEFAULT_CHAINS_TEXT)
+    ids = {canonical_id_for_chain(c) for c in chains}
+    assert ids == set(range(1, 25))
+
+
+def test_classify_cause_and_consequence():
+    assert classify_cause("ul_harq_retx") is CauseKind.HARQ_RETX
+    assert classify_cause("dl_channel_degrades") is CauseKind.POOR_CHANNEL
+    assert classify_cause("rrc_change") is CauseKind.RRC_STATE
+    assert classify_cause("ul_delay_up") is None
+    assert (
+        classify_consequence("local_jitter_buffer_drain")
+        is ConsequenceKind.JITTER_BUFFER_DRAIN
+    )
+    assert classify_consequence("ul_harq_retx") is None
+
+
+def test_path_kind_forward_vs_reverse():
+    forward = ("ul_harq_retx", "ul_delay_up", "local_pushback_rate_down")
+    reverse = ("dl_harq_retx", "dl_delay_up", "local_pushback_rate_down")
+    assert chain_path_kind(forward) is PathKind.FORWARD
+    assert chain_path_kind(reverse) is PathKind.REVERSE
+    jitter = ("dl_harq_retx", "dl_delay_up", "local_jitter_buffer_drain")
+    assert chain_path_kind(jitter) is PathKind.FORWARD
+
+
+def test_canonical_id_lookup():
+    assert (
+        canonical_id(
+            CauseKind.POOR_CHANNEL,
+            ConsequenceKind.JITTER_BUFFER_DRAIN,
+            PathKind.FORWARD,
+        )
+        == 1
+    )
+
+
+# -- feature extractor -----------------------------------------------------------
+
+
+def test_feature_vector_has_36_dimensions():
+    assert len(FEATURE_NAMES) == 36
+
+
+def test_extractor_window_math(cellular_bundle):
+    timeline = Timeline.from_bundle(cellular_bundle, dt_us=50_000)
+    extractor = FeatureExtractor(window_us=5_000_000, step_us=500_000)
+    window_bins, step_bins = extractor.window_bins(timeline)
+    assert window_bins == 100
+    assert step_bins == 10
+    windows = extractor.extract_all(timeline)
+    # 20 s of data, 5 s windows, 0.5 s steps -> 31 positions.
+    assert len(windows) == 31
+    assert all(len(w.features) == 36 for w in windows)
+    assert all(len(w.as_tuple()) == 36 for w in windows)
+
+
+# -- detector -----------------------------------------------------------------------
+
+
+def test_detector_runs_on_cellular_bundle(cellular_bundle):
+    detector = DominoDetector()
+    report = detector.analyze(cellular_bundle)
+    assert report.n_windows > 0
+    assert report.session_name == cellular_bundle.session_name
+    for window in report.windows:
+        for chain_id in window.chain_ids:
+            chain = report.chains[chain_id]
+            # Every detected chain's nodes were all true in that window.
+            assert all(window.features[node] for node in chain)
+            assert chain[-1] in window.consequences
+            assert chain[0] in window.causes
+
+
+def test_codegen_and_interpreter_agree_on_real_data(cellular_bundle):
+    compiled = DominoDetector(DetectorConfig(use_codegen=True))
+    interpreted = DominoDetector(DetectorConfig(use_codegen=False))
+    report_a = compiled.analyze(cellular_bundle)
+    report_b = interpreted.analyze(cellular_bundle)
+    assert len(report_a.windows) == len(report_b.windows)
+    for wa, wb in zip(report_a.windows, report_b.windows):
+        assert wa.chain_ids == wb.chain_ids
+        assert wa.causes == wb.causes
+
+
+def test_detector_custom_chains(cellular_bundle):
+    config = DetectorConfig(
+        chains_text="ul_harq_retx --> ul_delay_up --> remote_jitter_buffer_drain"
+    )
+    detector = DominoDetector(config)
+    report = detector.analyze(cellular_bundle)
+    assert len(report.chains) == 1
+
+
+def test_wired_session_mostly_clean(wired_bundle):
+    """A wired baseline produces no 5G causes at all."""
+    detector = DominoDetector()
+    report = detector.analyze(wired_bundle)
+    assert all(not w.causes for w in report.windows)
+    assert all(not w.chain_ids for w in report.windows)
+
+
+# -- statistics --------------------------------------------------------------------------
+
+
+def test_episode_count():
+    assert _episode_count([]) == 0
+    assert _episode_count([False, False]) == 0
+    assert _episode_count([True, True, True]) == 1
+    assert _episode_count([True, False, True]) == 2
+    assert _episode_count([False, True, True, False, True]) == 2
+
+
+def test_stats_tables_shape(cellular_bundle):
+    report = DominoDetector().analyze(cellular_bundle)
+    stats = DominoStats.from_report(report)
+    conditional = stats.conditional_probabilities()
+    assert set(conditional) == set(ConsequenceKind)
+    for row in conditional.values():
+        assert set(row) == set(CauseKind)
+        assert all(0.0 <= v <= 1.0 for v in row.values())
+    ratios = stats.chain_ratios()
+    for consequence in ConsequenceKind:
+        for cause in CauseKind:
+            # A full chain implies cause and consequence co-occur, so the
+            # ratio can never exceed the conditional probability.
+            assert (
+                ratios[consequence][cause]
+                <= conditional[consequence][cause] + 1e-9
+            )
+    unknown = stats.unknown_fractions()
+    assert all(0.0 <= v <= 1.0 for v in unknown.values())
+
+
+def test_stats_frequencies_nonnegative(cellular_bundle, private_bundle):
+    reports = [
+        DominoDetector().analyze(cellular_bundle),
+        DominoDetector().analyze(private_bundle),
+    ]
+    stats = DominoStats.from_reports(reports)
+    assert stats.total_minutes == pytest.approx(40 / 60, rel=0.01)
+    for value in stats.cause_frequencies_per_min().values():
+        assert value >= 0.0
+    for value in stats.consequence_frequencies_per_min().values():
+        assert value >= 0.0
+    shares = stats.cause_attribution_shares()
+    total = sum(shares.values())
+    assert total == pytest.approx(1.0, abs=1e-6) or total == 0.0

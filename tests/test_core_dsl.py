@@ -1,0 +1,102 @@
+"""The causal-chain text DSL: parsing, aliases, round-trips, errors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.dsl import format_chains, parse_chains
+from repro.core.features import FEATURE_NAMES
+from repro.errors import DslSyntaxError, UnknownEventError
+
+
+def test_parses_simple_chain():
+    chains = parse_chains("ul_harq_retx --> ul_delay_up --> local_target_bitrate_down")
+    assert chains == [
+        ("ul_harq_retx", "ul_delay_up", "local_target_bitrate_down")
+    ]
+
+
+def test_short_arrow_and_comments():
+    text = """
+    # a comment line
+    ul_harq_retx -> ul_delay_up -> local_target_bitrate_down  # trailing
+    """
+    chains = parse_chains(text)
+    assert len(chains) == 1
+
+
+def test_fig11_example():
+    text = (
+        "dl_rlc_retx --> forward_delay_up --> local_jitter_buffer_drain\n"
+        "dl_harq_retx --> forward_delay_up --> local_jitter_buffer_drain\n"
+    )
+    chains = parse_chains(text)
+    assert chains == [
+        ("dl_rlc_retx", "dl_delay_up", "local_jitter_buffer_drain"),
+        ("dl_harq_retx", "dl_delay_up", "local_jitter_buffer_drain"),
+    ]
+
+
+def test_forward_alias_for_ul_cause():
+    chains = parse_chains(
+        "ul_cross_traffic --> forward_delay_up --> remote_jitter_buffer_drain"
+    )
+    assert chains[0][1] == "ul_delay_up"
+
+
+def test_reverse_alias():
+    chains = parse_chains(
+        "dl_cross_traffic --> reverse_delay_up --> local_pushback_rate_down"
+    )
+    assert chains[0][1] == "ul_delay_up"  # reverse of a DL cause is UL
+
+
+def test_directionless_root_expands_both():
+    chains = parse_chains(
+        "rrc_change --> forward_delay_up --> local_jitter_buffer_drain"
+    )
+    assert len(chains) == 2
+    delays = {chain[1] for chain in chains}
+    assert delays == {"ul_delay_up", "dl_delay_up"}
+
+
+def test_unknown_event_raises():
+    with pytest.raises(UnknownEventError) as error:
+        parse_chains("made_up_event --> ul_delay_up --> local_jitter_buffer_drain")
+    assert "made_up_event" in str(error.value)
+
+
+def test_syntax_errors():
+    with pytest.raises(DslSyntaxError):
+        parse_chains("just_one_node")
+    with pytest.raises(DslSyntaxError):
+        parse_chains("a --> --> b")
+    with pytest.raises(DslSyntaxError):
+        parse_chains("BadName --> other")
+
+
+def test_custom_event_vocabulary():
+    chains = parse_chains("foo --> bar", known_events=["foo", "bar"])
+    assert chains == [("foo", "bar")]
+
+
+def test_format_roundtrip_fixed():
+    text = "ul_harq_retx --> ul_delay_up --> local_target_bitrate_down"
+    chains = parse_chains(text)
+    assert format_chains(chains) == text
+
+
+_names = st.sampled_from(sorted(FEATURE_NAMES))
+
+
+@given(
+    chains=st.lists(
+        st.lists(_names, min_size=2, max_size=5, unique=True),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_property_format_parse_roundtrip(chains):
+    """format -> parse is the identity for alias-free chains."""
+    text = format_chains(chains)
+    parsed = parse_chains(text)
+    assert parsed == [tuple(chain) for chain in chains]

@@ -1,0 +1,187 @@
+"""The Table 5 event conditions on synthetic windows."""
+
+import numpy as np
+
+from repro.core.events import EventConfig, build_registry
+
+CONFIG = EventConfig()
+REGISTRY = build_registry()
+
+N = 100  # 5 s window at 50 ms bins
+
+
+def _window(**overrides):
+    """A quiet window; override individual series."""
+    window = {}
+    for role in ("local", "remote"):
+        window[f"{role}_inbound_fps"] = np.full(N, 30.0)
+        window[f"{role}_outbound_fps"] = np.full(N, 30.0)
+        window[f"{role}_outbound_resolution_p"] = np.full(N, 540.0)
+        window[f"{role}_inbound_resolution_p"] = np.full(N, 540.0)
+        window[f"{role}_video_jitter_buffer_ms"] = np.full(N, 80.0)
+        window[f"{role}_audio_jitter_buffer_ms"] = np.full(N, 50.0)
+        window[f"{role}_target_bitrate_bps"] = np.full(N, 2e6)
+        window[f"{role}_pushback_bitrate_bps"] = np.full(N, 2e6)
+        window[f"{role}_gcc_state"] = np.zeros(N)
+        window[f"{role}_outstanding_bytes"] = np.full(N, 10_000.0)
+        window[f"{role}_congestion_window_bytes"] = np.full(N, 50_000.0)
+    for direction in ("ul", "dl"):
+        window[f"{direction}_packet_delay_ms"] = np.full(N, 25.0)
+        window[f"{direction}_tbs_bits"] = np.full(N, 50_000.0)
+        window[f"{direction}_tbs_bitrate_bps"] = np.full(N, 5e6)
+        window[f"{direction}_app_bitrate_bps"] = np.full(N, 2e6)
+        window[f"{direction}_exp_prbs"] = np.full(N, 20.0)
+        window[f"{direction}_other_prbs"] = np.zeros(N)
+        window[f"{direction}_mcs_mean"] = np.full(N, 22.0)
+        window[f"{direction}_harq_retx"] = np.zeros(N)
+        window[f"{direction}_rlc_retx"] = np.zeros(N)
+        window[f"{direction}_scheduled"] = np.ones(N)
+        window[f"{direction}_rnti"] = np.full(N, 17_000.0)
+    window["rrc_events"] = np.zeros(N)
+    window.update(overrides)
+    return window
+
+
+def _fire(name, window):
+    return REGISTRY[name](window, CONFIG)
+
+
+def test_quiet_window_fires_nothing_interesting():
+    window = _window()
+    firing = [name for name in REGISTRY if _fire(name, window)]
+    # Only the trivially-true UL scheduling condition fires.
+    assert firing == ["ul_scheduling"]
+
+
+def test_framerate_drop_requires_order():
+    fps = np.full(N, 30.0)
+    fps[60:] = 20.0
+    window = _window(local_inbound_fps=fps)
+    assert _fire("local_inbound_framerate_down", window)
+    # Reverse order (recovery) must not fire.
+    window = _window(local_inbound_fps=fps[::-1].copy())
+    assert not _fire("local_inbound_framerate_down", window)
+
+
+def test_resolution_drop():
+    resolution = np.full(N, 540.0)
+    resolution[50:] = 360.0
+    window = _window(local_outbound_resolution_p=resolution)
+    assert _fire("local_outbound_resolution_down", window)
+
+
+def test_jitter_buffer_drain():
+    jb = np.full(N, 80.0)
+    jb[70] = 0.0
+    window = _window(local_video_jitter_buffer_ms=jb)
+    assert _fire("local_jitter_buffer_drain", window)
+
+
+def test_target_bitrate_down():
+    target = np.full(N, 2e6)
+    target[50:] = 1.2e6
+    window = _window(local_target_bitrate_bps=target)
+    assert _fire("local_target_bitrate_down", window)
+
+
+def test_gcc_overuse():
+    state = np.zeros(N)
+    state[10] = 1.0
+    window = _window(remote_gcc_state=state)
+    assert _fire("remote_gcc_overuse", window)
+
+
+def test_cwnd_full():
+    outstanding = np.full(N, 10_000.0)
+    outstanding[20:] = 80_000.0
+    window = _window(local_outstanding_bytes=outstanding)
+    assert _fire("local_cwnd_full", window)
+    assert _fire("local_outstanding_bytes_up", window)
+
+
+def test_pushback_neq_target():
+    pushback = np.full(N, 2e6)
+    pushback[40:] = 1e6
+    window = _window(local_pushback_bitrate_bps=pushback)
+    assert _fire("local_pushback_neq_target", window)
+    assert _fire("local_pushback_rate_down", window)
+
+
+def test_delay_up_requires_magnitude():
+    ramp = np.linspace(20, 60, N)  # uptrend but below 80 ms
+    window = _window(ul_packet_delay_ms=ramp)
+    assert not _fire("ul_delay_up", window)
+    surge = np.linspace(20, 200, N)
+    window = _window(ul_packet_delay_ms=surge)
+    assert _fire("ul_delay_up", window)
+
+
+def test_tbs_down_order_matters():
+    tbs = np.full(N, 50_000.0)
+    tbs[60:] = 20_000.0
+    window = _window(dl_tbs_bits=tbs)
+    assert _fire("dl_tbs_down", window)
+    window = _window(dl_tbs_bits=tbs[::-1].copy())
+    assert not _fire("dl_tbs_down", window)
+
+
+def test_rate_gap():
+    app = np.full(N, 6e6)  # above the 5e6 TBS rate everywhere
+    window = _window(ul_app_bitrate_bps=app)
+    assert _fire("ul_rate_gap", window)
+
+
+def test_rate_gap_ignores_idle_bins():
+    app = np.zeros(N)
+    tbs = np.zeros(N)
+    window = _window(ul_app_bitrate_bps=app, ul_tbs_bitrate_bps=tbs)
+    assert not _fire("ul_rate_gap", window)
+
+
+def test_cross_traffic_threshold():
+    other = np.full(N, 3.0)  # 15% of exp (20) -> below 20% threshold
+    window = _window(dl_other_prbs=other)
+    assert not _fire("dl_cross_traffic", window)
+    other = np.full(N, 10.0)  # 50%
+    window = _window(dl_other_prbs=other)
+    assert _fire("dl_cross_traffic", window)
+
+
+def test_channel_degrades():
+    mcs = np.full(N, 22.0)
+    window = _window(ul_mcs_mean=mcs)
+    assert not _fire("ul_channel_degrades", window)
+    mcs = np.full(N, 8.0)  # persistently poor
+    window = _window(ul_mcs_mean=mcs)
+    assert _fire("ul_channel_degrades", window)
+
+
+def test_harq_retx_threshold():
+    retx = np.zeros(N)
+    retx[:10] = 1.0  # 10 total, at the default threshold of 20 -> no
+    window = _window(ul_harq_retx=retx)
+    assert not _fire("ul_harq_retx", window)
+    retx[:30] = 1.0
+    window = _window(ul_harq_retx=retx)
+    assert _fire("ul_harq_retx", window)
+
+
+def test_rlc_retx_any():
+    retx = np.zeros(N)
+    retx[5] = 1.0
+    window = _window(dl_rlc_retx=retx)
+    assert _fire("dl_rlc_retx", window)
+
+
+def test_rrc_change_via_rnti():
+    rnti = np.full(N, 17_000.0)
+    rnti[50:] = 23_456.0
+    window = _window(ul_rnti=rnti)
+    assert _fire("rrc_change", window)
+
+
+def test_rrc_change_via_gnb_events():
+    events = np.zeros(N)
+    events[10] = 1.0
+    window = _window(rrc_events=events)
+    assert _fire("rrc_change", window)

@@ -1,0 +1,82 @@
+"""User extensibility: custom events and chains (§4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import DominoDetector
+from repro.core.extension import ExtensibleDomino
+from repro.errors import DslError, UnknownEventError
+
+
+def test_register_and_detect_custom_event(private_bundle):
+    domino = ExtensibleDomino(include_default_chains=False)
+    domino.register_event(
+        "ul_low_mcs",
+        lambda window, config: bool(
+            np.nanmean(window["ul_mcs_mean"]) < 12.0
+        ),
+    )
+    domino.add_chains(
+        "ul_low_mcs --> ul_delay_up --> remote_jitter_buffer_drain"
+    )
+    report = domino.build().analyze(private_bundle)
+    assert report.n_windows > 0
+    # The custom feature was evaluated in every window.
+    assert all("ul_low_mcs" in w.features for w in report.windows)
+    # The Amarisoft UL channel is persistently poor -> the event fires.
+    assert any(w.features["ul_low_mcs"] for w in report.windows)
+
+
+def test_custom_chain_can_combine_with_defaults(private_bundle):
+    domino = ExtensibleDomino()
+    domino.register_event(
+        "always_on", lambda window, config: True
+    )
+    domino.add_chains(
+        "always_on --> ul_delay_up --> remote_jitter_buffer_drain"
+    )
+    extended = domino.build().analyze(private_bundle)
+    plain = DominoDetector().analyze(private_bundle)
+    # Default chains still run alongside the custom one.
+    assert len(extended.chains) == len(plain.chains) + 1
+
+
+def test_rejects_shadowing_builtin():
+    domino = ExtensibleDomino()
+    with pytest.raises(DslError):
+        domino.register_event("ul_harq_retx", lambda w, c: True)
+
+
+def test_rejects_bad_names():
+    domino = ExtensibleDomino()
+    with pytest.raises(DslError):
+        domino.register_event("Bad-Name", lambda w, c: True)
+
+
+def test_unknown_event_in_chain_rejected_eagerly():
+    domino = ExtensibleDomino()
+    with pytest.raises(UnknownEventError):
+        domino.add_chains(
+            "never_registered --> ul_delay_up --> remote_jitter_buffer_drain"
+        )
+
+
+def test_custom_consequence_vocabulary(private_bundle):
+    """A chain ending in a custom consequence-style node works too."""
+    domino = ExtensibleDomino(include_default_chains=False)
+    domino.register_event(
+        "custom_jitter_buffer_drain",
+        lambda window, config: bool(
+            np.any(
+                np.nan_to_num(
+                    window["remote_video_jitter_buffer_ms"], nan=np.inf
+                )
+                <= 1.0
+            )
+        ),
+    )
+    domino.add_chains(
+        "ul_harq_retx --> ul_delay_up --> custom_jitter_buffer_drain"
+    )
+    report = domino.build().analyze(private_bundle)
+    assert report.n_windows > 0

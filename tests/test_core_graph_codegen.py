@@ -1,0 +1,140 @@
+"""Causal graph structure, code generation, and trace equivalence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chains import DEFAULT_CHAINS_TEXT
+from repro.core.codegen import compile_chains, generate_python_source
+from repro.core.dsl import parse_chains
+from repro.core.features import FEATURE_NAMES
+from repro.core.graph import CausalGraph, NodeKind, classify_node
+from repro.core.trace import backward_trace, evaluate_chains
+from repro.errors import GraphError
+
+DEFAULT_CHAINS = parse_chains(DEFAULT_CHAINS_TEXT)
+
+
+# -- graph ---------------------------------------------------------------------
+
+
+def test_node_classification():
+    assert classify_node("ul_harq_retx") is NodeKind.CAUSE
+    assert classify_node("rrc_change") is NodeKind.CAUSE
+    assert classify_node("ul_scheduling") is NodeKind.CAUSE
+    assert classify_node("dl_delay_up") is NodeKind.INTERMEDIATE
+    assert classify_node("local_gcc_overuse") is NodeKind.INTERMEDIATE
+    assert classify_node("local_jitter_buffer_drain") is NodeKind.CONSEQUENCE
+    assert classify_node("remote_pushback_rate_down") is NodeKind.CONSEQUENCE
+
+
+def test_default_graph_structure():
+    graph = CausalGraph.from_chains(DEFAULT_CHAINS)
+    assert len(graph.causes()) == 10  # 4 families x 2 dirs + ul_sched + rrc
+    assert len(graph.consequences()) == 6  # 3 kinds x {local, remote}
+    assert "ul_delay_up" in graph.intermediates()
+
+
+def test_graph_rejects_cycle():
+    with pytest.raises(GraphError):
+        CausalGraph.from_chains(
+            [
+                ("ul_harq_retx", "ul_delay_up", "local_jitter_buffer_drain"),
+                ("local_jitter_buffer_drain", "ul_harq_retx", "local_jitter_buffer_drain"),
+            ]
+        )
+
+
+def test_graph_rejects_short_chain():
+    with pytest.raises(GraphError):
+        CausalGraph.from_chains([("ul_harq_retx",)])
+
+
+def test_chains_for_consequence():
+    graph = CausalGraph.from_chains(DEFAULT_CHAINS)
+    chains = graph.chains_for_consequence("local_jitter_buffer_drain")
+    assert chains
+    assert all(c[-1] == "local_jitter_buffer_drain" for c in chains)
+
+
+# -- codegen -------------------------------------------------------------------------
+
+
+def test_generated_source_is_valid_python():
+    source = generate_python_source(DEFAULT_CHAINS)
+    compile(source, "<test>", "exec")  # raises on syntax error
+    assert "def backward_trace(features):" in source
+    assert "consequences.add" in source
+
+
+def test_generated_function_matches_figure11_structure():
+    chains = parse_chains(
+        "dl_rlc_retx --> forward_delay_up --> local_jitter_buffer_drain\n"
+        "dl_harq_retx --> forward_delay_up --> local_jitter_buffer_drain"
+    )
+    fn = compile_chains(chains)
+    all_false = {name: False for name in FEATURE_NAMES}
+    consequences, causes, hits = fn(all_false)
+    assert (consequences, causes, hits) == (set(), set(), [])
+
+    features = dict(all_false)
+    features["local_jitter_buffer_drain"] = True
+    features["dl_delay_up"] = True
+    features["dl_rlc_retx"] = True
+    consequences, causes, hits = fn(features)
+    assert consequences == {"local_jitter_buffer_drain"}
+    assert causes == {"dl_rlc_retx"}
+    assert hits == [0]
+
+
+def test_intermediate_required():
+    chains = parse_chains(
+        "dl_rlc_retx --> dl_delay_up --> local_jitter_buffer_drain"
+    )
+    fn = compile_chains(chains)
+    features = {name: False for name in FEATURE_NAMES}
+    features["local_jitter_buffer_drain"] = True
+    features["dl_rlc_retx"] = True  # cause fired, but delay did not
+    consequences, causes, hits = fn(features)
+    assert consequences == {"local_jitter_buffer_drain"}
+    assert hits == []
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    bits=st.lists(
+        st.booleans(), min_size=len(FEATURE_NAMES), max_size=len(FEATURE_NAMES)
+    )
+)
+def test_property_codegen_equals_interpreter(bits):
+    """The generated Python and the interpreted evaluator agree on every
+    feature vector."""
+    features = dict(zip(FEATURE_NAMES, bits))
+    fn = compile_chains(DEFAULT_CHAINS)
+    gen_consequences, gen_causes, gen_hits = fn(features)
+    int_consequences, int_causes, int_hits = evaluate_chains(
+        features, DEFAULT_CHAINS
+    )
+    assert gen_consequences == int_consequences
+    assert gen_causes == int_causes
+    assert sorted(gen_hits) == sorted(int_hits)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    bits=st.lists(
+        st.booleans(), min_size=len(FEATURE_NAMES), max_size=len(FEATURE_NAMES)
+    )
+)
+def test_property_graph_trace_consistent_with_chains(bits):
+    """Every chain hit corresponds to a path the graph search finds."""
+    features = dict(zip(FEATURE_NAMES, bits))
+    graph = CausalGraph.from_chains(DEFAULT_CHAINS)
+    paths = set(backward_trace(features, graph))
+    _, _, hits = evaluate_chains(features, DEFAULT_CHAINS)
+    for chain_id in hits:
+        assert DEFAULT_CHAINS[chain_id] in paths
+
+
+def test_backward_trace_empty_features():
+    graph = CausalGraph.from_chains(DEFAULT_CHAINS)
+    assert backward_trace({name: False for name in FEATURE_NAMES}, graph) == []

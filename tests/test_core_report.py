@@ -1,0 +1,58 @@
+"""Report rendering (the Fig. 10 / Table 2 / Table 4 text output)."""
+
+from repro.core.detector import DominoDetector
+from repro.core.report import (
+    render_chain_ratio_table,
+    render_conditional_table,
+    render_frequency_table,
+)
+from repro.core.stats import DominoStats
+
+
+def _stats(bundle):
+    return DominoStats.from_report(DominoDetector().analyze(bundle))
+
+
+def test_frequency_table_lists_all_rows(cellular_bundle, private_bundle):
+    text = render_frequency_table(
+        {
+            "Commercial 5G": _stats(cellular_bundle),
+            "Private 5G": _stats(private_bundle),
+        }
+    )
+    for label in (
+        "Poor Channel",
+        "Cross Traffic",
+        "UL Scheduling",
+        "HARQ ReTX",
+        "RLC ReTX",
+        "RRC State",
+        "Jitter Buffer Drains",
+        "Commercial 5G",
+        "Private 5G",
+    ):
+        assert label in text
+
+
+def test_conditional_table_single_deployment(cellular_bundle):
+    text = render_conditional_table(_stats(cellular_bundle))
+    assert "Unknown" in text
+    assert "%" in text
+    assert "(cells:" not in text  # no dual-deployment footer
+
+
+def test_conditional_table_dual_deployment(cellular_bundle, private_bundle):
+    text = render_conditional_table(
+        _stats(cellular_bundle), _stats(private_bundle)
+    )
+    assert "commercial / private" in text
+    # Each data cell carries two values.
+    assert " / " in text.splitlines()[1] or " / " in text.splitlines()[2]
+
+
+def test_chain_ratio_table_renders(cellular_bundle, private_bundle):
+    text = render_chain_ratio_table(
+        _stats(cellular_bundle), _stats(private_bundle)
+    )
+    assert "Jitter Buffer Drains" in text
+    assert "%" in text

@@ -1,0 +1,151 @@
+"""Cell profiles, the Zoom dataset generator, and session runners."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cells import (
+    AMARISOFT,
+    CELL_PROFILES,
+    MOSOLABS,
+    TMOBILE_FDD,
+    TMOBILE_TDD,
+    get_profile,
+)
+from repro.datasets.zoom import (
+    AccessType,
+    ZoomDatasetConfig,
+    ZoomDatasetGenerator,
+    records_by_access,
+)
+from repro.phy.cell import Duplex
+
+
+# -- cell profiles -----------------------------------------------------------------
+
+
+def test_four_profiles_match_table1():
+    assert set(CELL_PROFILES) == {
+        "tmobile_fdd",
+        "tmobile_tdd",
+        "amarisoft",
+        "mosolabs",
+    }
+    assert TMOBILE_FDD.cell.duplex is Duplex.FDD
+    assert TMOBILE_FDD.cell.bandwidth_mhz == 15
+    assert TMOBILE_TDD.cell.bandwidth_mhz == 100
+    assert AMARISOFT.cell.bandwidth_mhz == 20
+    assert MOSOLABS.cell.bandwidth_mhz == 20
+
+
+def test_profile_signatures():
+    # Only the FDD commercial cell shows RRC flaps (§5.3).
+    assert TMOBILE_FDD.cell.rrc_flap_rate_per_min > 0
+    assert TMOBILE_TDD.cell.rrc_flap_rate_per_min == 0
+    # Only Amarisoft exposes gNB logs (Table 1).
+    assert AMARISOFT.cell.gnb_log_available
+    assert not MOSOLABS.cell.gnb_log_available
+    # Only Mosolabs uses proactive grants (Fig. 16).
+    assert MOSOLABS.cell.proactive_grant_bytes > 0
+    assert AMARISOFT.cell.proactive_grant_bytes == 0
+    # Amarisoft: poor UL channel + conservative MCS (§3).
+    assert AMARISOFT.ul_channel.base_sinr_db < 12
+    assert AMARISOFT.ul_channel.conservative_mcs_offset > 0
+
+
+def test_get_profile_errors():
+    assert get_profile("amarisoft") is AMARISOFT
+    with pytest.raises(KeyError):
+        get_profile("nonexistent")
+
+
+def test_with_overrides():
+    modified = AMARISOFT.with_overrides(harq_max_retx=2)
+    assert modified.cell.harq_max_retx == 2
+    assert AMARISOFT.cell.harq_max_retx == 4  # original untouched
+
+
+# -- zoom dataset -------------------------------------------------------------------
+
+
+def test_zoom_dataset_volumes():
+    config = ZoomDatasetConfig(
+        wifi_minutes=100, wired_minutes=50, cellular_minutes=30, seed=1
+    )
+    records = ZoomDatasetGenerator(config).generate()
+    grouped = records_by_access(records)
+    assert len(grouped[AccessType.WIFI]) == 100
+    assert len(grouped[AccessType.WIRED]) == 50
+    assert len(grouped[AccessType.CELLULAR]) == 30
+
+
+def test_zoom_dataset_orderings():
+    """Fig. 5/6: cellular jitter and loss dominate Wi-Fi and wired."""
+    records = ZoomDatasetGenerator(ZoomDatasetConfig(seed=3)).generate()
+    grouped = records_by_access(records)
+
+    def median(access, attr):
+        return float(
+            np.median([getattr(r, attr) for r in grouped[access]])
+        )
+
+    for attr in ("inbound_jitter_ms", "outbound_jitter_ms"):
+        assert median(AccessType.CELLULAR, attr) > median(AccessType.WIFI, attr)
+        assert median(AccessType.WIFI, attr) > median(AccessType.WIRED, attr)
+    for attr in ("inbound_loss_pct", "outbound_loss_pct"):
+        assert median(AccessType.CELLULAR, attr) > median(AccessType.WIRED, attr)
+
+
+def test_zoom_dataset_deterministic():
+    a = ZoomDatasetGenerator(ZoomDatasetConfig(seed=5)).generate()
+    b = ZoomDatasetGenerator(ZoomDatasetConfig(seed=5)).generate()
+    assert a == b
+
+
+def test_zoom_loss_bounded():
+    records = ZoomDatasetGenerator(ZoomDatasetConfig(seed=5)).generate()
+    assert all(0 <= r.inbound_loss_pct <= 100 for r in records)
+    assert all(0 <= r.outbound_loss_pct <= 100 for r in records)
+
+
+# -- session runners (uses the cached session fixtures) --------------------------------
+
+
+def test_cellular_bundle_has_all_sources(cellular_bundle):
+    assert len(cellular_bundle.dci) > 100
+    assert len(cellular_bundle.packets) > 1_000
+    assert len(cellular_bundle.webrtc_stats) > 100
+    assert cellular_bundle.gnb_log == []  # commercial: no gNB log
+
+
+def test_private_bundle_has_gnb_log(private_bundle):
+    assert private_bundle.gnb_log_available
+    assert len(private_bundle.gnb_log) > 0
+
+
+def test_cellular_delay_dominates_wired(cellular_bundle, wired_bundle):
+    """Fig. 2's headline: 5G inflates one-way delay vs wired."""
+
+    def median_delay(bundle, uplink):
+        delays = [
+            p.delay_us
+            for p in bundle.packets
+            if p.is_uplink == uplink and p.received_us is not None
+        ]
+        return np.median(delays)
+
+    assert median_delay(cellular_bundle, True) > median_delay(wired_bundle, True)
+
+
+def test_ul_delay_exceeds_dl(cellular_bundle):
+    """Fig. 8a-d: UL delay dominates DL on cellular."""
+
+    def median_delay(uplink):
+        return np.median(
+            [
+                p.delay_us
+                for p in cellular_bundle.packets
+                if p.is_uplink == uplink and p.received_us is not None
+            ]
+        )
+
+    assert median_delay(True) > median_delay(False)

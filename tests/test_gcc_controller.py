@@ -1,0 +1,130 @@
+"""The combined GCC controller."""
+
+import pytest
+
+from repro.rtc.gcc.controller import GccController, PacketResult
+from repro.rtc.gcc.overuse import BandwidthUsage
+
+
+def _feed_stable(controller, n_packets=200, rate_interval_us=10_000):
+    """Send + ack packets with constant delay; returns last output."""
+    output = None
+    for i in range(n_packets):
+        send = i * rate_interval_us
+        controller.on_packet_sent(i, 1_200, send)
+        if i % 10 == 9:
+            results = [
+                PacketResult(
+                    seq=j,
+                    send_us=j * rate_interval_us,
+                    arrival_us=j * rate_interval_us + 20_000,
+                    size_bytes=1_200,
+                )
+                for j in range(i - 9, i + 1)
+            ]
+            output = controller.on_feedback(results, now_us=send + 40_000)
+    return output
+
+
+def test_outstanding_bytes_accounting():
+    controller = GccController()
+    controller.on_packet_sent(0, 1_000, 0)
+    controller.on_packet_sent(1, 2_000, 1_000)
+    assert controller.outstanding_bytes == 3_000
+    controller.on_feedback(
+        [PacketResult(seq=0, send_us=0, arrival_us=20_000, size_bytes=1_000)],
+        now_us=30_000,
+    )
+    assert controller.outstanding_bytes == 2_000
+
+
+def test_lost_packets_clear_outstanding():
+    controller = GccController()
+    controller.on_packet_sent(0, 1_000, 0)
+    controller.on_feedback(
+        [PacketResult(seq=0, send_us=0, arrival_us=None, size_bytes=1_000)],
+        now_us=200_000,
+    )
+    assert controller.outstanding_bytes == 0
+
+
+def test_stable_network_stays_normal():
+    controller = GccController()
+    output = _feed_stable(controller)
+    assert output is not None
+    assert output.state is BandwidthUsage.NORMAL
+    assert output.target_bps > 0
+    assert output.pushback_bps == pytest.approx(output.target_bps, rel=0.05)
+
+
+def test_growing_delay_triggers_overuse_and_rate_cut():
+    controller = GccController(initial_bps=2_000_000)
+    rate_before = None
+    output = None
+    now = 0
+    for i in range(400):
+        send = i * 10_000
+        now = send
+        controller.on_packet_sent(i, 1_200, send)
+        if i % 10 == 9:
+            delay = 20_000 if i < 200 else 20_000 + (i - 200) * 2_000
+            results = [
+                PacketResult(
+                    seq=j,
+                    send_us=j * 10_000,
+                    arrival_us=j * 10_000 + delay,
+                    size_bytes=1_200,
+                )
+                for j in range(i - 9, i + 1)
+            ]
+            output = controller.on_feedback(results, now_us=send + delay)
+            if i == 199:
+                rate_before = output.target_bps
+    assert controller.overuse_events >= 1
+    assert output.target_bps < rate_before
+
+
+def test_missing_feedback_grows_outstanding_and_pushes_back():
+    """Fig. 22: reverse-path silence alone reduces the pushback rate."""
+    controller = GccController(initial_bps=2_000_000)
+    _feed_stable(controller)
+    baseline = controller.process(3_000_000)
+    assert baseline.pushback_bps == pytest.approx(baseline.target_bps, rel=0.05)
+    # Keep sending without any feedback (RTCP delayed).
+    now = 3_000_000
+    output = baseline
+    for i in range(1000, 1400):
+        now += 5_000
+        controller.on_packet_sent(i, 1_200, now)
+        if i % 5 == 0:
+            output = controller.process(now)
+    assert output.outstanding_bytes > output.congestion_window_bytes
+    assert output.pushback_bps < output.target_bps
+
+
+def test_drop_stale_reclaims_leaked_packets():
+    controller = GccController()
+    controller.on_packet_sent(0, 1_000, 0)
+    controller.on_packet_sent(1, 1_000, 100_000)
+    expired = controller.drop_stale(now_us=10_000_000)
+    assert expired == 2
+    assert controller.outstanding_bytes == 0
+
+
+def test_rtt_estimate_tracks_feedback():
+    controller = GccController()
+    controller.rtt_ms = 100.0
+    for i in range(50):
+        controller.on_packet_sent(i, 1_200, i * 10_000)
+        controller.on_feedback(
+            [
+                PacketResult(
+                    seq=i,
+                    send_us=i * 10_000,
+                    arrival_us=i * 10_000 + 15_000,
+                    size_bytes=1_200,
+                )
+            ],
+            now_us=i * 10_000 + 30_000,
+        )
+    assert controller.rtt_ms < 60.0  # converged toward ~30 ms

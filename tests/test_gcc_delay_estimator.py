@@ -1,0 +1,142 @@
+"""GCC delay-based estimator: inter-arrival, trendline, overuse."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.rtc.gcc.interarrival import InterArrival
+from repro.rtc.gcc.overuse import BandwidthUsage, OveruseDetector
+from repro.rtc.gcc.trendline import TrendlineEstimator
+
+
+# -- InterArrival -----------------------------------------------------------------
+
+
+def test_groups_by_burst_window():
+    ia = InterArrival(burst_window_us=5_000)
+    # Four bursts 20 ms apart; each burst has 3 packets within 2 ms.
+    # A group only completes when the next one starts, and the first
+    # completed group has no predecessor, so 4 bursts -> 2 deltas.
+    deltas = []
+    for burst in range(4):
+        base = burst * 20_000
+        for k in range(3):
+            delta = ia.add_packet(base + k * 1_000, base + 5_000 + k * 1_000, 1200)
+            if delta is not None:
+                deltas.append(delta)
+    assert len(deltas) == 2
+    for delta in deltas:
+        assert delta.send_delta_us == 20_000
+        assert delta.arrival_delta_us == 20_000
+        assert delta.delay_variation_us == 0
+
+
+def test_queue_growth_positive_variation():
+    ia = InterArrival()
+    variations = []
+    # Each successive burst arrives 3 ms later than its send spacing.
+    for burst in range(5):
+        send = burst * 20_000
+        arrival = send + 5_000 + burst * 3_000
+        delta = ia.add_packet(send, arrival, 1200)
+        if delta is not None:
+            variations.append(delta.delay_variation_us)
+    assert all(v == 3_000 for v in variations)
+
+
+def test_add_batch_sorts_by_send_time():
+    ia = InterArrival()
+    packets = [
+        (60_000, 66_000, 1200),
+        (40_000, 46_000, 1200),
+        (0, 5_000, 1200),
+        (20_000, 25_000, 1200),
+    ]
+    deltas = ia.add_batch(packets)
+    assert len(deltas) == 2
+    assert all(d.send_delta_us == 20_000 for d in deltas)
+
+
+# -- Trendline ----------------------------------------------------------------------
+
+
+def test_trendline_positive_for_growing_delay():
+    estimator = TrendlineEstimator()
+    for i in range(40):
+        estimator.update(2_000, arrival_us=i * 20_000)  # +2 ms per group
+    assert estimator.trend > 0
+    assert estimator.slope_ms_per_s > 0
+    assert estimator.modified_trend > 0
+
+
+def test_trendline_negative_for_draining_queue():
+    estimator = TrendlineEstimator()
+    for i in range(40):
+        estimator.update(-1_500, arrival_us=i * 20_000)
+    assert estimator.trend < 0
+
+
+def test_trendline_near_zero_for_stable_delay():
+    estimator = TrendlineEstimator()
+    rng = np.random.default_rng(1)
+    for i in range(60):
+        jitter = int(rng.normal(0, 300))
+        estimator.update(jitter, arrival_us=i * 20_000)
+    assert abs(estimator.slope_ms_per_s) < 20
+
+
+@given(scale=st.integers(min_value=1, max_value=10))
+def test_trendline_scale_invariant_sign(scale):
+    estimator = TrendlineEstimator()
+    for i in range(30):
+        estimator.update(1_000 * scale, arrival_us=i * 20_000)
+    assert estimator.trend > 0
+
+
+# -- Overuse detector --------------------------------------------------------------------
+
+
+def test_sustained_positive_trend_triggers_overuse():
+    detector = OveruseDetector()
+    state = BandwidthUsage.NORMAL
+    for i in range(30):
+        state = detector.detect(modified_trend=40.0, now_us=i * 20_000)
+    assert state is BandwidthUsage.OVERUSE
+
+
+def test_negative_trend_underuse():
+    detector = OveruseDetector()
+    state = detector.detect(modified_trend=-40.0, now_us=0)
+    assert state is BandwidthUsage.UNDERUSE
+
+
+def test_small_trend_normal():
+    detector = OveruseDetector()
+    for i in range(20):
+        state = detector.detect(modified_trend=2.0, now_us=i * 20_000)
+    assert state is BandwidthUsage.NORMAL
+
+
+def test_single_spike_does_not_trigger():
+    """Overuse needs persistence (> 10 ms over threshold)."""
+    detector = OveruseDetector()
+    state = detector.detect(modified_trend=40.0, now_us=0)
+    assert state is not BandwidthUsage.OVERUSE
+
+
+def test_threshold_adapts_upward_under_repeated_trend():
+    detector = OveruseDetector()
+    initial = detector.threshold
+    for i in range(200):
+        detector.detect(modified_trend=detector.threshold + 5.0, now_us=i * 20_000)
+    assert detector.threshold > initial
+
+
+def test_threshold_bounded():
+    detector = OveruseDetector()
+    for i in range(2000):
+        detector.detect(modified_trend=1000.0, now_us=i * 20_000)
+    assert detector.threshold <= detector.max_threshold
+    detector2 = OveruseDetector()
+    for i in range(2000):
+        detector2.detect(modified_trend=0.0, now_us=i * 20_000)
+    assert detector2.threshold >= detector2.min_threshold

@@ -1,0 +1,96 @@
+"""HARQ entity: retransmission scheduling, retry limits, statistics."""
+
+from hypothesis import given, strategies as st
+
+from repro.mac.harq import HarqEntity, HarqOutcome, TransportBlock
+
+
+def _tb(tb_id=0, slot=0):
+    return TransportBlock(
+        tb_id=tb_id,
+        slot=slot,
+        n_prb=10,
+        mcs=10,
+        tbs_bits=8000,
+        ranges=[(0, 1000)],
+    )
+
+
+def _drain(entity, max_slot=10_000):
+    """Poll slot by slot until all TBs resolve; returns resolutions."""
+    out = []
+    slot = 0
+    while entity.pending_count() and slot < max_slot:
+        out.extend(entity.poll(slot))
+        slot += 1
+    return out
+
+
+def test_perfect_channel_decodes_first_attempt():
+    entity = HarqEntity(rtt_slots=20, max_retx=4, seed=1)
+    entity.submit(_tb(), bler=0.0)
+    resolutions = _drain(entity)
+    assert len(resolutions) == 1
+    assert resolutions[0].outcome is HarqOutcome.DECODED
+    assert resolutions[0].attempt == 0
+    assert resolutions[0].slot == 1  # decode_delay_slots default
+
+
+def test_hopeless_channel_exhausts_retries():
+    entity = HarqEntity(
+        rtt_slots=20, max_retx=4, seed=1, bler_fn=lambda tb, attempt: 1.0
+    )
+    entity.submit(_tb(), bler=1.0)
+    resolutions = _drain(entity)
+    outcomes = [r.outcome for r in resolutions]
+    assert outcomes == [HarqOutcome.RETRANSMIT] * 4 + [HarqOutcome.FAILED]
+    assert entity.total_failures == 1
+    assert entity.total_retransmissions == 4
+
+
+def test_retx_timing_respects_rtt():
+    entity = HarqEntity(
+        rtt_slots=20, max_retx=4, seed=1, bler_fn=lambda tb, attempt: 1.0
+    )
+    entity.submit(_tb(slot=0), bler=1.0)
+    slots = [r.slot for r in _drain(entity)]
+    # First resolution at slot 1 (decode delay), then every rtt_slots.
+    assert slots == [1, 21, 41, 61, 81]
+
+
+def test_soft_combining_reduces_failures():
+    # With default combining, BLER 0.5 should almost always decode
+    # within the retry budget.
+    entity = HarqEntity(rtt_slots=5, max_retx=4, seed=3)
+    for i in range(200):
+        entity.submit(_tb(tb_id=i, slot=i * 30), bler=0.5)
+    slot = 0
+    while entity.pending_count():
+        entity.poll(slot)
+        slot += 1
+    assert entity.total_failures < 10  # p(5 consecutive fails) is tiny
+
+
+@given(seed=st.integers(min_value=0, max_value=1_000))
+def test_attempts_never_exceed_budget(seed):
+    entity = HarqEntity(rtt_slots=3, max_retx=2, seed=seed)
+    for i in range(20):
+        entity.submit(_tb(tb_id=i, slot=i), bler=0.9)
+    resolutions = _drain(entity)
+    assert all(r.attempt <= 2 for r in resolutions)
+    decoded = sum(1 for r in resolutions if r.outcome is HarqOutcome.DECODED)
+    failed = sum(1 for r in resolutions if r.outcome is HarqOutcome.FAILED)
+    assert decoded + failed == 20  # every TB reaches a terminal state
+
+
+def test_deterministic_per_seed():
+    def run(seed):
+        entity = HarqEntity(rtt_slots=3, max_retx=4, seed=seed)
+        for i in range(50):
+            entity.submit(_tb(tb_id=i, slot=i), bler=0.3)
+        return [
+            (r.tb.tb_id, r.outcome, r.slot) for r in _drain(entity)
+        ]
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)

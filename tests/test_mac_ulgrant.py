@@ -1,0 +1,87 @@
+"""The BSR / UL grant loop and proactive grants."""
+
+from repro.mac.ulgrant import UlGrantLoop
+from repro.phy.cell import CellConfig, Duplex
+from repro.phy.grid import ResourceGrid
+
+
+def _loop(proactive_bytes=0, grant_delay=16, bsr_period=8):
+    cell = CellConfig(
+        name="t",
+        duplex=Duplex.TDD,
+        frequency_mhz=3500.0,
+        bandwidth_mhz=20,
+        scs_khz=30,
+        ul_grant_delay_slots=grant_delay,
+        bsr_period_slots=bsr_period,
+        proactive_grant_bytes=proactive_bytes,
+        proactive_grant_period_slots=10,
+    )
+    grid = cell.make_grid()
+    return UlGrantLoop(cell=cell, grid=grid), grid
+
+
+def test_bsr_triggers_grant_after_delay():
+    loop, grid = _loop()
+    assert loop.maybe_send_bsr(0, buffered_bytes=5000)
+    # No grant before the scheduling delay elapses.
+    assert loop.grants_usable_at(10) == []
+    # The grant lands on the first uplink slot at/after slot 16.
+    expected_slot = grid.next_slot_of_type(16, uplink=True)
+    grants = loop.grants_usable_at(expected_slot)
+    assert len(grants) == 1
+    assert grants[0].granted_bytes == 5000
+    assert not grants[0].proactive
+
+
+def test_bsr_respects_period():
+    loop, _ = _loop(bsr_period=8)
+    assert loop.maybe_send_bsr(0, 1000)
+    assert not loop.maybe_send_bsr(4, 2000)  # too soon
+    assert loop.maybe_send_bsr(8, 2000)
+
+
+def test_bsr_reports_only_unreported_bytes():
+    loop, grid = _loop(bsr_period=1)
+    assert loop.maybe_send_bsr(0, 5000)
+    # Same queue size: all 5000 bytes already have a pending grant.
+    assert not loop.maybe_send_bsr(1, 5000)
+    # Queue grew: only the delta is reported.
+    assert loop.maybe_send_bsr(2, 8000)
+    slot = grid.next_slot_of_type(2 + 16, uplink=True)
+    grants = loop.grants_usable_at(slot)
+    assert sorted(g.granted_bytes for g in grants) == [3000, 5000]
+
+
+def test_no_bsr_for_empty_buffer():
+    loop, _ = _loop()
+    assert not loop.maybe_send_bsr(0, 0)
+    assert loop.total_bsrs_sent == 0
+
+
+def test_proactive_grants_issue_periodically():
+    loop, grid = _loop(proactive_bytes=1500)
+    issued = 0
+    for slot in range(0, 100):
+        if grid.slot_type(slot).carries_uplink:
+            if loop.maybe_issue_proactive(slot):
+                issued += 1
+    assert issued >= 5
+    assert loop.total_proactive_grants == issued
+
+
+def test_proactive_disabled_by_default():
+    loop, grid = _loop(proactive_bytes=0)
+    for slot in range(0, 50):
+        assert not loop.maybe_issue_proactive(slot)
+
+
+def test_reset_clears_state():
+    loop, grid = _loop()
+    loop.maybe_send_bsr(0, 5000)
+    loop.reset()
+    assert loop.outstanding_grant_bytes() == 0
+    slot = grid.next_slot_of_type(40, uplink=True)
+    assert loop.grants_usable_at(slot) == []
+    # After reset a BSR may be sent immediately again.
+    assert loop.maybe_send_bsr(1, 5000)

@@ -1,0 +1,86 @@
+"""Access links and the internet segment."""
+
+import numpy as np
+
+from repro.net.link import (
+    DelayModel,
+    InternetSegment,
+    WiredAccess,
+    wifi_delay_model,
+    wired_delay_model,
+)
+
+
+def test_delay_model_base_plus_jitter():
+    model = DelayModel(base_us=5_000, jitter_us=2_000, seed=1)
+    samples = [model.transit_us() for _ in range(2000)]
+    assert all(s >= 5_000 for s in samples)
+    assert abs(np.mean(samples) - 7_000) < 500  # base + mean jitter
+
+
+def test_delay_model_loss():
+    model = DelayModel(base_us=1_000, loss_rate=0.5, seed=2)
+    lost = sum(1 for _ in range(2000) if model.transit_us() is None)
+    assert 800 < lost < 1200
+
+
+def test_delay_model_no_loss_by_default():
+    model = DelayModel(base_us=1_000, seed=3)
+    assert all(model.transit_us() is not None for _ in range(100))
+
+
+def test_wifi_jitter_exceeds_wired():
+    wired = wired_delay_model(seed=4, loss_rate=0.0)
+    wifi = wifi_delay_model(seed=4, loss_rate=0.0)
+    wired_samples = [wired.transit_us() for _ in range(2000)]
+    wifi_samples = [wifi.transit_us() for _ in range(2000)]
+    assert np.std(wifi_samples) > np.std(wired_samples)
+    assert np.median(wifi_samples) > np.median(wired_samples)
+
+
+def test_wired_access_fifo_per_direction():
+    access = WiredAccess(
+        up=DelayModel(base_us=1_000, jitter_us=5_000, seed=5),
+        down=DelayModel(base_us=1_000, jitter_us=5_000, seed=6),
+    )
+    for pid in range(50):
+        access.send_up(pid, 100, now_us=pid * 10)
+    deliveries = access.poll(10_000_000)
+    ids = [pid for pid, _, up in deliveries if up]
+    times = [ts for _, ts, up in deliveries if up]
+    assert ids == sorted(ids)
+    assert times == sorted(times)  # FIFO: no overtaking
+
+
+def test_wired_access_direction_separation():
+    access = WiredAccess(
+        up=DelayModel(base_us=1_000, seed=7),
+        down=DelayModel(base_us=1_000, seed=8),
+    )
+    access.send_up(1, 100, 0)
+    access.send_down(2, 100, 0)
+    deliveries = access.poll(10_000_000)
+    assert {(pid, up) for pid, _, up in deliveries} == {(1, True), (2, False)}
+
+
+def test_poll_respects_time():
+    access = WiredAccess(
+        up=DelayModel(base_us=5_000, seed=9),
+        down=DelayModel(base_us=5_000, seed=10),
+    )
+    access.send_up(1, 100, now_us=0)
+    assert access.poll(1_000) == []
+    assert len(access.poll(100_000)) == 1
+    assert access.poll(200_000) == []  # delivered once
+
+
+def test_internet_segment_fifo():
+    segment = InternetSegment(
+        DelayModel(base_us=8_000, jitter_us=3_000, seed=11)
+    )
+    for pid in range(100):
+        segment.send(pid, now_us=pid * 100)
+    deliveries = segment.poll(10_000_000)
+    assert [pid for pid, _ in deliveries] == list(range(100))
+    times = [ts for _, ts in deliveries]
+    assert times == sorted(times)

@@ -1,0 +1,43 @@
+"""Cell configuration validation and derived quantities."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.phy.cell import CellConfig, Duplex
+
+
+def _cell(**kwargs):
+    defaults = dict(
+        name="test",
+        duplex=Duplex.TDD,
+        frequency_mhz=3500.0,
+        bandwidth_mhz=20,
+        scs_khz=30,
+    )
+    defaults.update(kwargs)
+    return CellConfig(**defaults)
+
+
+def test_grid_matches_duplex():
+    tdd = _cell()
+    assert not tdd.make_grid().is_fdd
+    fdd = _cell(duplex=Duplex.FDD, scs_khz=15, bandwidth_mhz=15)
+    assert fdd.make_grid().is_fdd
+
+
+def test_derived_delays():
+    cell = _cell(ul_grant_delay_slots=16, harq_rtt_slots=20)
+    assert cell.slot_us == 500
+    assert cell.ul_grant_delay_us() == 8_000
+    assert cell.harq_rtt_us() == 10_000
+
+
+def test_rejects_invalid_configs():
+    with pytest.raises(ConfigError):
+        _cell(bandwidth_mhz=0)
+    with pytest.raises(ConfigError):
+        _cell(harq_max_retx=-1)
+    with pytest.raises(ConfigError):
+        _cell(max_prb_per_ue_fraction=0.0)
+    with pytest.raises(ConfigError):
+        _cell(duplex=Duplex.FDD, scs_khz=60)

@@ -1,0 +1,91 @@
+"""Channel models: determinism, fades, link adaptation coupling."""
+
+import numpy as np
+
+from repro.phy.channel import ChannelModel, FadeEvent
+
+
+def test_deterministic_per_seed():
+    a = ChannelModel(seed=5)
+    b = ChannelModel(seed=5)
+    for t in range(0, 100_000, 500):
+        assert a.sample(t).sinr_db == b.sample(t).sinr_db
+
+
+def test_different_seeds_differ():
+    a = ChannelModel(seed=1)
+    b = ChannelModel(seed=2)
+    diffs = [
+        abs(a.sample(t).sinr_db - b.sample(t).sinr_db)
+        for t in range(0, 50_000, 500)
+    ]
+    assert max(diffs) > 0.1
+
+
+def test_mean_sinr_near_base():
+    # The OU shadowing has tau = 2 s, so a long horizon is needed for
+    # the sample mean to settle near the base SINR.
+    channel = ChannelModel(
+        base_sinr_db=20.0, shadowing_tau_us=200_000, seed=3
+    )
+    samples = [channel.sample(t).sinr_db for t in range(0, 20_000_000, 2000)]
+    assert abs(np.mean(samples) - 20.0) < 1.5
+
+
+def test_scripted_fade_reduces_sinr():
+    fade = FadeEvent(start_us=1_000_000, duration_us=500_000, depth_db=20.0)
+    channel = ChannelModel(
+        base_sinr_db=20.0,
+        shadowing_sigma_db=0.5,
+        fast_fading_sigma_db=0.2,
+        fade_events=[fade],
+        seed=4,
+    )
+    before = channel.sample(500_000).sinr_db
+    during = channel.sample(1_200_000).sinr_db
+    after = channel.sample(2_000_000).sinr_db
+    assert during < before - 10
+    assert after > during + 10
+    assert channel.in_fade(1_200_000)
+    assert not channel.in_fade(2_000_000)
+
+
+def test_fade_lowers_mcs():
+    fade = FadeEvent(start_us=1_000_000, duration_us=500_000, depth_db=25.0)
+    channel = ChannelModel(
+        base_sinr_db=22.0,
+        shadowing_sigma_db=0.5,
+        fast_fading_sigma_db=0.2,
+        fade_events=[fade],
+        seed=4,
+    )
+    good = channel.sample(500_000).mcs
+    bad = channel.sample(1_250_000).mcs
+    assert bad < good
+
+
+def test_random_fades_generated_at_rate():
+    channel = ChannelModel(
+        base_sinr_db=20.0, random_fade_rate_per_min=30.0, seed=9
+    )
+    # Sample 60 s; at 30 fades/min we expect plenty of in-fade samples.
+    in_fade = sum(
+        channel.in_fade(t) for t in range(0, 60_000_000, 10_000)
+    )
+    assert in_fade > 10
+
+
+def test_no_random_fades_when_rate_zero():
+    channel = ChannelModel(random_fade_rate_per_min=0.0, seed=9)
+    assert not any(
+        channel.in_fade(t) for t in range(0, 10_000_000, 10_000)
+    )
+
+
+def test_conservative_offset_lowers_mcs():
+    plain = ChannelModel(base_sinr_db=20.0, seed=7)
+    conservative = ChannelModel(
+        base_sinr_db=20.0, conservative_mcs_offset=4, seed=7
+    )
+    for t in range(0, 1_000_000, 100_000):
+        assert conservative.sample(t).mcs <= plain.sample(t).mcs

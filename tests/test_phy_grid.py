@@ -1,0 +1,79 @@
+"""Resource grid: slot timing, TDD patterns, PRB counts."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.phy.grid import ResourceGrid, SlotType, prb_count, slot_duration_us
+
+
+def test_slot_durations():
+    assert slot_duration_us(15) == 1000
+    assert slot_duration_us(30) == 500
+    with pytest.raises(ConfigError):
+        slot_duration_us(17)
+
+
+def test_prb_counts_from_table():
+    assert prb_count(15, 15) == 79  # the T-Mobile FDD cell
+    assert prb_count(30, 100) == 273  # the T-Mobile TDD cell
+    assert prb_count(30, 20) == 51  # the private cells
+
+
+def test_prb_count_fallback_approximation():
+    # 30 kHz / 50 MHz is not in the table; ~0.9 * 50e6 / 360e3 = 125.
+    assert 110 <= prb_count(30, 50) <= 140
+
+
+def test_fdd_grid_all_slots_both():
+    grid = ResourceGrid(scs_khz=15, bandwidth_mhz=15, tdd_pattern=None)
+    assert grid.is_fdd
+    for slot in range(10):
+        assert grid.slot_type(slot) is SlotType.BOTH
+        assert grid.slot_type(slot).carries_uplink
+        assert grid.slot_type(slot).carries_downlink
+    assert grid.uplink_slot_fraction() == 1.0
+
+
+def test_tdd_pattern_cycles():
+    grid = ResourceGrid(scs_khz=30, bandwidth_mhz=20, tdd_pattern="DDDSU")
+    expected = [
+        SlotType.DOWNLINK,
+        SlotType.DOWNLINK,
+        SlotType.DOWNLINK,
+        SlotType.SPECIAL,
+        SlotType.UPLINK,
+    ]
+    for slot in range(15):
+        assert grid.slot_type(slot) is expected[slot % 5]
+    assert grid.uplink_slot_fraction() == pytest.approx(0.2)
+    assert grid.downlink_slot_fraction() == pytest.approx(0.6)
+
+
+def test_next_slot_of_type():
+    grid = ResourceGrid(scs_khz=30, bandwidth_mhz=20, tdd_pattern="DDDSU")
+    # Slot 4 is the first uplink slot of each cycle.
+    assert grid.next_slot_of_type(0, uplink=True) == 4
+    assert grid.next_slot_of_type(4, uplink=True) == 4
+    assert grid.next_slot_of_type(5, uplink=True) == 9
+    assert grid.next_slot_of_type(4, uplink=False) == 5
+
+
+def test_next_slot_raises_when_direction_missing():
+    grid = ResourceGrid(scs_khz=30, bandwidth_mhz=20, tdd_pattern="DDD")
+    with pytest.raises(ConfigError):
+        grid.next_slot_of_type(0, uplink=True)
+
+
+def test_slot_time_mapping():
+    grid = ResourceGrid(scs_khz=30, bandwidth_mhz=20)
+    assert grid.slot_start_us(7) == 3500
+    assert grid.slot_index_at(3500) == 7
+    assert grid.slot_index_at(3999) == 7
+    assert grid.slots_per_second() == 2000
+
+
+def test_invalid_pattern_rejected():
+    with pytest.raises(ConfigError):
+        ResourceGrid(scs_khz=30, bandwidth_mhz=20, tdd_pattern="DXU")
+    with pytest.raises(ConfigError):
+        ResourceGrid(scs_khz=30, bandwidth_mhz=20, tdd_pattern="")

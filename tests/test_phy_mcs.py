@@ -1,0 +1,101 @@
+"""MCS table, TBS computation, link adaptation, and BLER model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.mcs import (
+    MAX_MCS,
+    bler,
+    cqi_from_sinr,
+    mcs_from_cqi,
+    mcs_table,
+    required_sinr_db,
+    transport_block_size_bits,
+)
+
+
+def test_mcs_table_shape():
+    table = mcs_table()
+    assert len(table) == MAX_MCS + 1
+    assert table[0].modulation_order == 2  # QPSK at the bottom
+    assert table[-1].modulation_order == 6  # 64QAM at the top
+
+
+def test_spectral_efficiency_nearly_monotone():
+    # The real TS 38.214 table dips very slightly at the 16QAM -> 64QAM
+    # boundary (MCS 16 -> 17); allow that, reject anything larger.
+    table = mcs_table()
+    efficiencies = [entry.spectral_efficiency for entry in table]
+    for lower, upper in zip(efficiencies, efficiencies[1:]):
+        assert upper >= lower - 0.01
+
+
+@given(
+    n_prb=st.integers(min_value=1, max_value=273),
+    mcs=st.integers(min_value=0, max_value=MAX_MCS),
+)
+def test_tbs_positive_and_monotone_in_prbs(n_prb, mcs):
+    tbs = transport_block_size_bits(n_prb, mcs)
+    assert tbs >= 1
+    assert transport_block_size_bits(n_prb + 1, mcs) >= tbs
+
+
+@given(
+    n_prb=st.integers(min_value=1, max_value=273),
+    mcs=st.integers(min_value=0, max_value=MAX_MCS - 1),
+)
+def test_tbs_nearly_monotone_in_mcs(n_prb, mcs):
+    # Allow the table's tiny MCS 16 -> 17 efficiency dip (< 0.2%).
+    lower = transport_block_size_bits(n_prb, mcs)
+    upper = transport_block_size_bits(n_prb, mcs + 1)
+    assert upper >= lower * 0.99 - 1
+
+
+def test_tbs_zero_prbs():
+    assert transport_block_size_bits(0, 10) == 0
+
+
+def test_tbs_rejects_bad_mcs():
+    with pytest.raises(ValueError):
+        transport_block_size_bits(10, MAX_MCS + 1)
+    with pytest.raises(ValueError):
+        transport_block_size_bits(10, -1)
+
+
+def test_cqi_mapping_monotone():
+    previous = 0
+    for sinr in range(-10, 30):
+        cqi = cqi_from_sinr(float(sinr))
+        assert cqi >= previous
+        previous = cqi
+    assert cqi_from_sinr(-20.0) == 0
+    assert cqi_from_sinr(30.0) == 15
+
+
+def test_mcs_from_cqi_bounds():
+    assert mcs_from_cqi(0) == 0
+    assert mcs_from_cqi(15) == 26
+    assert mcs_from_cqi(15, conservative_offset=5) == 21
+    assert mcs_from_cqi(1, conservative_offset=10) == 0  # clamped
+
+
+def test_bler_calibration_at_threshold():
+    for mcs in (0, 10, 20, MAX_MCS):
+        assert bler(mcs, required_sinr_db(mcs)) == pytest.approx(0.1, abs=1e-6)
+
+
+def test_bler_monotone_in_sinr():
+    for mcs in (4, 16, 24):
+        required = required_sinr_db(mcs)
+        values = [bler(mcs, required + d) for d in (-6, -3, 0, 3, 6)]
+        assert values == sorted(values, reverse=True)
+        assert values[0] > 0.9  # deep fade: near-certain failure
+        assert values[-1] < 0.01  # comfortable margin: rare failure
+
+
+def test_bler_extreme_sinr_does_not_overflow():
+    assert bler(10, 1000.0) == pytest.approx(0.0, abs=1e-9)
+    assert bler(10, -1000.0) == pytest.approx(1.0, abs=1e-9)
+    assert not math.isnan(bler(10, float(10**6)))

@@ -1,0 +1,160 @@
+"""RLC send buffer and reassembly: ordering, HoL blocking, invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rlc.am import ReassemblyEntity
+from repro.rlc.buffer import RlcSendBuffer
+
+
+# -- send buffer -----------------------------------------------------------------
+
+
+def test_buffer_offsets_contiguous():
+    buffer = RlcSendBuffer()
+    a = buffer.enqueue(1, 100, now_us=0)
+    b = buffer.enqueue(2, 200, now_us=10)
+    assert a.start_offset == 0 and a.end_offset == 100
+    assert b.start_offset == 100 and b.end_offset == 300
+    assert buffer.buffered_bytes() == 300
+
+
+def test_take_respects_limit_and_fifo():
+    buffer = RlcSendBuffer()
+    buffer.enqueue(1, 100, 0)
+    buffer.enqueue(2, 200, 0)
+    segment = buffer.take(150)
+    assert (segment.start_offset, segment.end_offset) == (0, 150)
+    assert buffer.buffered_bytes() == 150
+    rest = buffer.take(10_000)
+    assert (rest.start_offset, rest.end_offset) == (150, 300)
+    assert buffer.take(100) is None
+
+
+def test_take_zero_or_empty():
+    buffer = RlcSendBuffer()
+    assert buffer.take(0) is None
+    assert buffer.take(100) is None
+
+
+def test_packets_overlapping():
+    buffer = RlcSendBuffer()
+    buffer.enqueue(1, 100, 0)
+    buffer.enqueue(2, 100, 0)
+    buffer.enqueue(3, 100, 0)
+    overlap = buffer.packets_overlapping(50, 150)
+    assert [p.packet_id for p in overlap] == [1, 2]
+
+
+def test_release_delivered_frees_memory():
+    buffer = RlcSendBuffer()
+    for i in range(10):
+        buffer.enqueue(i, 100, 0)
+    released = buffer.release_delivered(350)
+    assert [p.packet_id for p in released] == [0, 1, 2]
+
+
+def test_rejects_empty_packet():
+    buffer = RlcSendBuffer()
+    with pytest.raises(ValueError):
+        buffer.enqueue(1, 0, 0)
+
+
+# -- reassembly -------------------------------------------------------------------
+
+
+def test_in_order_delivery_simple():
+    entity = ReassemblyEntity()
+    entity.register_packet(1, 0, 100, enqueue_us=0)
+    entity.register_packet(2, 100, 200, enqueue_us=0)
+    out = entity.on_range_received(0, 100, now_us=10)
+    assert [p.packet_id for p in out] == [1]
+    out = entity.on_range_received(100, 200, now_us=20)
+    assert [p.packet_id for p in out] == [2]
+    assert out[0].delivered_us == 20
+
+
+def test_hol_blocking_releases_burst():
+    """Fig. 18/15c: a missing range holds back later data, then the whole
+    run is released at once with one timestamp."""
+    entity = ReassemblyEntity()
+    for i in range(5):
+        entity.register_packet(i, i * 100, (i + 1) * 100, enqueue_us=0)
+    # Ranges 1..4 arrive, range 0 is missing.
+    for i in range(1, 5):
+        assert entity.on_range_received(i * 100, (i + 1) * 100, 10 + i) == []
+    assert entity.has_gap()
+    assert entity.pending_bytes() == 400
+    # The RLC retransmission of range 0 arrives late.
+    out = entity.on_range_received(0, 100, now_us=105_000)
+    assert [p.packet_id for p in out] == [0, 1, 2, 3, 4]
+    assert all(p.delivered_us == 105_000 for p in out)
+    assert all(p.hol_blocked for p in out[1:]) or entity.total_hol_blocked_packets >= 4
+
+
+def test_partial_packet_not_delivered():
+    entity = ReassemblyEntity()
+    entity.register_packet(1, 0, 1000, enqueue_us=0)
+    assert entity.on_range_received(0, 500, 10) == []
+    out = entity.on_range_received(500, 1000, 20)
+    assert [p.packet_id for p in out] == [1]
+
+
+def test_duplicate_ranges_ignored():
+    entity = ReassemblyEntity()
+    entity.register_packet(1, 0, 100, enqueue_us=0)
+    out = entity.on_range_received(0, 100, 10)
+    assert len(out) == 1
+    assert entity.on_range_received(0, 100, 20) == []
+    assert entity.delivered_offset == 100
+
+
+def test_rejects_empty_packet_range():
+    entity = ReassemblyEntity()
+    with pytest.raises(ValueError):
+        entity.register_packet(1, 100, 100, enqueue_us=0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=25),
+    cut_seed=st.integers(min_value=0, max_value=10_000),
+    data=st.data(),
+)
+def test_property_all_packets_delivered_in_order(sizes, cut_seed, data):
+    """Whatever the segmentation and arrival order of ranges, every packet
+    is delivered exactly once, in stream order."""
+    entity = ReassemblyEntity()
+    offset = 0
+    for pid, size in enumerate(sizes):
+        entity.register_packet(pid, offset, offset + size, enqueue_us=0)
+        offset += size
+    total = offset
+    # Random segmentation into contiguous ranges.
+    n_cuts = data.draw(st.integers(min_value=0, max_value=10))
+    cuts = sorted(
+        set(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=1, max_value=max(1, total - 1)),
+                    min_size=n_cuts,
+                    max_size=n_cuts,
+                )
+            )
+        )
+    )
+    boundaries = [0] + [c for c in cuts if c < total] + [total]
+    ranges = [
+        (boundaries[i], boundaries[i + 1])
+        for i in range(len(boundaries) - 1)
+        if boundaries[i] < boundaries[i + 1]
+    ]
+    order = data.draw(st.permutations(range(len(ranges))))
+    delivered = []
+    for step, index in enumerate(order):
+        start, end = ranges[index]
+        delivered.extend(
+            p.packet_id
+            for p in entity.on_range_received(start, end, now_us=step)
+        )
+    assert delivered == list(range(len(sizes)))

@@ -1,0 +1,85 @@
+"""RRC state machine: scripted and random transitions, RNTI changes."""
+
+from repro.rrc.state import RrcManager, RrcState
+
+
+def _run(manager, duration_us, step=500):
+    for t in range(0, duration_us, step):
+        manager.step(t)
+
+
+def test_stays_connected_without_triggers():
+    manager = RrcManager(flap_rate_per_min=0.0, seed=1)
+    _run(manager, 5_000_000)
+    assert manager.transitions == []
+    assert manager.is_connected(5_000_000)
+    assert manager.rnti == manager.initial_rnti
+
+
+def test_scripted_release_causes_outage():
+    manager = RrcManager(
+        flap_rate_per_min=0.0,
+        outage_us=300_000,
+        scripted_releases_us=[1_000_000],
+        seed=1,
+    )
+    _run(manager, 2_000_000)
+    assert len(manager.transitions) == 1
+    transition = manager.transitions[0]
+    assert transition.release_us == 1_000_000
+    assert transition.outage_us == 300_000
+    assert transition.old_rnti != transition.new_rnti
+
+
+def test_outage_window_blocks_data():
+    manager = RrcManager(
+        flap_rate_per_min=0.0,
+        outage_us=300_000,
+        scripted_releases_us=[1_000_000],
+        seed=1,
+    )
+    connected = {}
+    for t in range(0, 2_000_000, 500):
+        manager.step(t)
+        connected[t] = manager.is_connected(t)
+    assert connected[999_500]
+    assert not connected[1_100_000]
+    assert connected[1_400_000]
+
+
+def test_state_reporting():
+    manager = RrcManager(
+        scripted_releases_us=[100_000], outage_us=200_000, seed=1
+    )
+    manager.step(0)
+    assert manager.state == RrcState.CONNECTED
+    manager.step(100_000)
+    assert manager.state == RrcState.TRANSITIONING
+
+
+def test_new_rnti_below_cross_traffic_range():
+    manager = RrcManager(
+        scripted_releases_us=[100_000 * i for i in range(1, 20)],
+        outage_us=10_000,
+        seed=3,
+    )
+    _run(manager, 3_000_000)
+    assert len(manager.transitions) >= 10
+    for transition in manager.transitions:
+        assert 1_000 <= transition.new_rnti < 40_000
+
+
+def test_random_flaps_rate():
+    manager = RrcManager(flap_rate_per_min=30.0, outage_us=50_000, seed=5)
+    _run(manager, 60_000_000, step=1000)
+    # 30/min nominal; allow wide tolerance for the Poisson draw.
+    assert 10 <= len(manager.transitions) <= 60
+
+
+def test_deterministic_per_seed():
+    def run(seed):
+        manager = RrcManager(flap_rate_per_min=10.0, seed=seed)
+        _run(manager, 30_000_000, step=1000)
+        return [(t.release_us, t.new_rnti) for t in manager.transitions]
+
+    assert run(11) == run(11)

@@ -1,0 +1,153 @@
+"""Two-party session integration: end-to-end behaviours of §2/§3/§5-6."""
+
+import numpy as np
+
+from repro.analysis.summarize import summarize_session
+from repro.core.detector import DominoDetector
+from repro.core.stats import DominoStats
+from repro.datasets.workloads import (
+    channel_degradation_session,
+    cross_traffic_session,
+    proactive_grant_session,
+    pushback_session,
+    rrc_transition_session,
+)
+from repro.telemetry.records import StreamKind
+from repro.telemetry.timeline import Timeline
+
+
+def test_wired_baseline_quality(wired_result):
+    """§2.1: wired calls show no freezes and negligible concealment."""
+    assert wired_result.client_a.receiver.video.freeze_count == 0
+    assert wired_result.client_b.receiver.video.freeze_count == 0
+    assert wired_result.client_a.receiver.audio.concealment_fraction < 0.01
+    assert wired_result.client_b.receiver.audio.concealment_fraction < 0.01
+
+
+def test_cellular_degrades_more_than_wired(cellular_bundle, wired_bundle):
+    """Figs. 2-4 orderings."""
+    cellular = summarize_session(cellular_bundle)
+    wired = summarize_session(wired_bundle)
+    assert cellular.ul_delay.median > wired.ul_delay.median
+    assert cellular.ul_delay.percentile(99) > wired.ul_delay.percentile(99)
+    # (Jitter-buffer ordering needs longer sessions for stable tails;
+    # the Fig. 3 benchmark covers it over 60 s runs.)
+    assert (
+        cellular.ul_concealed_fraction + cellular.dl_concealed_fraction
+        >= wired.ul_concealed_fraction + wired.dl_concealed_fraction
+    )
+
+
+def test_session_packet_conservation(cellular_bundle):
+    """Every received packet was sent; delays are causal."""
+    for packet in cellular_bundle.packets:
+        if packet.received_us is not None:
+            assert packet.received_us >= packet.sent_us
+
+
+def test_stats_recorded_at_50ms(cellular_bundle):
+    per_client = {}
+    for record in cellular_bundle.webrtc_stats:
+        per_client.setdefault(record.client, []).append(record.ts_us)
+    for timestamps in per_client.values():
+        gaps = np.diff(sorted(timestamps))
+        assert np.median(gaps) == 50_000
+
+
+def test_rtcp_flows_both_ways(cellular_bundle):
+    directions = {
+        p.is_uplink
+        for p in cellular_bundle.packets
+        if p.stream is StreamKind.RTCP
+    }
+    assert directions == {True, False}
+
+
+def test_channel_degradation_scenario():
+    """Fig. 12: fade -> rate gap -> RLC buffer -> delay, then recovery."""
+    session = channel_degradation_session(
+        fade_start_s=3.0, fade_duration_s=2.0, seed=4
+    )
+    result = session.run(10_000_000)
+    timeline = Timeline.from_bundle(result.bundle)
+    t = timeline.t_us / 1e6
+    delay = np.nan_to_num(timeline["ul_packet_delay_ms"])
+    before = delay[(t > 1.0) & (t < 3.0)].mean()
+    during = delay[(t > 3.5) & (t < 5.5)].max()
+    after = delay[(t > 8.0)].mean()
+    assert during > 3 * before
+    assert after < during / 2
+    # MCS dropped during the fade.
+    mcs = timeline["ul_mcs_mean"]
+    fade_mcs = np.nanmean(mcs[(t > 3.2) & (t < 5.0)])
+    clear_mcs = np.nanmean(mcs[t < 3.0])
+    assert fade_mcs < clear_mcs
+
+
+def test_cross_traffic_scenario_triggers_overuse():
+    """Fig. 13: the burst drives GCC of the DL sender into overuse."""
+    session = cross_traffic_session(seed=3)
+    result = session.run(12_000_000)
+    timeline = Timeline.from_bundle(result.bundle)
+    t = timeline.t_us / 1e6
+    overuse = timeline["remote_gcc_state"] > 0.5
+    assert overuse.any()
+    assert float(t[np.argmax(overuse)]) >= 4.0  # not before the burst
+    cross = timeline["dl_other_prbs"]
+    assert cross[(t >= 4.0) & (t < 7.0)].sum() > 0
+    assert cross[t < 4.0].sum() == 0
+
+
+def test_rrc_transition_scenario():
+    """Fig. 19: scripted releases halt scheduling and spike delay."""
+    session = rrc_transition_session(release_times_s=(4.0,), seed=2)
+    result = session.run(8_000_000)
+    ran = session.access_a.ran
+    assert len(ran.rrc.transitions) == 1
+    timeline = Timeline.from_bundle(result.bundle)
+    t = timeline.t_us / 1e6
+    # No experiment-UE scheduling during the outage.
+    outage = (t >= 4.05) & (t < 4.25)
+    assert timeline["ul_scheduled"][outage].sum() == 0
+    delay = np.nan_to_num(timeline["ul_packet_delay_ms"])
+    assert delay[(t >= 4.0) & (t < 5.0)].max() > 200.0
+
+
+def test_proactive_grants_waste_bandwidth():
+    """Fig. 16: proactive grants exist and some go (partially) unused."""
+    session = proactive_grant_session(seed=1)
+    result = session.run(5_000_000)
+    proactive = [r for r in result.bundle.dci if r.proactive]
+    assert len(proactive) > 10
+    assert any(r.wasted_bytes > 0 for r in proactive)
+
+
+def test_pushback_scenario_reverse_path():
+    """Fig. 22: DL (feedback) delay pushes the local sender's rate down
+    while its forward path stays healthy."""
+    session = pushback_session(seed=2)
+    result = session.run(10_000_000)
+    timeline = Timeline.from_bundle(result.bundle)
+    t = timeline.t_us / 1e6
+    during = (t >= 4.2) & (t < 6.5)
+    outstanding = np.nan_to_num(timeline["local_outstanding_bytes"])
+    cwnd = np.nan_to_num(timeline["local_congestion_window_bytes"])
+    assert (outstanding[during] > cwnd[during]).any()
+    pushback = timeline["local_pushback_bitrate_bps"]
+    target = timeline["local_target_bitrate_bps"]
+    gap = (target[during] - pushback[during]) / np.maximum(target[during], 1)
+    assert gap.max() > 0.05  # pushback diverges below target
+
+
+def test_domino_attributes_private_cell_to_channel(private_bundle):
+    """§1: private-cell degradations are dominated by poor channel and
+    UL scheduling."""
+    report = DominoDetector().analyze(private_bundle)
+    stats = DominoStats.from_report(report)
+    shares = stats.cause_attribution_shares()
+    from repro.core.chains import CauseKind
+
+    dominant = (
+        shares[CauseKind.POOR_CHANNEL] + shares[CauseKind.UL_SCHEDULING]
+    )
+    assert dominant > 0.4

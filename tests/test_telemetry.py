@@ -1,0 +1,168 @@
+"""Telemetry records, collection, and timeline resampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.collect import TelemetryCollector
+from repro.telemetry.records import (
+    DciRecord,
+    GnbLogKind,
+    GnbLogRecord,
+    PacketRecord,
+    StreamKind,
+    WebRtcStatsRecord,
+)
+from repro.telemetry.timeline import Timeline
+
+
+def _dci(ts, rnti=17000, uplink=True, prbs=10, mcs=20, retx=False, tbs=8000):
+    return DciRecord(
+        ts_us=ts,
+        slot=ts // 500,
+        rnti=rnti,
+        is_uplink=uplink,
+        n_prb=prbs,
+        mcs=mcs,
+        tbs_bits=tbs,
+        is_retx=retx,
+    )
+
+
+def test_dci_derived_fields():
+    record = DciRecord(
+        ts_us=0, slot=0, rnti=1, is_uplink=True, n_prb=5, mcs=10,
+        tbs_bits=8000, used_bytes=600,
+    )
+    assert record.tbs_bytes == 1000
+    assert record.wasted_bytes == 400
+
+
+def test_packet_record_delay():
+    packet = PacketRecord(
+        packet_id=1, stream=StreamKind.VIDEO, size_bytes=1200,
+        sent_us=1000, received_us=21_000,
+    )
+    assert packet.delay_us == 20_000
+    assert not packet.lost
+    lost = PacketRecord(
+        packet_id=2, stream=StreamKind.VIDEO, size_bytes=1200, sent_us=1000
+    )
+    assert lost.lost and lost.delay_us is None
+
+
+def test_collector_joins_packet_captures():
+    collector = TelemetryCollector("s")
+    collector.record_packet_sent(
+        PacketRecord(packet_id=1, stream=StreamKind.AUDIO, size_bytes=160, sent_us=0)
+    )
+    collector.record_packet_received(1, 30_000)
+    collector.record_packet_received(99, 30_000)  # unknown id: ignored
+    bundle = collector.bundle(1_000_000)
+    assert bundle.packets[0].received_us == 30_000
+
+
+def test_collector_gnb_log_gated():
+    silent = TelemetryCollector("s", gnb_log_available=False)
+    silent.record_gnb_log(GnbLogRecord(ts_us=0, kind=GnbLogKind.RLC_RETX))
+    assert silent.bundle(1_000).gnb_log == []
+    loud = TelemetryCollector("s", gnb_log_available=True)
+    loud.record_gnb_log(GnbLogRecord(ts_us=0, kind=GnbLogKind.RLC_RETX))
+    assert len(loud.bundle(1_000).gnb_log) == 1
+
+
+def test_bundle_sorted_and_rates():
+    collector = TelemetryCollector("s")
+    collector.record_dci(_dci(5_000))
+    collector.record_dci(_dci(1_000))
+    bundle = collector.bundle(60_000_000)
+    assert [r.ts_us for r in bundle.dci] == [1_000, 5_000]
+    assert bundle.event_rates_per_minute()["dci"] == pytest.approx(2.0)
+
+
+def test_timeline_rejects_bad_dt():
+    collector = TelemetryCollector("s")
+    with pytest.raises(TelemetryError):
+        Timeline.from_bundle(collector.bundle(1_000_000), dt_us=0)
+
+
+def test_timeline_dci_binning():
+    collector = TelemetryCollector("s")
+    collector.record_dci(_dci(10_000, prbs=10))
+    collector.record_dci(_dci(20_000, prbs=5))
+    collector.record_dci(_dci(60_000, prbs=7, retx=True))
+    collector.record_dci(_dci(10_000, rnti=41_000, prbs=50))  # cross UE
+    timeline = Timeline.from_bundle(collector.bundle(200_000), dt_us=50_000)
+    assert timeline["ul_exp_prbs"][0] == 15
+    assert timeline["ul_other_prbs"][0] == 50
+    assert timeline["ul_harq_retx"][1] == 1
+    assert timeline["ul_scheduled"][0] == 1.0
+    assert timeline["ul_scheduled"][2] == 0.0
+
+
+def test_timeline_packet_delay_and_rate():
+    collector = TelemetryCollector("s")
+    for i in range(10):
+        collector.record_packet_sent(
+            PacketRecord(
+                packet_id=i,
+                stream=StreamKind.VIDEO,
+                size_bytes=1_000,
+                sent_us=i * 10_000,
+                is_uplink=True,
+            )
+        )
+        collector.record_packet_received(i, i * 10_000 + 25_000)
+    timeline = Timeline.from_bundle(collector.bundle(200_000), dt_us=50_000)
+    assert timeline["ul_packet_delay_ms"][0] == pytest.approx(25.0)
+    # 5 kB in the first 50 ms bin -> 0.8 Mbit/s.
+    assert timeline["ul_app_bitrate_bps"][0] == pytest.approx(800_000.0)
+
+
+def test_timeline_forward_fill_of_app_stats():
+    collector = TelemetryCollector("s", cellular_client="a", wired_client="b")
+    collector.record_webrtc_stats(
+        WebRtcStatsRecord(ts_us=0, client="a", target_bitrate_bps=1e6)
+    )
+    timeline = Timeline.from_bundle(collector.bundle(500_000), dt_us=50_000)
+    target = timeline["local_target_bitrate_bps"]
+    assert np.all(target == 1e6)  # forward-filled across empty bins
+
+
+def test_timeline_rtcp_delay_separated():
+    collector = TelemetryCollector("s")
+    collector.record_packet_sent(
+        PacketRecord(
+            packet_id=1,
+            stream=StreamKind.RTCP,
+            size_bytes=80,
+            sent_us=0,
+            is_uplink=False,
+        )
+    )
+    collector.record_packet_received(1, 120_000)
+    timeline = Timeline.from_bundle(collector.bundle(200_000), dt_us=50_000)
+    assert timeline["dl_rtcp_delay_ms"][0] == pytest.approx(120.0)
+    # Media delay series has no sample -> forward-filled zeros.
+    assert timeline["dl_packet_delay_ms"][0] == 0.0
+
+
+def test_timeline_rnti_changes_visible():
+    collector = TelemetryCollector("s")
+    collector.record_dci(_dci(10_000, rnti=17_000))
+    collector.record_dci(_dci(200_000, rnti=23_456))
+    timeline = Timeline.from_bundle(collector.bundle(400_000), dt_us=50_000)
+    rnti = timeline["ul_rnti"]
+    assert rnti[0] == 17_000
+    assert rnti[-1] == 23_456
+
+
+def test_timeline_window_slicing():
+    collector = TelemetryCollector("s")
+    collector.record_dci(_dci(10_000))
+    timeline = Timeline.from_bundle(collector.bundle(1_000_000), dt_us=50_000)
+    view = timeline.window(0, 10)
+    assert all(len(v) == 10 for v in view.values())
+    assert "ul_exp_prbs" in timeline
+    with pytest.raises(TelemetryError):
+        timeline["nonexistent_series"]

@@ -1,0 +1,84 @@
+"""JSONL telemetry serialization round-trips."""
+
+import io
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.io import dump_lines, load_bundle, save_bundle
+
+
+def _roundtrip(bundle):
+    buffer = io.StringIO()
+    save_bundle(bundle, buffer)
+    buffer.seek(0)
+    return load_bundle(buffer)
+
+
+def test_roundtrip_preserves_everything(private_bundle):
+    loaded = _roundtrip(private_bundle)
+    assert loaded.session_name == private_bundle.session_name
+    assert loaded.duration_us == private_bundle.duration_us
+    assert loaded.gnb_log_available == private_bundle.gnb_log_available
+    assert loaded.dci == private_bundle.dci
+    assert loaded.gnb_log == private_bundle.gnb_log
+    assert loaded.webrtc_stats == private_bundle.webrtc_stats
+    assert len(loaded.packets) == len(private_bundle.packets)
+    for a, b in zip(loaded.packets, private_bundle.packets):
+        assert (a.packet_id, a.sent_us, a.received_us, a.stream) == (
+            b.packet_id,
+            b.sent_us,
+            b.received_us,
+            b.stream,
+        )
+
+
+def test_roundtrip_supports_analysis(private_bundle):
+    """A reloaded bundle produces identical Domino output."""
+    from repro.core.detector import DominoDetector
+
+    loaded = _roundtrip(private_bundle)
+    original = DominoDetector().analyze(private_bundle)
+    reloaded = DominoDetector().analyze(loaded)
+    assert len(original.windows) == len(reloaded.windows)
+    for a, b in zip(original.windows, reloaded.windows):
+        assert a.chain_ids == b.chain_ids
+
+
+def test_file_path_roundtrip(tmp_path, wired_bundle):
+    path = str(tmp_path / "trace.jsonl")
+    save_bundle(wired_bundle, path)
+    loaded = load_bundle(path)
+    assert len(loaded.packets) == len(wired_bundle.packets)
+
+
+def test_missing_header_rejected():
+    with pytest.raises(TelemetryError):
+        load_bundle(io.StringIO('{"type": "dci"}\n'))
+
+
+def test_bad_json_rejected():
+    with pytest.raises(TelemetryError) as error:
+        load_bundle(io.StringIO("not json\n"))
+    assert "line 1" in str(error.value)
+
+
+def test_unknown_record_type_rejected(wired_bundle):
+    lines = list(dump_lines(wired_bundle))
+    lines.insert(1, '{"type": "mystery"}')
+    with pytest.raises(TelemetryError):
+        load_bundle(io.StringIO("\n".join(lines)))
+
+
+def test_unsupported_version_rejected(wired_bundle):
+    lines = list(dump_lines(wired_bundle))
+    lines[0] = lines[0].replace('"version": 1', '"version": 99')
+    with pytest.raises(TelemetryError):
+        load_bundle(io.StringIO("\n".join(lines)))
+
+
+def test_blank_lines_tolerated(wired_bundle):
+    lines = list(dump_lines(wired_bundle))
+    text = "\n\n".join(lines)
+    loaded = load_bundle(io.StringIO(text))
+    assert len(loaded.packets) == len(wired_bundle.packets)

@@ -1,0 +1,51 @@
+"""Unit conversions."""
+
+from repro.units import (
+    bits_to_bytes,
+    bytes_to_bits,
+    kbps,
+    mbps,
+    ms,
+    rate_over_interval,
+    seconds,
+    to_mbps,
+    to_ms,
+    to_seconds,
+    us,
+)
+
+
+def test_time_conversions_roundtrip():
+    assert ms(20) == 20_000
+    assert seconds(1.5) == 1_500_000
+    assert us(3.2) == 3
+    assert to_ms(20_000) == 20.0
+    assert to_seconds(1_500_000) == 1.5
+
+
+def test_ms_rounds_to_nearest_microsecond():
+    # Python's round() is round-half-to-even.
+    assert ms(0.0006) == 1
+    assert ms(0.0004) == 0
+    assert ms(1.0004) == 1000
+
+
+def test_rate_conversions():
+    assert mbps(2.5) == 2_500_000.0
+    assert kbps(300) == 300_000.0
+    assert to_mbps(2_500_000.0) == 2.5
+
+
+def test_size_conversions():
+    assert bytes_to_bits(100) == 800
+    assert bits_to_bytes(801) == 100  # floor
+
+
+def test_rate_over_interval():
+    # 1250 bytes in 10 ms -> 1 Mbit/s
+    assert rate_over_interval(1250, 10_000) == 1_000_000.0
+
+
+def test_rate_over_empty_interval_is_zero():
+    assert rate_over_interval(100, 0) == 0.0
+    assert rate_over_interval(100, -5) == 0.0

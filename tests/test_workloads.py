@@ -1,0 +1,76 @@
+"""Scripted workload builders: disturbances are configured as declared."""
+
+from repro.datasets.workloads import (
+    _quiet,
+    channel_degradation_session,
+    cross_traffic_session,
+    delay_spread_session,
+    gcc_target_rate_session,
+    harq_retx_session,
+    jitter_drain_session,
+    proactive_grant_session,
+    pushback_session,
+    rlc_retx_session,
+    rrc_transition_session,
+)
+from repro.datasets.cells import AMARISOFT, TMOBILE_FDD
+
+
+def test_quiet_strips_randomness():
+    quiet = _quiet(TMOBILE_FDD)
+    assert quiet.ul_channel.random_fade_rate_per_min == 0
+    assert quiet.dl_channel.random_fade_rate_per_min == 0
+    assert quiet.cell.rrc_flap_rate_per_min == 0
+    # The original profile is untouched.
+    assert TMOBILE_FDD.cell.rrc_flap_rate_per_min > 0
+
+
+def test_channel_degradation_configures_fade():
+    session = channel_degradation_session(
+        fade_start_s=2.0, fade_duration_s=1.0, fade_depth_db=14.0
+    )
+    fades = session.access_a.ran.ul.channel.fade_events
+    assert len(fades) == 1
+    assert fades[0].start_us == 2_000_000
+    assert fades[0].depth_db == 14.0
+
+
+def test_cross_traffic_configures_burst():
+    session = cross_traffic_session(burst_start_s=3.0, burst_prbs=100)
+    cross = session.access_a.ran.dl.cross
+    assert len(cross.ues) == 1
+    assert cross.ues[0].scripted_bursts[0][0] == 3_000_000
+    assert cross.ues[0].scripted_bursts[0][2] == 100
+    # No background randomness remains.
+    assert session.access_a.ran.ul.cross.ues == []
+
+
+def test_rrc_transition_scripts_releases():
+    session = rrc_transition_session(release_times_s=(1.0, 2.0))
+    rrc = session.access_a.ran.rrc
+    assert rrc.flap_rate_per_min == 0
+    # Scripted times are staged inside the manager.
+    assert len(rrc.scripted_releases_us) == 2
+
+
+def test_tb_map_enabled_where_needed():
+    for session in (
+        delay_spread_session(AMARISOFT),
+        proactive_grant_session(),
+        harq_retx_session(),
+        rlc_retx_session(),
+    ):
+        assert session.access_a.ran.keep_tb_map
+
+
+def test_fade_sessions_have_dl_or_ul_events():
+    assert jitter_drain_session().access_a.ran.dl.channel.fade_events
+    assert pushback_session().access_a.ran.dl.channel.fade_events
+    assert gcc_target_rate_session().access_a.ran.ul.channel.fade_events
+
+
+def test_harq_session_uses_aggressive_mcs():
+    session = harq_retx_session(ul_base_sinr_db=9.0)
+    channel = session.access_a.ran.ul.channel
+    assert channel.base_sinr_db == 9.0
+    assert channel.conservative_mcs_offset == 0
