@@ -7,17 +7,23 @@ The operator workflow the paper targets, as a pipeline of commands::
     python -m repro.cli analyze trace.jsonl
     python -m repro.cli report trace.jsonl
     python -m repro.cli codegen my_chains.txt
+    python -m repro.cli fleet --preset campus_sweep --workers 8 \
+        --out fleet_results.jsonl
+    python -m repro.cli fleet-report fleet_results.jsonl
 
 ``analyze`` runs Domino over a JSONL telemetry trace (simulated here,
 but the format is simulator-agnostic — see repro.telemetry.io) and
 prints detected causal chains plus the Fig. 10-style statistics;
 ``codegen`` shows the Python that Domino generates from a chain file
-(Fig. 11).
+(Fig. 11); ``fleet`` runs a whole campaign of sessions in parallel and
+prints the fleet-level root-cause rollup (re-renderable later from the
+saved outcomes with ``fleet-report``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -30,6 +36,10 @@ from repro.core.report import render_frequency_table
 from repro.core.stats import DominoStats
 from repro.datasets.cells import CELL_PROFILES, get_profile
 from repro.datasets.runner import make_cellular_session, make_wired_session
+from repro.fleet.aggregate import FleetAggregate
+from repro.fleet.executor import load_outcomes, run_campaign, save_outcomes
+from repro.fleet.report import render_fleet_report
+from repro.fleet.scenarios import PRESETS, get_preset
 from repro.telemetry.io import load_bundle, save_bundle
 
 
@@ -123,6 +133,46 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return parsed
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    matrix = get_preset(args.preset)
+    if args.base_seed is not None:
+        matrix = matrix.with_base_seed(args.base_seed)
+    scenarios = matrix.expand()
+    if args.out:
+        # Fail on an unwritable destination now, not after the campaign.
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "a"):
+            pass
+    print(
+        f"campaign {matrix.name}: {len(scenarios)} sessions, "
+        f"workers={args.workers}"
+    )
+    outcomes = run_campaign(
+        scenarios, workers=args.workers, trace_dir=args.trace_dir
+    )
+    if args.out:
+        save_outcomes(outcomes, args.out)
+        print(f"wrote {args.out}: {len(outcomes)} outcomes")
+    print()
+    print(render_fleet_report(FleetAggregate.from_outcomes(outcomes)))
+    return 0
+
+
+def _cmd_fleet_report(args: argparse.Namespace) -> int:
+    outcomes = load_outcomes(args.outcomes)
+    print(render_fleet_report(FleetAggregate.from_outcomes(outcomes)))
+    return 0
+
+
 def _cmd_codegen(args: argparse.Namespace) -> int:
     with open(args.chains) as handle:
         text = handle.read()
@@ -168,6 +218,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     codegen.add_argument("chains")
     codegen.set_defaults(fn=_cmd_codegen)
+
+    fleet = sub.add_parser(
+        "fleet", help="run a multi-session campaign and aggregate RCA"
+    )
+    fleet.add_argument("--preset", default="smoke", choices=sorted(PRESETS))
+    fleet.add_argument("--workers", type=_positive_int, default=1)
+    fleet.add_argument("--out", help="write per-session outcomes JSONL here")
+    fleet.add_argument(
+        "--trace-dir",
+        help="also export each session's full telemetry as a JSONL shard",
+    )
+    fleet.add_argument(
+        "--base-seed",
+        type=int,
+        default=None,
+        help="override the preset's campaign base seed",
+    )
+    fleet.set_defaults(fn=_cmd_fleet)
+
+    fleet_report = sub.add_parser(
+        "fleet-report", help="re-render the rollup from saved outcomes"
+    )
+    fleet_report.add_argument("outcomes")
+    fleet_report.set_defaults(fn=_cmd_fleet_report)
     return parser
 
 

@@ -66,6 +66,16 @@ class DominoStats:
     def from_reports(cls, reports: Iterable[DominoReport]) -> "DominoStats":
         return cls(reports=list(reports))
 
+    @classmethod
+    def merged(cls, parts: Iterable["DominoStats"]) -> "DominoStats":
+        """Combine several aggregates into one (e.g. per-shard stats
+        built independently and joined after the fact)."""
+        return cls(reports=[r for part in parts for r in part.reports])
+
+    def merge(self, other: "DominoStats") -> "DominoStats":
+        """Non-destructive pairwise merge: ``a.merge(b).merge(c)``."""
+        return DominoStats(reports=self.reports + other.reports)
+
     # -- shared helpers ---------------------------------------------------------
 
     @property
@@ -77,29 +87,67 @@ class DominoStats:
 
     # -- Fig. 10: absolute occurrence frequencies ----------------------------------
 
-    def cause_frequencies_per_min(self) -> Dict[CauseKind, float]:
-        """Episodes per minute of each cause family's events."""
-        minutes = max(self.total_minutes, 1e-9)
-        out: Dict[CauseKind, float] = {}
+    def cause_episode_counts(self) -> Dict[CauseKind, int]:
+        """Total episodes of each cause family's events."""
+        out: Dict[CauseKind, int] = {}
         for kind in CauseKind:
             episodes = 0
             for report in self.reports:
                 flags = [_cause_active(w, kind) for w in report.windows]
                 episodes += _episode_count(flags)
-            out[kind] = episodes / minutes
+            out[kind] = episodes
         return out
 
-    def consequence_frequencies_per_min(self) -> Dict[ConsequenceKind, float]:
-        """Episodes per minute of each consequence family's events."""
-        minutes = max(self.total_minutes, 1e-9)
-        out: Dict[ConsequenceKind, float] = {}
+    def consequence_episode_counts(self) -> Dict[ConsequenceKind, int]:
+        """Total episodes of each consequence family's events."""
+        out: Dict[ConsequenceKind, int] = {}
         for kind in ConsequenceKind:
             episodes = 0
             for report in self.reports:
                 flags = [_consequence_active(w, kind) for w in report.windows]
                 episodes += _episode_count(flags)
-            out[kind] = episodes / minutes
+            out[kind] = episodes
         return out
+
+    def cause_frequencies_per_min(self) -> Dict[CauseKind, float]:
+        """Episodes per minute of each cause family's events."""
+        minutes = max(self.total_minutes, 1e-9)
+        return {
+            kind: episodes / minutes
+            for kind, episodes in self.cause_episode_counts().items()
+        }
+
+    def consequence_frequencies_per_min(self) -> Dict[ConsequenceKind, float]:
+        """Episodes per minute of each consequence family's events."""
+        minutes = max(self.total_minutes, 1e-9)
+        return {
+            kind: episodes / minutes
+            for kind, episodes in self.consequence_episode_counts().items()
+        }
+
+    def chain_episode_counts(self) -> Dict[Tuple[str, ...], int]:
+        """Episodes of each concrete chain across all reports.
+
+        Like the family frequencies above, overlapping window positions
+        where the same chain stays active are merged into one episode.
+        Chains that never fire are omitted.  Several chain ids can
+        resolve to the same tuple (user chain files may repeat a
+        chain); their activity is OR-ed before episode counting so
+        duplicates never double-count.
+        """
+        counts: Dict[Tuple[str, ...], int] = {}
+        for report in self.reports:
+            flags_by_chain: Dict[Tuple[str, ...], List[bool]] = {}
+            n_windows = len(report.windows)
+            for index, window in enumerate(report.windows):
+                for chain_id in window.chain_ids:
+                    flags = flags_by_chain.setdefault(
+                        report.chains[chain_id], [False] * n_windows
+                    )
+                    flags[index] = True
+            for chain, flags in flags_by_chain.items():
+                counts[chain] = counts.get(chain, 0) + _episode_count(flags)
+        return counts
 
     def degradation_events_per_min(self) -> float:
         """Episodes per minute with any consequence active (the ~5/min

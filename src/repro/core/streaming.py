@@ -10,8 +10,9 @@ evicted once no future window can reference them).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+import bisect
+from dataclasses import dataclass, field, replace
+from typing import List, Tuple
 
 from repro.core.detector import DetectorConfig, DominoDetector, WindowDetection
 from repro.telemetry.collect import TelemetryCollector
@@ -48,26 +49,38 @@ class StreamingDomino:
             raise ValueError("chunk_us must cover at least one window")
         self._detector = DominoDetector(self.config)
         self._next_window_start_us = 0
-        self._records: List[object] = []
+        # Time-ordered (ts, seq, record) entries; feed() appends and the
+        # next advance() sorts once, so chunk extraction is a bisect
+        # slice instead of a full rescan per chunk.  seq keeps the sort
+        # stable for equal timestamps (records never get compared).
+        self._records: List[Tuple[int, int, object]] = []
+        self._n_sorted = 0
+        self._seq = 0
         self.windows_emitted = 0
 
     # -- ingestion ---------------------------------------------------------------
 
     def feed_dci(self, record: DciRecord) -> None:
-        self._records.append(record)
+        self.feed(record)
 
     def feed_gnb_log(self, record: GnbLogRecord) -> None:
-        self._records.append(record)
+        self.feed(record)
 
     def feed_packet(self, record: PacketRecord) -> None:
-        self._records.append(record)
+        self.feed(record)
 
     def feed_webrtc_stats(self, record: WebRtcStatsRecord) -> None:
-        self._records.append(record)
+        self.feed(record)
 
     def feed(self, record) -> None:
         """Type-dispatching convenience ingester."""
-        self._records.append(record)
+        self._records.append((self._record_time(record), self._seq, record))
+        self._seq += 1
+
+    def _ensure_sorted(self) -> None:
+        if self._n_sorted < len(self._records):
+            self._records.sort()
+            self._n_sorted = len(self._records)
 
     # -- processing ----------------------------------------------------------------
 
@@ -86,6 +99,7 @@ class StreamingDomino:
         out: List[WindowDetection] = []
         window_us = self.config.window_us
         step_us = self.config.step_us
+        self._ensure_sorted()
         while self._next_window_start_us + window_us <= now_us:
             chunk_start = self._next_window_start_us
             chunk_end = min(chunk_start + self.chunk_us, now_us)
@@ -98,17 +112,19 @@ class StreamingDomino:
 
     def _process_chunk(
         self, chunk_start: int, chunk_end: int
-    ) -> Iterator[WindowDetection]:
+    ) -> List[WindowDetection]:
         collector = TelemetryCollector(
             "stream",
             cellular_client=self.cellular_client,
             wired_client=self.wired_client,
             gnb_log_available=self.gnb_log_available,
         )
-        for record in self._records:
-            ts = self._record_time(record)
-            if ts >= chunk_end:
-                continue
+        # _records is sorted by (ts, seq); only [chunk_start, chunk_end)
+        # can land in this chunk's windows (earlier records would shift
+        # to negative timestamps and were only ever skipped).
+        lo = bisect.bisect_left(self._records, (chunk_start,))
+        hi = bisect.bisect_left(self._records, (chunk_end,))
+        for _, _, record in self._records[lo:hi]:
             shifted = self._shift(record, -chunk_start)
             if shifted is None:
                 continue
@@ -147,35 +163,6 @@ class StreamingDomino:
     @staticmethod
     def _shift(record, delta_us: int):
         """Return a copy of *record* with timestamps shifted by delta."""
-        if isinstance(record, DciRecord):
-            ts = record.ts_us + delta_us
-            if ts < 0:
-                return None
-            return DciRecord(
-                ts_us=ts,
-                slot=record.slot,
-                rnti=record.rnti,
-                is_uplink=record.is_uplink,
-                n_prb=record.n_prb,
-                mcs=record.mcs,
-                tbs_bits=record.tbs_bits,
-                is_retx=record.is_retx,
-                harq_attempt=record.harq_attempt,
-                crc_ok=record.crc_ok,
-                proactive=record.proactive,
-                used_bytes=record.used_bytes,
-            )
-        if isinstance(record, GnbLogRecord):
-            ts = record.ts_us + delta_us
-            if ts < 0:
-                return None
-            return GnbLogRecord(
-                ts_us=ts,
-                kind=record.kind,
-                is_uplink=record.is_uplink,
-                buffer_bytes=record.buffer_bytes,
-                rnti=record.rnti,
-            )
         if isinstance(record, PacketRecord):
             sent = record.sent_us + delta_us
             if sent < 0:
@@ -185,25 +172,12 @@ class StreamingDomino:
                 if record.received_us is not None
                 else None
             )
-            return PacketRecord(
-                packet_id=record.packet_id,
-                stream=record.stream,
-                size_bytes=record.size_bytes,
-                sent_us=sent,
-                received_us=received,
-                is_uplink=record.is_uplink,
-                frame_id=record.frame_id,
-            )
-        if isinstance(record, WebRtcStatsRecord):
+            return replace(record, sent_us=sent, received_us=received)
+        if isinstance(record, (DciRecord, GnbLogRecord, WebRtcStatsRecord)):
             ts = record.ts_us + delta_us
             if ts < 0:
                 return None
-            kwargs = {
-                f: getattr(record, f)
-                for f in record.__dataclass_fields__
-            }
-            kwargs["ts_us"] = ts
-            return WebRtcStatsRecord(**kwargs)
+            return replace(record, ts_us=ts)
         return None
 
     def _evict(self, frontier_us: int) -> None:
@@ -211,9 +185,10 @@ class StreamingDomino:
         horizon = frontier_us - self.config.window_us
         if horizon <= 0:
             return
-        self._records = [
-            r for r in self._records if self._record_time(r) >= horizon
-        ]
+        keep_from = bisect.bisect_left(self._records, (horizon,))
+        if keep_from:
+            del self._records[:keep_from]
+            self._n_sorted = len(self._records)
 
     @property
     def buffered_records(self) -> int:

@@ -1,0 +1,144 @@
+"""Fleet-level rollups over per-session outcomes.
+
+Everything here works off the compact :class:`SessionOutcome` records
+the executor returns (or a saved outcome JSONL), never the raw bundles,
+so aggregating a thousand sessions costs what aggregating ten does.
+Rates are re-derived from counts and total wall time — merging sessions
+of different durations stays correct (a 4 s smoke run does not dilute a
+30 min soak the way averaging per-session rates would).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.analysis.cdf import Cdf, compute_cdf
+from repro.fleet.executor import SessionOutcome
+
+#: Outcome attributes an aggregate can group by.
+GROUP_KEYS = ("profile", "impairment")
+
+
+def _merge_counts(counts: Sequence[Dict[str, float]]) -> Counter:
+    merged: Counter = Counter()
+    for part in counts:
+        merged.update(part)
+    return merged
+
+
+@dataclass
+class FleetAggregate:
+    """Rollups across one campaign's outcomes."""
+
+    outcomes: List[SessionOutcome]
+
+    @classmethod
+    def from_outcomes(
+        cls, outcomes: Sequence[SessionOutcome]
+    ) -> "FleetAggregate":
+        return cls(outcomes=list(outcomes))
+
+    # -- fleet totals ----------------------------------------------------------
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def total_minutes(self) -> float:
+        return sum(o.duration_s for o in self.outcomes) / 60.0
+
+    def groups(self, group_by: str = "profile") -> List[str]:
+        """Distinct group labels, in first-seen (scenario) order."""
+        return list(self._grouped(group_by))
+
+    def _grouped(
+        self, group_by: str
+    ) -> Dict[str, List[SessionOutcome]]:
+        """One pass: label → members, labels in first-seen order."""
+        if group_by not in GROUP_KEYS:
+            raise KeyError(
+                f"unknown group key {group_by!r}; options: "
+                f"{', '.join(GROUP_KEYS)}"
+            )
+        grouped: Dict[str, List[SessionOutcome]] = {}
+        for outcome in self.outcomes:
+            grouped.setdefault(getattr(outcome, group_by), []).append(
+                outcome
+            )
+        return grouped
+
+    # -- chain frequencies -----------------------------------------------------
+
+    def _frequency_table(
+        self, group_by: str, counts_of: Callable[[SessionOutcome], Dict]
+    ) -> Dict[str, Dict[str, float]]:
+        """key → group label → episodes per minute of that group."""
+        table: Dict[str, Dict[str, float]] = {}
+        for label, members in self._grouped(group_by).items():
+            minutes = max(sum(o.duration_s for o in members) / 60.0, 1e-9)
+            merged = _merge_counts([counts_of(o) for o in members])
+            for key, count in merged.items():
+                table.setdefault(key, {})[label] = count / minutes
+        return table
+
+    def chain_frequency_table(
+        self, group_by: str = "profile"
+    ) -> Dict[str, Dict[str, float]]:
+        """chain → group label → episodes per minute."""
+        return self._frequency_table(group_by, lambda o: o.chain_counts)
+
+    def cause_frequency_table(
+        self, group_by: str = "profile"
+    ) -> Dict[str, Dict[str, float]]:
+        """cause family → group label → episodes per minute."""
+        return self._frequency_table(group_by, lambda o: o.cause_counts)
+
+    def consequence_frequency_table(
+        self, group_by: str = "profile"
+    ) -> Dict[str, Dict[str, float]]:
+        """consequence family → group label → episodes per minute."""
+        return self._frequency_table(
+            group_by, lambda o: o.consequence_counts
+        )
+
+    def top_chains(self, limit: int = 10) -> List[Tuple[str, float]]:
+        """Fleet-wide root-cause ranking: chain → episodes per minute,
+        most frequent first (ties broken alphabetically for stable
+        output)."""
+        minutes = max(self.total_minutes, 1e-9)
+        merged = _merge_counts([o.chain_counts for o in self.outcomes])
+        ranked = sorted(merged.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [(chain, count / minutes) for chain, count in ranked[:limit]]
+
+    # -- distributions across sessions ----------------------------------------
+
+    def degradation_rate_cdf(self) -> Cdf:
+        """Distribution of per-session degradation events/min."""
+        return compute_cdf(
+            [o.degradation_events_per_min for o in self.outcomes]
+        )
+
+    def qoe_cdf(self, metric: str) -> Cdf:
+        """Distribution of one QoE metric across sessions (keys as in
+        :attr:`SessionOutcome.qoe`, e.g. ``ul_delay_p50_ms``)."""
+        values = [
+            o.qoe[metric] for o in self.outcomes if metric in o.qoe
+        ]
+        if not values:
+            raise KeyError(f"no outcome carries QoE metric {metric!r}")
+        return compute_cdf(values)
+
+    def qoe_metrics(self) -> List[str]:
+        """QoE metric names present in at least one outcome."""
+        names: List[str] = []
+        for outcome in self.outcomes:
+            for name in outcome.qoe:
+                if name not in names:
+                    names.append(name)
+        return names
+
+
+__all__ = ["FleetAggregate", "GROUP_KEYS"]

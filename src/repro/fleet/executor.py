@@ -1,0 +1,243 @@
+"""Campaign execution: run many scenarios, keep memory bounded.
+
+:func:`run_scenario` takes one :class:`~repro.fleet.scenarios.ScenarioSpec`
+end-to-end — simulate, Domino detect, summarize — and boils the result
+down to a compact :class:`SessionOutcome` instead of the full telemetry
+bundle, so a campaign of hundreds of sessions fits in memory and
+pickles cheaply across process boundaries.
+
+:func:`run_campaign` fans scenarios out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` (``workers > 1``) or
+runs them in-process (``workers = 1``, the determinism/debugging path).
+Outcomes come back in scenario order regardless of completion order, so
+parallel and serial campaigns aggregate byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.summarize import summarize_session
+from repro.core.detector import DetectorConfig, DominoDetector
+from repro.core.stats import DominoStats
+from repro.errors import TelemetryError
+from repro.fleet.scenarios import ScenarioSpec
+from repro.telemetry.io import save_bundle
+
+CHAIN_SEPARATOR = " --> "
+
+
+@dataclass(frozen=True)
+class SessionOutcome:
+    """Compact, JSON-serializable result of one campaign session.
+
+    Chain keys are rendered ``"cause --> ... --> consequence"`` strings;
+    counts are merged episodes (consecutive active windows count once),
+    matching :meth:`repro.core.stats.DominoStats.chain_episode_counts`.
+    """
+
+    scenario: str
+    profile: str
+    impairment: str
+    seed: int
+    duration_s: float
+    n_windows: int
+    n_detected_windows: int
+    degradation_events_per_min: float
+    chain_counts: Dict[str, int] = field(default_factory=dict)
+    cause_counts: Dict[str, int] = field(default_factory=dict)
+    consequence_counts: Dict[str, int] = field(default_factory=dict)
+    qoe: Dict[str, float] = field(default_factory=dict)
+    event_rates: Dict[str, float] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SessionOutcome":
+        return cls(**data)
+
+
+def _trace_path(trace_dir: str, scenario_name: str) -> str:
+    return os.path.join(trace_dir, scenario_name.replace("/", "__") + ".jsonl")
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    detector_config: Optional[DetectorConfig] = None,
+    trace_dir: Optional[str] = None,
+) -> SessionOutcome:
+    """Simulate, analyze, and summarize one scenario.
+
+    Module-level (picklable) so ProcessPoolExecutor workers can import
+    and run it.  When *trace_dir* is set, the session's full telemetry
+    bundle is exported as one JSONL shard per scenario.
+    """
+    session = spec.build_session()
+    result = session.run(spec.duration_us)
+    bundle = result.bundle
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+        save_bundle(bundle, _trace_path(trace_dir, spec.name))
+    detector = DominoDetector(detector_config)
+    report = detector.analyze(bundle)
+    stats = DominoStats.from_report(report)
+    summary = summarize_session(bundle)
+    qoe = {
+        "ul_delay_p50_ms": summary.ul_delay.median,
+        "ul_delay_p99_ms": summary.ul_delay.percentile(99),
+        "dl_delay_p50_ms": summary.dl_delay.median,
+        "dl_delay_p99_ms": summary.dl_delay.percentile(99),
+        "ul_target_bitrate_p50_bps": summary.ul_target_bitrate.median,
+        "dl_target_bitrate_p50_bps": summary.dl_target_bitrate.median,
+        "ul_freeze_fraction": summary.ul_freeze_fraction,
+        "dl_freeze_fraction": summary.dl_freeze_fraction,
+        "ul_concealed_fraction": summary.ul_concealed_fraction,
+        "dl_concealed_fraction": summary.dl_concealed_fraction,
+    }
+    return SessionOutcome(
+        scenario=spec.name,
+        profile=spec.profile,
+        impairment=spec.impairment.name,
+        seed=spec.seed,
+        duration_s=spec.duration_s,
+        n_windows=report.n_windows,
+        n_detected_windows=len(report.windows_with_detections()),
+        degradation_events_per_min=stats.degradation_events_per_min(),
+        chain_counts={
+            CHAIN_SEPARATOR.join(chain): count
+            for chain, count in sorted(stats.chain_episode_counts().items())
+        },
+        cause_counts={
+            kind.value: count
+            for kind, count in stats.cause_episode_counts().items()
+        },
+        consequence_counts={
+            kind.value: count
+            for kind, count in stats.consequence_episode_counts().items()
+        },
+        qoe=qoe,
+        event_rates=bundle.event_rates_per_minute(),
+    )
+
+
+def run_campaign(
+    scenarios: Sequence[ScenarioSpec],
+    workers: int = 1,
+    detector_config: Optional[DetectorConfig] = None,
+    trace_dir: Optional[str] = None,
+) -> List[SessionOutcome]:
+    """Run every scenario; return outcomes in scenario order.
+
+    ``workers = 1`` stays in-process (deterministic stack traces, easy
+    pdb); ``workers > 1`` distributes over a process pool.  Each session
+    is seeded by its spec, so the outcome list is identical either way.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers == 1 or len(scenarios) <= 1:
+        return [
+            run_scenario(spec, detector_config, trace_dir)
+            for spec in scenarios
+        ]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(run_scenario, spec, detector_config, trace_dir)
+            for spec in scenarios
+        ]
+        return [future.result() for future in futures]
+
+
+# -- outcome persistence -------------------------------------------------------
+
+OUTCOME_FORMAT_VERSION = 1
+
+
+def save_outcomes(outcomes: Sequence[SessionOutcome], path: str) -> None:
+    """Write outcomes as JSONL: a header line, then one object each."""
+    with open(path, "w") as handle:
+        json.dump(
+            {
+                "type": "fleet_header",
+                "version": OUTCOME_FORMAT_VERSION,
+                "n_outcomes": len(outcomes),
+            },
+            handle,
+            sort_keys=True,
+        )
+        handle.write("\n")
+        for outcome in outcomes:
+            json.dump(outcome.to_json(), handle, sort_keys=True)
+            handle.write("\n")
+
+
+def load_outcomes(path: str) -> List[SessionOutcome]:
+    """Read back a :func:`save_outcomes` file.
+
+    Raises :class:`~repro.errors.TelemetryError` on a format-version
+    mismatch or when the file holds fewer outcomes than its headers
+    promise (a truncated save would otherwise silently bias every
+    fleet rollup derived from it).  Concatenated saves — shards joined
+    with ``cat a.jsonl b.jsonl`` — load as one campaign; each header's
+    count is added to the expectation.
+    """
+    outcomes: List[SessionOutcome] = []
+    expected: Optional[int] = None
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                raise TelemetryError(
+                    f"{path}: invalid JSON line {line[:60]!r}... "
+                    f"(truncated save?)"
+                )
+            if not isinstance(data, dict):
+                raise TelemetryError(
+                    f"{path}: not a fleet outcomes file (unexpected "
+                    f"record {line[:60]!r}...)"
+                )
+            if data.get("type") == "fleet_header":
+                if data.get("version") != OUTCOME_FORMAT_VERSION:
+                    raise TelemetryError(
+                        f"{path}: unsupported outcome format version "
+                        f"{data.get('version')!r} (expected "
+                        f"{OUTCOME_FORMAT_VERSION})"
+                    )
+                expected = (expected or 0) + data.get("n_outcomes", 0)
+                continue
+            try:
+                outcomes.append(SessionOutcome.from_json(data))
+            except TypeError:
+                raise TelemetryError(
+                    f"{path}: not a fleet outcomes file (unexpected "
+                    f"record {line[:60]!r}...)"
+                )
+    if expected is None:
+        raise TelemetryError(
+            f"{path}: missing fleet header (not a fleet outcomes file, "
+            f"or its head was lost?)"
+        )
+    if len(outcomes) != expected:
+        raise TelemetryError(
+            f"{path}: header promises {expected} outcomes but file "
+            f"holds {len(outcomes)} (truncated save?)"
+        )
+    return outcomes
+
+
+__all__ = [
+    "CHAIN_SEPARATOR",
+    "SessionOutcome",
+    "load_outcomes",
+    "run_campaign",
+    "run_scenario",
+    "save_outcomes",
+]

@@ -1,0 +1,115 @@
+"""Terminal rendering of a fleet aggregate.
+
+Lays the campaign out the way an operator would triage it: the
+fleet-wide root-cause ranking first, then chain/cause frequencies
+broken down per cell profile and per impairment knob, then the
+degradation-rate and QoE distributions across sessions — all through
+the same :mod:`repro.analysis.ascii` table helpers the single-session
+benchmarks use, so fleet output stays comparable with the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.ascii import render_cdf, render_table
+from repro.fleet.aggregate import FleetAggregate
+
+#: QoE metrics surfaced in the standard report (a readable subset of
+#: everything SessionOutcome.qoe carries).
+_REPORT_QOE_METRICS = (
+    "ul_delay_p50_ms",
+    "dl_delay_p50_ms",
+    "ul_freeze_fraction",
+    "dl_freeze_fraction",
+)
+
+
+def _render_grouped_table(
+    title: str, table: Dict[str, Dict[str, float]], groups: List[str]
+) -> str:
+    rows = []
+    for key in sorted(table):
+        per_group = table[key]
+        rows.append(
+            [key] + [per_group.get(group, 0.0) for group in groups]
+        )
+    if not rows:
+        return f"{title}\n(no detections)"
+    return f"{title}\n" + render_table([""] + groups, rows)
+
+
+def render_fleet_report(
+    aggregate: FleetAggregate, top_chains: int = 10
+) -> str:
+    """Render the standard campaign rollup as one text block."""
+    sections: List[str] = []
+    sections.append(
+        f"fleet: {aggregate.n_sessions} sessions, "
+        f"{aggregate.total_minutes:.1f} min total"
+    )
+    if not aggregate.outcomes:
+        sections.append("(no sessions to aggregate)")
+        return "\n\n".join(sections)
+
+    ranked = aggregate.top_chains(limit=top_chains)
+    if ranked:
+        sections.append(
+            "Top root causes fleet-wide (episodes/min)\n"
+            + render_table(
+                ["chain", "per-min"],
+                [[chain, rate] for chain, rate in ranked],
+                width=10,
+            )
+        )
+    else:
+        sections.append("Top root causes fleet-wide: (no detections)")
+
+    for group_by in ("profile", "impairment"):
+        groups = aggregate.groups(group_by)
+        if group_by == "impairment" and groups == ["none"]:
+            continue  # no impairment axis in this campaign
+        sections.append(
+            _render_grouped_table(
+                f"Chain episodes per minute by {group_by}",
+                aggregate.chain_frequency_table(group_by),
+                groups,
+            )
+        )
+        sections.append(
+            _render_grouped_table(
+                f"Causes per minute by {group_by}",
+                aggregate.cause_frequency_table(group_by),
+                groups,
+            )
+        )
+        sections.append(
+            _render_grouped_table(
+                f"Consequences per minute by {group_by}",
+                aggregate.consequence_frequency_table(group_by),
+                groups,
+            )
+        )
+
+    sections.append(
+        "Degradation events/min across sessions\n"
+        + render_cdf({"sessions": aggregate.degradation_rate_cdf()})
+    )
+
+    available_metrics = set(aggregate.qoe_metrics())
+    qoe_curves = {
+        metric: aggregate.qoe_cdf(metric)
+        for metric in _REPORT_QOE_METRICS
+        if metric in available_metrics
+    }
+    if qoe_curves:
+        sections.append(
+            "QoE across sessions (per-session values)\n"
+            + render_cdf(qoe_curves)
+        )
+
+    return "\n\n".join(sections)
+
+
+__all__ = ["render_fleet_report"]

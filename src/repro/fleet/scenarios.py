@@ -1,0 +1,247 @@
+"""Declarative scenario matrices for fleet campaigns.
+
+A :class:`ScenarioSpec` pins down everything one session needs to be
+reproducible — cell profile (or wired/Wi-Fi baseline), seed, duration,
+and the impairment knobs :func:`repro.datasets.runner.make_cellular_session`
+already exposes (scripted RRC releases, UL deep fades, DL cross-traffic
+bursts, pushback on/off).  A :class:`ScenarioMatrix` sweeps the cross
+product of those axes and derives a deterministic per-scenario seed, so
+the same matrix expands to the same sessions on every machine and in
+every worker process.
+
+Named presets (``smoke``, ``campus_sweep``, ``impairment_grid``) give
+the CLI and examples ready-made campaigns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+from repro.datasets.cells import CELL_PROFILES, get_profile
+from repro.datasets.runner import make_cellular_session, make_wired_session
+from repro.phy.channel import FadeEvent
+from repro.rtc.session import TwoPartySession
+
+#: Pseudo-profiles accepted next to the calibrated cells of Table 1.
+BASELINE_PROFILES = ("wired", "wifi")
+
+
+def derive_seed(base_seed: int, scenario_name: str) -> int:
+    """Deterministic per-scenario seed from a campaign base seed.
+
+    Uses blake2b rather than ``hash()`` so the derivation is stable
+    across interpreter invocations and worker processes.  64-bit so
+    seed collisions stay negligible even for very large campaigns.
+    """
+    digest = hashlib.blake2b(
+        f"{base_seed}:{scenario_name}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class ImpairmentSpec:
+    """One named combination of scripted impairment knobs.
+
+    Times are expressed in seconds relative to session start so the same
+    impairment applies meaningfully across durations.
+
+    Attributes:
+        name: label used in rollups ("none" = organic behaviour only).
+        rrc_releases_s: force RRC releases at these times.
+        ul_fades: scripted UL deep fades as (start_s, duration_s,
+            depth_db) triples.
+        dl_bursts: scripted DL cross-traffic bursts as (start_s,
+            duration_s, prbs) triples.
+        pushback_enabled: GCC pushback controller on/off.
+    """
+
+    name: str = "none"
+    rrc_releases_s: Tuple[float, ...] = ()
+    ul_fades: Tuple[Tuple[float, float, float], ...] = ()
+    dl_bursts: Tuple[Tuple[float, float, int], ...] = ()
+    pushback_enabled: bool = True
+
+    @property
+    def needs_ran(self) -> bool:
+        """Whether any knob only exists on cellular (RAN) sessions."""
+        return bool(self.rrc_releases_s or self.ul_fades or self.dl_bursts)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully pinned-down session of a campaign."""
+
+    name: str
+    profile: str  # key into CELL_PROFILES, or "wired" / "wifi"
+    seed: int
+    duration_s: float
+    impairment: ImpairmentSpec = field(default_factory=ImpairmentSpec)
+
+    def __post_init__(self) -> None:
+        if (
+            self.profile not in CELL_PROFILES
+            and self.profile not in BASELINE_PROFILES
+        ):
+            raise KeyError(
+                f"unknown profile {self.profile!r}; options: "
+                f"{', '.join(sorted(CELL_PROFILES) + list(BASELINE_PROFILES))}"
+            )
+
+    @property
+    def duration_us(self) -> int:
+        return int(self.duration_s * 1e6)
+
+    @property
+    def is_baseline(self) -> bool:
+        return self.profile in BASELINE_PROFILES
+
+    def build_session(self) -> TwoPartySession:
+        """Assemble the session this spec describes (not yet run)."""
+        imp = self.impairment
+        if self.is_baseline:
+            if imp.needs_ran:
+                raise ValueError(
+                    f"scenario {self.name!r}: impairment {imp.name!r} "
+                    f"uses RAN knobs, which baseline profile "
+                    f"{self.profile!r} cannot apply"
+                )
+            return make_wired_session(
+                seed=self.seed,
+                wifi=self.profile == "wifi",
+                pushback_enabled=imp.pushback_enabled,
+            )
+        return make_cellular_session(
+            get_profile(self.profile),
+            seed=self.seed,
+            scripted_rrc_releases_us=[
+                int(t * 1e6) for t in imp.rrc_releases_s
+            ]
+            or None,
+            ul_fade_events=[
+                FadeEvent(
+                    start_us=int(start * 1e6),
+                    duration_us=int(duration * 1e6),
+                    depth_db=depth,
+                )
+                for start, duration, depth in imp.ul_fades
+            ]
+            or None,
+            dl_cross_bursts=[
+                (int(start * 1e6), int(duration * 1e6), prbs)
+                for start, duration, prbs in imp.dl_bursts
+            ]
+            or None,
+            pushback_enabled=imp.pushback_enabled,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioMatrix:
+    """Cross product of campaign axes → list of :class:`ScenarioSpec`.
+
+    ``repetitions`` re-runs each cell of the product with a distinct
+    derived seed, emulating distinct users on the same cell.  RAN-only
+    impairments (fades, RRC releases, cross bursts) are skipped for the
+    wired/Wi-Fi baseline profiles — a baseline cannot apply them, and
+    emitting the combination anyway would mislabel an unimpaired
+    session in the per-impairment rollups.
+    """
+
+    name: str
+    profiles: Tuple[str, ...]
+    durations_s: Tuple[float, ...] = (30.0,)
+    impairments: Tuple[ImpairmentSpec, ...] = (ImpairmentSpec(),)
+    repetitions: int = 1
+    base_seed: int = 0
+
+    def expand(self) -> List[ScenarioSpec]:
+        """Enumerate every scenario, in deterministic order."""
+        scenarios: List[ScenarioSpec] = []
+        for profile in self.profiles:
+            is_baseline = profile in BASELINE_PROFILES
+            for duration_s in self.durations_s:
+                for impairment in self.impairments:
+                    if is_baseline and impairment.needs_ran:
+                        continue
+                    for rep in range(self.repetitions):
+                        scenario_name = (
+                            f"{self.name}/{profile}/{impairment.name}"
+                            f"/d{duration_s:g}/r{rep}"
+                        )
+                        scenarios.append(
+                            ScenarioSpec(
+                                name=scenario_name,
+                                profile=profile,
+                                seed=derive_seed(
+                                    self.base_seed, scenario_name
+                                ),
+                                duration_s=duration_s,
+                                impairment=impairment,
+                            )
+                        )
+        return scenarios
+
+    def with_base_seed(self, base_seed: int) -> "ScenarioMatrix":
+        return replace(self, base_seed=base_seed)
+
+
+# -- named presets -------------------------------------------------------------
+
+_RRC_FLAP = ImpairmentSpec(name="rrc_release", rrc_releases_s=(5.0, 12.0))
+_UL_FADE = ImpairmentSpec(
+    name="ul_fade", ul_fades=((4.0, 1.5, 20.0), (11.0, 1.0, 15.0))
+)
+_DL_BURST = ImpairmentSpec(
+    name="dl_burst", dl_bursts=((5.0, 2.0, 180), (12.0, 1.5, 140))
+)
+_NO_PUSHBACK = ImpairmentSpec(name="no_pushback", pushback_enabled=False)
+
+#: Tiny deterministic campaign for CI and the parallel-equivalence test.
+#: Durations must exceed the 5 s detection window or no windows emit.
+SMOKE = ScenarioMatrix(
+    name="smoke",
+    profiles=("tmobile_fdd", "amarisoft", "wired"),
+    durations_s=(12.0,),
+    impairments=(ImpairmentSpec(), _UL_FADE),
+)
+
+#: One campus: every measured cell plus both baselines, two users each.
+CAMPUS_SWEEP = ScenarioMatrix(
+    name="campus_sweep",
+    profiles=tuple(sorted(CELL_PROFILES)) + BASELINE_PROFILES,
+    durations_s=(30.0,),
+    repetitions=2,
+)
+
+#: Impairment knobs × the two most contrasting cells (§5 case studies).
+IMPAIRMENT_GRID = ScenarioMatrix(
+    name="impairment_grid",
+    profiles=("tmobile_fdd", "amarisoft"),
+    durations_s=(20.0,),
+    impairments=(
+        ImpairmentSpec(),
+        _RRC_FLAP,
+        _UL_FADE,
+        _DL_BURST,
+        _NO_PUSHBACK,
+    ),
+)
+
+PRESETS: Dict[str, ScenarioMatrix] = {
+    "smoke": SMOKE,
+    "campus_sweep": CAMPUS_SWEEP,
+    "impairment_grid": IMPAIRMENT_GRID,
+}
+
+
+def get_preset(name: str) -> ScenarioMatrix:
+    """Look up a preset matrix by name (raises KeyError with options)."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; options: {', '.join(sorted(PRESETS))}"
+        )

@@ -93,3 +93,34 @@ def test_codegen_prints_python(tmp_path, capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def _run_fleet(tmp_path, capsys, workers, out_name):
+    out = str(tmp_path / out_name)
+    code = main(
+        ["fleet", "--preset", "smoke", "--workers", str(workers), "--out", out]
+    )
+    assert code == 0
+    captured = capsys.readouterr().out
+    # Everything after the bookkeeping lines is the aggregate report.
+    report = captured.split("\n\n", 1)[1]
+    with open(out, "rb") as handle:
+        return report, handle.read()
+
+
+def test_fleet_parallel_output_byte_identical(tmp_path, capsys):
+    """--workers 4 must aggregate byte-identically to --workers 1."""
+    serial_report, serial_jsonl = _run_fleet(tmp_path, capsys, 1, "w1.jsonl")
+    parallel_report, parallel_jsonl = _run_fleet(
+        tmp_path, capsys, 4, "w4.jsonl"
+    )
+    assert serial_jsonl == parallel_jsonl
+    assert serial_report == parallel_report
+    assert "Top root causes fleet-wide" in serial_report
+
+
+def test_fleet_report_rerenders_saved_outcomes(tmp_path, capsys):
+    report, _ = _run_fleet(tmp_path, capsys, 1, "w1.jsonl")
+    code = main(["fleet-report", str(tmp_path / "w1.jsonl")])
+    assert code == 0
+    assert capsys.readouterr().out.strip() == report.strip()

@@ -14,7 +14,12 @@ from repro.core.chains import (
     classify_cause,
     classify_consequence,
 )
-from repro.core.detector import DetectorConfig, DominoDetector
+from repro.core.detector import (
+    DetectorConfig,
+    DominoDetector,
+    DominoReport,
+    WindowDetection,
+)
 from repro.core.dsl import parse_chains
 from repro.core.features import FEATURE_NAMES, FeatureExtractor
 from repro.core.stats import DominoStats, _episode_count
@@ -162,6 +167,60 @@ def test_stats_tables_shape(cellular_bundle):
             )
     unknown = stats.unknown_fractions()
     assert all(0.0 <= v <= 1.0 for v in unknown.values())
+
+
+def test_chain_episode_counts_merge_duplicate_chain_ids():
+    """Two chain ids resolving to the same tuple (duplicate lines in a
+    user chain file) must not double-count episodes."""
+    chain = ("ul_harq_retx", "ul_delay_up", "remote_jitter_buffer_drain")
+
+    def window(start_us, chain_ids):
+        return WindowDetection(
+            start_us=start_us,
+            end_us=start_us + 5_000_000,
+            features={},
+            consequences=[],
+            causes=[],
+            chain_ids=chain_ids,
+        )
+
+    report = DominoReport(
+        session_name="dup",
+        duration_us=60_000_000,
+        step_us=500_000,
+        chains=[chain, chain],
+        windows=[
+            window(0, [0, 1]),  # both ids active: one episode, not two
+            window(500_000, [1]),  # still the same episode
+            window(1_000_000, []),
+            window(1_500_000, [0]),  # a second episode
+        ],
+    )
+    counts = DominoStats.from_report(report).chain_episode_counts()
+    assert counts == {chain: 2}
+
+
+def test_stats_merge_matches_from_reports(cellular_bundle, private_bundle):
+    """merged()/merge() give the same aggregate as from_reports()."""
+    report_a = DominoDetector().analyze(cellular_bundle)
+    report_b = DominoDetector().analyze(private_bundle)
+    combined = DominoStats.from_reports([report_a, report_b])
+    merged = DominoStats.merged(
+        [DominoStats.from_report(report_a), DominoStats.from_report(report_b)]
+    )
+    pairwise = DominoStats.from_report(report_a).merge(
+        DominoStats.from_report(report_b)
+    )
+    for stats in (merged, pairwise):
+        assert stats.total_minutes == combined.total_minutes
+        assert (
+            stats.cause_episode_counts() == combined.cause_episode_counts()
+        )
+        assert stats.chain_episode_counts() == combined.chain_episode_counts()
+    # merge() is non-destructive.
+    solo = DominoStats.from_report(report_a)
+    solo.merge(DominoStats.from_report(report_b))
+    assert len(solo.reports) == 1
 
 
 def test_stats_frequencies_nonnegative(cellular_bundle, private_bundle):

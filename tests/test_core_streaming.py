@@ -1,5 +1,7 @@
 """Streaming (near-real-time) Domino."""
 
+import random
+
 import pytest
 
 from repro.core.detector import DetectorConfig, DominoDetector
@@ -49,6 +51,81 @@ def test_streaming_incremental_chunks(private_bundle):
     assert len(combined) == len(offline.windows)
     starts = [w.start_us for w in combined]
     assert starts == sorted(starts)
+
+
+def test_streaming_out_of_order_ingestion(private_bundle):
+    """Records fed in shuffled order yield the same detections as the
+    offline detector (the stream sorts by timestamp internally)."""
+    offline = DominoDetector().analyze(private_bundle)
+    stream = StreamingDomino(gnb_log_available=True)
+    records = (
+        list(private_bundle.dci)
+        + list(private_bundle.gnb_log)
+        + list(private_bundle.packets)
+        + list(private_bundle.webrtc_stats)
+    )
+    random.Random(7).shuffle(records)
+    for record in records:
+        stream.feed(record)
+    windows = stream.advance(private_bundle.duration_us)
+    assert len(windows) == len(offline.windows)
+    for streamed, batch in zip(windows, offline.windows):
+        assert streamed.start_us == batch.start_us
+        assert streamed.chain_ids == batch.chain_ids
+
+
+def test_streaming_chunk_equals_window(private_bundle):
+    """A chunk exactly one window long (the smallest legal chunk) still
+    emits every window the offline detector finds."""
+    config = DetectorConfig()
+    stream = StreamingDomino(
+        config=config, chunk_us=config.window_us, gnb_log_available=True
+    )
+    offline = DominoDetector(config).analyze(private_bundle)
+    _feed_bundle(stream, private_bundle)
+    windows = stream.advance(private_bundle.duration_us)
+    assert [w.start_us for w in windows] == [
+        w.start_us for w in offline.windows
+    ]
+    assert [w.chain_ids for w in windows] == [
+        w.chain_ids for w in offline.windows
+    ]
+
+
+def test_streaming_memory_stays_bounded(private_bundle):
+    """After each advance, only records the next windows can still
+    reference remain buffered: everything older than two windows behind
+    the feed head has been evicted."""
+    stream = StreamingDomino(gnb_log_available=True, chunk_us=6_000_000)
+    window_us = stream.config.window_us
+    step_us = 5_000_000
+    for until in range(step_us, private_bundle.duration_us + 1, step_us):
+        _feed_bundle_range(stream, private_bundle, until - step_us, until)
+        stream.advance(until)
+        horizon = until - 2 * window_us
+        recent = sum(
+            1
+            for record in (
+                private_bundle.dci
+                + private_bundle.gnb_log
+                + private_bundle.webrtc_stats
+            )
+            if horizon <= record.ts_us < until
+        ) + sum(
+            1
+            for record in private_bundle.packets
+            if horizon <= record.sent_us < until
+        )
+        assert stream.buffered_records <= recent
+
+
+def _feed_bundle_range(stream, bundle, start_us, end_us):
+    for record in bundle.dci + bundle.gnb_log + bundle.webrtc_stats:
+        if start_us <= record.ts_us < end_us:
+            stream.feed(record)
+    for record in bundle.packets:
+        if start_us <= record.sent_us < end_us:
+            stream.feed(record)
 
 
 def test_streaming_evicts_history(private_bundle):

@@ -1,0 +1,157 @@
+"""Fleet rollups over hand-built outcomes (no simulation needed)."""
+
+import pytest
+
+from repro.fleet.aggregate import FleetAggregate
+from repro.fleet.executor import SessionOutcome
+from repro.fleet.report import render_fleet_report
+
+_CHAIN_A = "ul_harq_retx --> ul_delay_up --> remote_jitter_buffer_drain"
+_CHAIN_B = "dl_cross_traffic --> dl_delay_up --> local_jitter_buffer_drain"
+
+
+def _outcome(
+    scenario,
+    profile,
+    impairment="none",
+    duration_s=60.0,
+    chain_counts=None,
+    cause_counts=None,
+    degradation=1.0,
+    qoe=None,
+):
+    return SessionOutcome(
+        scenario=scenario,
+        profile=profile,
+        impairment=impairment,
+        seed=0,
+        duration_s=duration_s,
+        n_windows=100,
+        n_detected_windows=10,
+        degradation_events_per_min=degradation,
+        chain_counts=chain_counts or {},
+        cause_counts=cause_counts or {},
+        consequence_counts={},
+        qoe=qoe or {"ul_delay_p50_ms": 20.0},
+        event_rates={},
+    )
+
+
+@pytest.fixture()
+def aggregate():
+    return FleetAggregate.from_outcomes(
+        [
+            _outcome(
+                "a",
+                "tmobile_fdd",
+                chain_counts={_CHAIN_A: 6, _CHAIN_B: 2},
+                cause_counts={"HARQ ReTX": 6.0},
+                degradation=4.0,
+                qoe={"ul_delay_p50_ms": 30.0},
+            ),
+            _outcome(
+                "b",
+                "tmobile_fdd",
+                impairment="ul_fade",
+                chain_counts={_CHAIN_A: 6},
+                degradation=2.0,
+                qoe={"ul_delay_p50_ms": 50.0},
+            ),
+            _outcome(
+                "c",
+                "wired",
+                duration_s=120.0,
+                degradation=0.0,
+                qoe={"ul_delay_p50_ms": 10.0},
+            ),
+        ]
+    )
+
+
+def test_fleet_totals(aggregate):
+    assert aggregate.n_sessions == 3
+    assert aggregate.total_minutes == pytest.approx(4.0)
+
+
+def test_chain_frequency_grouped_by_profile(aggregate):
+    table = aggregate.chain_frequency_table("profile")
+    # 12 episodes of chain A over 2 minutes of tmobile_fdd time.
+    assert table[_CHAIN_A]["tmobile_fdd"] == pytest.approx(6.0)
+    assert table[_CHAIN_B]["tmobile_fdd"] == pytest.approx(1.0)
+    assert "wired" not in table[_CHAIN_A]
+
+
+def test_chain_frequency_grouped_by_impairment(aggregate):
+    table = aggregate.chain_frequency_table("impairment")
+    assert table[_CHAIN_A]["none"] == pytest.approx(2.0)  # 6 over 3 min
+    assert table[_CHAIN_A]["ul_fade"] == pytest.approx(6.0)
+
+
+def test_rates_weight_by_duration_not_session(aggregate):
+    """Fleet-wide rate = total episodes / total minutes: the long wired
+    session dilutes the rate, per-session averaging would not."""
+    ranked = dict(aggregate.top_chains())
+    assert ranked[_CHAIN_A] == pytest.approx(12 / 4.0)
+
+
+def test_top_chains_ranked_most_frequent_first(aggregate):
+    ranked = aggregate.top_chains()
+    assert ranked[0][0] == _CHAIN_A
+    assert [rate for _, rate in ranked] == sorted(
+        (rate for _, rate in ranked), reverse=True
+    )
+    assert aggregate.top_chains(limit=1) == ranked[:1]
+
+
+def test_cause_frequency_table(aggregate):
+    table = aggregate.cause_frequency_table("profile")
+    assert table["HARQ ReTX"]["tmobile_fdd"] == pytest.approx(3.0)
+
+
+def test_degradation_rate_cdf(aggregate):
+    cdf = aggregate.degradation_rate_cdf()
+    assert len(cdf) == 3
+    assert cdf.median == pytest.approx(2.0)
+
+
+def test_qoe_cdf(aggregate):
+    cdf = aggregate.qoe_cdf("ul_delay_p50_ms")
+    assert cdf.median == pytest.approx(30.0)
+    with pytest.raises(KeyError):
+        aggregate.qoe_cdf("nonexistent_metric")
+
+
+def test_unknown_group_key_rejected(aggregate):
+    with pytest.raises(KeyError):
+        aggregate.chain_frequency_table("seed")
+
+
+def test_render_fleet_report_sections(aggregate):
+    text = render_fleet_report(aggregate)
+    assert "3 sessions" in text
+    assert "Top root causes fleet-wide" in text
+    assert _CHAIN_A in text
+    assert "by profile" in text
+    assert "by impairment" in text  # ul_fade axis present
+    assert "Degradation events/min" in text
+
+
+def test_render_report_includes_grouped_chain_tables(aggregate):
+    text = render_fleet_report(aggregate)
+    assert "Chain episodes per minute by profile" in text
+    assert "Chain episodes per minute by impairment" in text
+
+
+def test_render_report_empty_campaign():
+    text = render_fleet_report(FleetAggregate.from_outcomes([]))
+    assert "0 sessions" in text
+    assert "(no sessions to aggregate)" in text
+    assert "nan" not in text.lower()
+
+
+def test_render_report_without_impairment_axis():
+    text = render_fleet_report(
+        FleetAggregate.from_outcomes([_outcome("a", "wired")])
+    )
+    assert "by impairment" not in text
+    assert "(no detections)" in text

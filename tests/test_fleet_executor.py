@@ -1,0 +1,137 @@
+"""Campaign execution: serial path, process pool, trace export, IO."""
+
+import os
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.fleet.executor import (
+    SessionOutcome,
+    load_outcomes,
+    run_campaign,
+    run_scenario,
+    save_outcomes,
+)
+from repro.fleet.scenarios import ImpairmentSpec, ScenarioMatrix
+from repro.telemetry.io import load_bundle
+
+#: Small but non-trivial: two cells, one impairment, 8 s sessions (the
+#: 5 s detection window needs headroom to emit several positions).
+_MATRIX = ScenarioMatrix(
+    name="test",
+    profiles=("tmobile_fdd", "amarisoft"),
+    durations_s=(8.0,),
+    impairments=(
+        ImpairmentSpec(),
+        ImpairmentSpec(name="ul_fade", ul_fades=((2.0, 1.5, 20.0),)),
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def serial_outcomes():
+    return run_campaign(_MATRIX.expand(), workers=1)
+
+
+def test_run_scenario_produces_compact_outcome():
+    spec = _MATRIX.expand()[0]
+    outcome = run_scenario(spec)
+    assert outcome.scenario == spec.name
+    assert outcome.profile == "tmobile_fdd"
+    assert outcome.seed == spec.seed
+    assert outcome.duration_s == 8.0
+    assert outcome.n_windows > 0
+    assert outcome.n_detected_windows <= outcome.n_windows
+    assert outcome.event_rates["packets"] > 0
+    assert "ul_delay_p50_ms" in outcome.qoe
+
+
+def test_serial_campaign_preserves_scenario_order(serial_outcomes):
+    expected = [s.name for s in _MATRIX.expand()]
+    assert [o.scenario for o in serial_outcomes] == expected
+
+
+def test_parallel_campaign_matches_serial(serial_outcomes):
+    parallel = run_campaign(_MATRIX.expand(), workers=2)
+    assert parallel == serial_outcomes
+
+
+def test_workers_must_be_positive():
+    with pytest.raises(ValueError):
+        run_campaign(_MATRIX.expand(), workers=0)
+
+
+def test_trace_export_writes_one_shard_per_scenario(tmp_path):
+    scenarios = _MATRIX.expand()[:1]
+    trace_dir = str(tmp_path / "traces")
+    run_campaign(scenarios, workers=1, trace_dir=trace_dir)
+    shards = sorted(os.listdir(trace_dir))
+    assert len(shards) == 1
+    bundle = load_bundle(os.path.join(trace_dir, shards[0]))
+    assert bundle.duration_us == scenarios[0].duration_us
+    assert len(bundle.packets) > 0
+
+
+def test_outcomes_round_trip(tmp_path, serial_outcomes):
+    path = str(tmp_path / "outcomes.jsonl")
+    save_outcomes(serial_outcomes, path)
+    loaded = load_outcomes(path)
+    assert loaded == list(serial_outcomes)
+    assert all(isinstance(o, SessionOutcome) for o in loaded)
+
+
+def test_truncated_outcomes_rejected(tmp_path, serial_outcomes):
+    path = str(tmp_path / "outcomes.jsonl")
+    save_outcomes(serial_outcomes, path)
+    lines = open(path).readlines()
+    with open(path, "w") as handle:
+        handle.writelines(lines[:-1])  # drop the last outcome
+    with pytest.raises(TelemetryError, match="truncated"):
+        load_outcomes(path)
+
+
+def test_concatenated_shards_load_as_one_campaign(
+    tmp_path, serial_outcomes
+):
+    half = len(serial_outcomes) // 2
+    shard_a = str(tmp_path / "a.jsonl")
+    shard_b = str(tmp_path / "b.jsonl")
+    save_outcomes(serial_outcomes[:half], shard_a)
+    save_outcomes(serial_outcomes[half:], shard_b)
+    joined = str(tmp_path / "all.jsonl")
+    with open(joined, "w") as handle:
+        handle.write(open(shard_a).read() + open(shard_b).read())
+    assert load_outcomes(joined) == list(serial_outcomes)
+
+
+def test_non_outcome_jsonl_rejected(tmp_path):
+    path = str(tmp_path / "other.jsonl")
+    with open(path, "w") as handle:
+        handle.write('[1, 2, 3]\n')
+    with pytest.raises(TelemetryError, match="not a fleet outcomes file"):
+        load_outcomes(path)
+    with open(path, "w") as handle:
+        handle.write('{"type": "header", "session_name": "wired"}\n')
+    with pytest.raises(TelemetryError, match="not a fleet outcomes file"):
+        load_outcomes(path)
+
+
+def test_headerless_outcomes_rejected(tmp_path, serial_outcomes):
+    path = str(tmp_path / "outcomes.jsonl")
+    save_outcomes(serial_outcomes, path)
+    lines = open(path).readlines()
+    with open(path, "w") as handle:
+        handle.writelines(lines[1:])  # drop the header
+    with pytest.raises(TelemetryError, match="missing fleet header"):
+        load_outcomes(path)
+
+
+def test_future_format_version_rejected(tmp_path, serial_outcomes):
+    path = str(tmp_path / "outcomes.jsonl")
+    save_outcomes(serial_outcomes, path)
+    lines = open(path).readlines()
+    with open(path, "w") as handle:
+        handle.write(lines[0].replace('"version": 1', '"version": 99'))
+        handle.writelines(lines[1:])
+    with pytest.raises(TelemetryError, match="version"):
+        load_outcomes(path)

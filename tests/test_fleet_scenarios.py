@@ -1,0 +1,135 @@
+"""Scenario matrices, presets, and deterministic seed derivation."""
+
+import pytest
+
+from repro.fleet.scenarios import (
+    PRESETS,
+    ImpairmentSpec,
+    ScenarioMatrix,
+    ScenarioSpec,
+    derive_seed,
+    get_preset,
+)
+
+
+def test_matrix_expands_full_cross_product():
+    matrix = ScenarioMatrix(
+        name="m",
+        profiles=("tmobile_fdd", "wired"),
+        durations_s=(6.0, 10.0),
+        impairments=(ImpairmentSpec(), ImpairmentSpec(name="no_pushback", pushback_enabled=False)),
+        repetitions=3,
+    )
+    scenarios = matrix.expand()
+    assert len(scenarios) == 2 * 2 * 2 * 3
+    assert len({s.name for s in scenarios}) == len(scenarios)
+    assert len({s.seed for s in scenarios}) == len(scenarios)
+
+
+def test_expansion_is_deterministic():
+    matrix = PRESETS["campus_sweep"]
+    first = matrix.expand()
+    second = matrix.expand()
+    assert first == second
+
+
+def test_derive_seed_stable_and_sensitive():
+    assert derive_seed(0, "a") == derive_seed(0, "a")
+    assert derive_seed(0, "a") != derive_seed(0, "b")
+    assert derive_seed(0, "a") != derive_seed(1, "a")
+
+
+def test_base_seed_override_changes_every_seed():
+    matrix = PRESETS["smoke"]
+    original = [s.seed for s in matrix.expand()]
+    reseeded = [s.seed for s in matrix.with_base_seed(99).expand()]
+    assert all(a != b for a, b in zip(original, reseeded))
+    # Names (and thus ordering) are unchanged.
+    assert [s.name for s in matrix.expand()] == [
+        s.name for s in matrix.with_base_seed(99).expand()
+    ]
+
+
+def test_campus_sweep_covers_all_cells_twice():
+    scenarios = get_preset("campus_sweep").expand()
+    assert len(scenarios) == 12
+    profiles = {s.profile for s in scenarios}
+    assert {"tmobile_fdd", "tmobile_tdd", "amarisoft", "mosolabs"} <= profiles
+    assert {"wired", "wifi"} <= profiles
+
+
+def test_impairment_grid_sweeps_knobs():
+    scenarios = get_preset("impairment_grid").expand()
+    knobs = {s.impairment.name for s in scenarios}
+    assert knobs == {"none", "rrc_release", "ul_fade", "dl_burst", "no_pushback"}
+
+
+def test_ran_impairments_skipped_for_baselines():
+    matrix = ScenarioMatrix(
+        name="m",
+        profiles=("tmobile_fdd", "wired"),
+        impairments=(
+            ImpairmentSpec(),
+            ImpairmentSpec(name="ul_fade", ul_fades=((1.0, 0.5, 10.0),)),
+        ),
+    )
+    scenarios = matrix.expand()
+    # The cellular profile gets both impairments; the baseline only the
+    # RAN-free one (a wired link cannot fade, and emitting the combo
+    # would mislabel an unimpaired session in per-impairment rollups).
+    assert len(scenarios) == 3
+    wired = [s for s in scenarios if s.profile == "wired"]
+    assert [s.impairment.name for s in wired] == ["none"]
+
+
+def test_baseline_with_ran_impairment_rejected():
+    spec = ScenarioSpec(
+        name="x",
+        profile="wired",
+        seed=0,
+        duration_s=5.0,
+        impairment=ImpairmentSpec(name="flap", rrc_releases_s=(1.0,)),
+    )
+    with pytest.raises(ValueError):
+        spec.build_session()
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(KeyError):
+        ScenarioSpec(name="x", profile="nokia", seed=0, duration_s=5.0)
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(KeyError):
+        get_preset("frobnicate")
+
+
+def test_build_session_applies_impairments():
+    spec = ScenarioSpec(
+        name="x",
+        profile="tmobile_fdd",
+        seed=3,
+        duration_s=10.0,
+        impairment=ImpairmentSpec(
+            name="all",
+            rrc_releases_s=(2.0,),
+            ul_fades=((1.0, 0.5, 15.0),),
+            dl_bursts=((3.0, 1.0, 100),),
+            pushback_enabled=False,
+        ),
+    )
+    session = spec.build_session()
+    ran = session.access_a.ran
+    assert 2_000_000 in ran.rrc.scripted_releases_us
+    assert any(
+        f.start_us == 1_000_000 and f.depth_db == 15.0
+        for f in ran.ul.channel.fade_events
+    )
+    assert any(u.scripted_bursts for u in ran.dl.cross.ues)
+
+
+def test_build_session_baselines():
+    wired = ScenarioSpec(name="w", profile="wired", seed=0, duration_s=5.0)
+    wifi = ScenarioSpec(name="f", profile="wifi", seed=0, duration_s=5.0)
+    assert wired.build_session().name == "wired-baseline"
+    assert wifi.build_session().name == "wifi-baseline"
