@@ -1,0 +1,93 @@
+"""CI perf-smoke gate over the scaling benchmark's JSON output.
+
+Reads ``benchmarks/results/BENCH_scaling.json`` (written by
+``test_scaling_realtime.py``, which tier-1 already runs) and fails when
+the batch feature engine has regressed.  Wall-clock numbers vary >2x
+with machine speed and load, so both gates use the *engine speedup* —
+the per-window cost of the batch engine relative to the per-window
+reference engine measured in the same run — which divides machine and
+load effects out:
+
+1. **Floor gate:** the batch engine must stay at least 2x faster per
+   window than the reference engine (measured ~11-16x at merge time).
+2. **Baseline gate:** when a committed ``BENCH_scaling_baseline.json``
+   exists, the current speedup must be at least half the baseline's —
+   i.e. a >2x per-window-cost regression of the batch engine fails.
+   Refresh the baseline deliberately (copy a fresh, quiet-machine
+   ``BENCH_scaling.json`` over it) when an accepted trade-off changes
+   the numbers.
+
+Usage: ``python benchmarks/check_perf.py [results_json] [baseline_json]``
+"""
+
+import json
+import os
+import sys
+
+RESULTS = os.path.join(
+    os.path.dirname(__file__), "results", "BENCH_scaling.json"
+)
+BASELINE = os.path.join(
+    os.path.dirname(__file__), "results", "BENCH_scaling_baseline.json"
+)
+
+#: Absolute floor on the batch engine's per-window advantage.
+MIN_ENGINE_SPEEDUP = 2.0
+
+#: Allowed speedup shrinkage vs. the committed baseline (2.0 = fail on
+#: a >2x per-window-cost regression of the batch engine).
+MAX_SPEEDUP_SHRINKAGE = 2.0
+
+
+def main(argv):
+    results_path = argv[1] if len(argv) > 1 else RESULTS
+    baseline_path = argv[2] if len(argv) > 2 else BASELINE
+    with open(results_path) as handle:
+        results = json.load(handle)
+
+    failures = []
+    speedup = results["engines_60s"]["feature_engine_speedup"]
+    print(
+        f"feature engine speedup (batch vs per-window reference): "
+        f"{speedup:.2f}x (floor: >= {MIN_ENGINE_SPEEDUP}x)"
+    )
+    if speedup < MIN_ENGINE_SPEEDUP:
+        failures.append(
+            f"batch feature engine regressed: only {speedup:.2f}x faster "
+            f"than the reference engine (floor {MIN_ENGINE_SPEEDUP}x)"
+        )
+
+    row = next(r for r in results["rows"] if r["trace_s"] == 60)
+    print(
+        f"60s trace: {row['x_realtime']:.0f}x realtime, "
+        f"{row['per_window_cost_s'] * 1e3:.2f} ms/window "
+        f"(informational; load-sensitive)"
+    )
+    if os.path.exists(baseline_path):
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+        base_speedup = baseline["engines_60s"]["feature_engine_speedup"]
+        floor = base_speedup / MAX_SPEEDUP_SHRINKAGE
+        print(
+            f"speedup vs baseline: {speedup:.2f}x now, {base_speedup:.2f}x "
+            f"at baseline (gate: >= {floor:.2f}x)"
+        )
+        if speedup < floor:
+            failures.append(
+                f"batch engine per-window cost regressed more than "
+                f"{MAX_SPEEDUP_SHRINKAGE}x vs baseline (speedup fell "
+                f"{base_speedup:.2f}x -> {speedup:.2f}x)"
+            )
+    else:
+        print(f"no baseline at {baseline_path}; baseline gate skipped")
+
+    if failures:
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("perf-smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

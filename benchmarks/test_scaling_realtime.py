@@ -5,15 +5,24 @@ operator-provided traces (§1).  This benchmark measures the end-to-end
 analysis cost (resampling + 36 feature detectors + compiled backward
 trace) per minute of trace, and the implied real-time factor — how many
 concurrent sessions one core could monitor live.
+
+It also pits the vectorized batch feature engine (the production
+default) against the per-window reference engine on the same trace,
+asserts their detections are identical, and emits a machine-readable
+``BENCH_scaling.json`` next to the text table so CI's perf-smoke step
+(``benchmarks/check_perf.py``) can fail on per-window-cost regressions.
 """
 
+import json
+import os
 import time
 
-from conftest import save_result
+from conftest import RESULTS_DIR, save_result
 
 from repro.analysis.ascii import render_table
-from repro.core.detector import DominoDetector
+from repro.core.detector import DetectorConfig, DominoDetector
 from repro.telemetry.records import TelemetryBundle
+from repro.telemetry.timeline import Timeline
 
 
 def _truncate(bundle: TelemetryBundle, duration_us: int) -> TelemetryBundle:
@@ -30,6 +39,16 @@ def _truncate(bundle: TelemetryBundle, duration_us: int) -> TelemetryBundle:
     )
 
 
+def _assert_identical_reports(batch, reference):
+    assert batch.n_windows == reference.n_windows
+    for a, b in zip(batch.windows, reference.windows):
+        assert (a.start_us, a.end_us) == (b.start_us, b.end_us)
+        assert a.features == b.features
+        assert a.consequences == b.consequences
+        assert a.causes == b.causes
+        assert a.chain_ids == b.chain_ids
+
+
 def test_scaling_realtime_factor(benchmark, fdd_results):
     bundle = fdd_results[0].bundle
     detector = DominoDetector()
@@ -41,6 +60,7 @@ def test_scaling_realtime_factor(benchmark, fdd_results):
     assert report.n_windows > 0
 
     rows = []
+    json_rows = []
     for duration_s in (15, 30, 60):
         truncated = _truncate(bundle, int(duration_s * 1e6))
         start = time.perf_counter()
@@ -55,15 +75,66 @@ def test_scaling_realtime_factor(benchmark, fdd_results):
                 realtime_factor,
             ]
         )
+        json_rows.append(
+            {
+                "trace_s": duration_s,
+                "n_windows": partial.n_windows,
+                "analysis_s": elapsed,
+                "x_realtime": realtime_factor,
+                "windows_per_sec": partial.n_windows / elapsed,
+                "per_window_cost_s": elapsed / max(partial.n_windows, 1),
+            }
+        )
     text = render_table(
         ["trace", "windows", "analysis s", "x realtime"], rows
     )
     save_result("scaling_realtime", text)
 
+    # Batch vs per-window reference engine, same 60 s trace: identical
+    # detections, and the feature phase (the part the batch engine
+    # vectorizes) timed per engine for the regression gate.
+    sixty = _truncate(bundle, int(60e6))
+    reference_detector = DominoDetector(DetectorConfig(use_batch=False))
+    start = time.perf_counter()
+    reference_report = reference_detector.analyze(sixty)
+    reference_elapsed = time.perf_counter() - start
+    batch_report = detector.analyze(sixty)
+    _assert_identical_reports(batch_report, reference_report)
+
+    timeline = Timeline.from_bundle(sixty)
+    start = time.perf_counter()
+    batch_windows = detector.batch_extractor.extract_all(timeline)
+    batch_features_s = time.perf_counter() - start
+    start = time.perf_counter()
+    reference_windows = detector.extractor.extract_all(timeline)
+    reference_features_s = time.perf_counter() - start
+    assert batch_windows == reference_windows
+
+    n_windows = max(len(batch_windows), 1)
+    payload = {
+        "benchmark": "scaling_realtime",
+        "rows": json_rows,
+        "engines_60s": {
+            "batch_analysis_s": json_rows[-1]["analysis_s"],
+            "reference_analysis_s": reference_elapsed,
+            "batch_features_per_window_s": batch_features_s / n_windows,
+            "reference_features_per_window_s": reference_features_s
+            / n_windows,
+            "feature_engine_speedup": reference_features_s
+            / max(batch_features_s, 1e-12),
+        },
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_scaling.json"), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
     # Near-real-time claim: analysis runs much faster than the trace
-    # plays (one core can watch many sessions live).
+    # plays (one core can watch many sessions live).  The batch engine
+    # lifted this 5× above the seed's 10× floor; quiet-machine runs
+    # measure ~480×, but wall-clock asserts must survive loaded CI
+    # runners (>2× swings observed), so the floor stays conservative.
     final_factor = rows[-1][3]
-    assert final_factor > 10.0
+    assert final_factor > 50.0
     # Cost grows roughly linearly with duration (no superlinear blowup):
     per_window_costs = [row[2] / max(row[1], 1) for row in rows]
     assert max(per_window_costs) < 5 * min(per_window_costs)

@@ -14,7 +14,7 @@ from typing import Dict, List
 
 from repro.core.chains import ConsequenceKind, classify_consequence
 from repro.core.events import EventConfig
-from repro.core.features import FeatureExtractor
+from repro.core.features import BatchFeatureExtractor
 from repro.telemetry.records import TelemetryBundle
 from repro.telemetry.timeline import Timeline
 
@@ -70,7 +70,7 @@ class AppOnlyDetector:
         step_us: int = 500_000,
         events: EventConfig = EventConfig(),
     ) -> None:
-        self.extractor = FeatureExtractor(
+        self.extractor = BatchFeatureExtractor(
             window_us=window_us, step_us=step_us, config=events
         )
 

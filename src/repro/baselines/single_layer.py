@@ -14,7 +14,7 @@ from typing import Dict, List
 
 from repro.core.detector import DominoReport
 from repro.core.events import EventConfig
-from repro.core.features import FEATURE_NAMES, FeatureExtractor
+from repro.core.features import FEATURE_NAMES, BatchFeatureExtractor
 from repro.telemetry.records import TelemetryBundle
 from repro.telemetry.timeline import Timeline
 
@@ -51,7 +51,7 @@ class SingleLayerAlerts:
         step_us: int = 500_000,
         events: EventConfig = EventConfig(),
     ) -> None:
-        self.extractor = FeatureExtractor(
+        self.extractor = BatchFeatureExtractor(
             window_us=window_us, step_us=step_us, config=events
         )
 

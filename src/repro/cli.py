@@ -152,12 +152,18 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             os.makedirs(out_dir, exist_ok=True)
         with open(args.out, "a"):
             pass
+    cache_dir = None if args.no_cache else args.cache_dir
     print(
         f"campaign {matrix.name}: {len(scenarios)} sessions, "
         f"workers={args.workers}"
+        + (f", cache={cache_dir}" if cache_dir else ", cache off")
     )
     outcomes = run_campaign(
-        scenarios, workers=args.workers, trace_dir=args.trace_dir
+        scenarios,
+        workers=args.workers,
+        trace_dir=args.trace_dir,
+        cache_dir=cache_dir,
+        fail_fast=args.fail_fast,
     )
     if args.out:
         save_outcomes(outcomes, args.out)
@@ -234,6 +240,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="override the preset's campaign base seed",
+    )
+    fleet.add_argument(
+        "--cache-dir",
+        default=".fleet-cache",
+        help="per-scenario outcome cache (keyed on scenario fingerprint "
+        "+ detector config hash); repeat runs skip simulation",
+    )
+    fleet.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not update the outcome cache",
+    )
+    fleet.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="cancel queued scenarios as soon as one errors",
     )
     fleet.set_defaults(fn=_cmd_fleet)
 

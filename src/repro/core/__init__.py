@@ -25,7 +25,11 @@ from repro.core.detector import DetectorConfig, DominoDetector, WindowDetection
 from repro.core.dsl import parse_chains
 from repro.core.events import EventConfig
 from repro.core.extension import ExtensibleDomino
-from repro.core.features import FEATURE_NAMES, FeatureExtractor
+from repro.core.features import (
+    FEATURE_NAMES,
+    BatchFeatureExtractor,
+    FeatureExtractor,
+)
 from repro.core.graph import CausalGraph, NodeKind
 from repro.core.stats import DominoStats
 from repro.core.trace import backward_trace
@@ -45,6 +49,7 @@ __all__ = [
     "EventConfig",
     "ExtensibleDomino",
     "FEATURE_NAMES",
+    "BatchFeatureExtractor",
     "FeatureExtractor",
     "CausalGraph",
     "NodeKind",

@@ -15,7 +15,11 @@ from repro.core.chains import DEFAULT_CHAINS_TEXT
 from repro.core.codegen import compile_chains
 from repro.core.dsl import parse_chains
 from repro.core.events import EventConfig
-from repro.core.features import FeatureExtractor, FeatureWindow
+from repro.core.features import (
+    BatchFeatureExtractor,
+    FeatureExtractor,
+    FeatureWindow,
+)
 from repro.core.graph import CausalGraph
 from repro.core.trace import evaluate_chains
 from repro.telemetry.records import TelemetryBundle
@@ -36,6 +40,11 @@ class DetectorConfig:
         use_codegen: execute generated Python (Fig. 11) instead of the
             interpreted evaluator — results are identical; the flag
             exists for the ablation benchmark.
+        use_batch: evaluate the 36 detectors with the vectorized batch
+            engine (:class:`~repro.core.features.BatchFeatureExtractor`)
+            instead of the per-window reference loop — results are
+            identical (asserted by the equivalence tests); the flag
+            exists as the oracle switch and for perf comparisons.
     """
 
     window_us: int = 5_000_000
@@ -44,6 +53,7 @@ class DetectorConfig:
     events: EventConfig = field(default_factory=EventConfig)
     chains_text: str = DEFAULT_CHAINS_TEXT
     use_codegen: bool = True
+    use_batch: bool = True
 
 
 @dataclass
@@ -104,6 +114,11 @@ class DominoDetector:
             step_us=self.config.step_us,
             config=self.config.events,
         )
+        self.batch_extractor = BatchFeatureExtractor(
+            window_us=self.config.window_us,
+            step_us=self.config.step_us,
+            config=self.config.events,
+        )
         self._trace_fn = (
             compile_chains(self.chains) if self.config.use_codegen else None
         )
@@ -119,8 +134,11 @@ class DominoDetector:
         self, timeline: Timeline, session_name: str = "", duration_us: int = 0
     ) -> DominoReport:
         """Run detection over an already-built timeline."""
+        extractor = (
+            self.batch_extractor if self.config.use_batch else self.extractor
+        )
         windows: List[WindowDetection] = []
-        for feature_window in self.extractor.extract(timeline):
+        for feature_window in extractor.extract(timeline):
             consequences, causes, chain_ids = self._trace(
                 feature_window.features
             )

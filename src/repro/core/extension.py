@@ -38,7 +38,11 @@ from repro.core.detector import (
 )
 from repro.core.dsl import parse_chains
 from repro.core.events import EventConfig
-from repro.core.features import FEATURE_NAMES, FeatureExtractor
+from repro.core.features import (
+    FEATURE_NAMES,
+    BatchFeatureExtractor,
+    FeatureExtractor,
+)
 from repro.core.graph import CausalGraph
 from repro.errors import DslError
 from repro.telemetry.records import TelemetryBundle
@@ -119,6 +123,15 @@ class _ExtendedDetector:
             config=config.events,
             extra_detectors=extra_events,
         )
+        # Custom events stay per-window callables inside the batch
+        # engine (merged into its matrix), so extensions are oblivious
+        # to which engine runs them.
+        self.batch_extractor = BatchFeatureExtractor(
+            window_us=config.window_us,
+            step_us=config.step_us,
+            config=config.events,
+            extra_detectors=extra_events,
+        )
         self._trace_fn = compile_chains(chains)
 
     def analyze(self, bundle: TelemetryBundle) -> DominoReport:
@@ -136,6 +149,7 @@ class _ExtendedDetector:
         shim.chains = self.chains
         shim.graph = self.graph
         shim.extractor = self.extractor
+        shim.batch_extractor = self.batch_extractor
         shim._trace_fn = self._trace_fn
         return DominoDetector.analyze_timeline(
             shim, timeline, session_name, duration_us

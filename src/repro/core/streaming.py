@@ -6,6 +6,12 @@ records incrementally: feed it telemetry as it arrives, call
 :meth:`advance` with the current time, and receive detections for every
 window whose data is complete — with bounded memory (old records are
 evicted once no future window can reference them).
+
+Each processing chunk runs through the same
+:class:`~repro.core.detector.DominoDetector` as offline analysis, so
+the vectorized batch feature engine (``DetectorConfig.use_batch``) and
+the single-pass timeline ingest apply here too — the per-chunk cost is
+what bounds how far behind real time a live deployment can fall.
 """
 
 from __future__ import annotations

@@ -17,10 +17,12 @@ users and cells; this package scales the single-session pipeline
 from repro.fleet.aggregate import FleetAggregate
 from repro.fleet.executor import (
     SessionOutcome,
+    detector_config_hash,
     load_outcomes,
     run_campaign,
     run_scenario,
     save_outcomes,
+    scenario_fingerprint,
 )
 from repro.fleet.report import render_fleet_report
 from repro.fleet.scenarios import (
@@ -40,8 +42,10 @@ __all__ = [
     "ScenarioSpec",
     "SessionOutcome",
     "derive_seed",
+    "detector_config_hash",
     "get_preset",
     "load_outcomes",
+    "scenario_fingerprint",
     "render_fleet_report",
     "run_campaign",
     "run_scenario",

@@ -11,13 +11,22 @@ pickles cheaply across process boundaries.
 runs them in-process (``workers = 1``, the determinism/debugging path).
 Outcomes come back in scenario order regardless of completion order, so
 parallel and serial campaigns aggregate byte-identically.
+
+Scenarios are deterministic given their spec, so outcomes are cacheable:
+pass ``cache_dir`` and each (scenario fingerprint, detector-config hash)
+pair is persisted as one JSON file; re-running the same campaign — e.g.
+to re-aggregate with a tweaked rollup — skips simulation entirely for
+cache hits.  ``fail_fast=True`` cancels all queued scenarios on the
+first error (``ProcessPoolExecutor.shutdown(cancel_futures=True)``)
+instead of letting a doomed campaign run to completion.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -66,17 +75,89 @@ def _trace_path(trace_dir: str, scenario_name: str) -> str:
     return os.path.join(trace_dir, scenario_name.replace("/", "__") + ".jsonl")
 
 
+# -- outcome caching -----------------------------------------------------------
+
+#: Bump when SessionOutcome fields or simulation semantics change in a
+#: way that invalidates previously cached outcomes wholesale.
+CACHE_VERSION = 1
+
+
+def scenario_fingerprint(spec: ScenarioSpec) -> str:
+    """Stable digest of everything that pins down one scenario."""
+    payload = json.dumps(asdict(spec), sort_keys=True)
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+
+def detector_config_hash(config: Optional[DetectorConfig]) -> str:
+    """Stable digest of the detector settings that affect outcomes.
+
+    ``use_codegen`` and ``use_batch`` select equivalence-guaranteed
+    execution strategies (identical detections either way), so they are
+    excluded — toggling them must not invalidate the cache.
+    """
+    config = config or DetectorConfig()
+    payload = json.dumps(
+        {
+            "window_us": config.window_us,
+            "step_us": config.step_us,
+            "dt_us": config.dt_us,
+            "events": asdict(config.events),
+            "chains_text": config.chains_text,
+        },
+        sort_keys=True,
+    )
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+
+def _cache_path(
+    cache_dir: str, spec: ScenarioSpec, config: Optional[DetectorConfig]
+) -> str:
+    return os.path.join(
+        cache_dir,
+        f"v{CACHE_VERSION}",
+        detector_config_hash(config),
+        scenario_fingerprint(spec) + ".json",
+    )
+
+
+def _cache_load(path: str) -> Optional[SessionOutcome]:
+    try:
+        with open(path) as handle:
+            return SessionOutcome.from_json(json.load(handle))
+    except (OSError, ValueError, TypeError):
+        return None  # miss, or corrupt/stale entry: just re-simulate
+
+
+def _cache_store(path: str, outcome: SessionOutcome) -> None:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as handle:
+        json.dump(outcome.to_json(), handle, sort_keys=True)
+    os.replace(tmp, path)  # atomic: concurrent workers can't tear it
+
+
 def run_scenario(
     spec: ScenarioSpec,
     detector_config: Optional[DetectorConfig] = None,
     trace_dir: Optional[str] = None,
+    cache_dir: Optional[str] = None,
 ) -> SessionOutcome:
     """Simulate, analyze, and summarize one scenario.
 
     Module-level (picklable) so ProcessPoolExecutor workers can import
     and run it.  When *trace_dir* is set, the session's full telemetry
-    bundle is exported as one JSONL shard per scenario.
+    bundle is exported as one JSONL shard per scenario.  When
+    *cache_dir* is set, a previously computed outcome for the same
+    (scenario fingerprint, detector-config hash) is returned without
+    simulating — unless a trace export was requested, which needs the
+    full bundle anyway.
     """
+    cache_path = None
+    if cache_dir is not None and trace_dir is None:
+        cache_path = _cache_path(cache_dir, spec, detector_config)
+        cached = _cache_load(cache_path)
+        if cached is not None:
+            return cached
     session = spec.build_session()
     result = session.run(spec.duration_us)
     bundle = result.bundle
@@ -99,7 +180,7 @@ def run_scenario(
         "ul_concealed_fraction": summary.ul_concealed_fraction,
         "dl_concealed_fraction": summary.dl_concealed_fraction,
     }
-    return SessionOutcome(
+    outcome = SessionOutcome(
         scenario=spec.name,
         profile=spec.profile,
         impairment=spec.impairment.name,
@@ -123,6 +204,9 @@ def run_scenario(
         qoe=qoe,
         event_rates=bundle.event_rates_per_minute(),
     )
+    if cache_path is not None:
+        _cache_store(cache_path, outcome)
+    return outcome
 
 
 def run_campaign(
@@ -130,25 +214,42 @@ def run_campaign(
     workers: int = 1,
     detector_config: Optional[DetectorConfig] = None,
     trace_dir: Optional[str] = None,
+    cache_dir: Optional[str] = None,
+    fail_fast: bool = False,
 ) -> List[SessionOutcome]:
     """Run every scenario; return outcomes in scenario order.
 
     ``workers = 1`` stays in-process (deterministic stack traces, easy
     pdb); ``workers > 1`` distributes over a process pool.  Each session
     is seeded by its spec, so the outcome list is identical either way.
+
+    *cache_dir* short-circuits scenarios whose outcome is already
+    cached (see :func:`run_scenario`).  *fail_fast* cancels every
+    not-yet-started scenario as soon as one raises, instead of letting
+    the rest of the campaign finish first; the first error (in scenario
+    order) propagates either way.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     if workers == 1 or len(scenarios) <= 1:
         return [
-            run_scenario(spec, detector_config, trace_dir)
+            run_scenario(spec, detector_config, trace_dir, cache_dir)
             for spec in scenarios
         ]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [
-            pool.submit(run_scenario, spec, detector_config, trace_dir)
+            pool.submit(
+                run_scenario, spec, detector_config, trace_dir, cache_dir
+            )
             for spec in scenarios
         ]
+        if fail_fast:
+            done, _ = wait(futures, return_when=FIRST_EXCEPTION)
+            if any(future.exception() for future in done):
+                pool.shutdown(wait=True, cancel_futures=True)
+                for future in futures:  # first failure in scenario order
+                    if not future.cancelled() and future.exception():
+                        raise future.exception()
         return [future.result() for future in futures]
 
 
@@ -234,10 +335,13 @@ def load_outcomes(path: str) -> List[SessionOutcome]:
 
 
 __all__ = [
+    "CACHE_VERSION",
     "CHAIN_SEPARATOR",
     "SessionOutcome",
+    "detector_config_hash",
     "load_outcomes",
     "run_campaign",
     "run_scenario",
     "save_outcomes",
+    "scenario_fingerprint",
 ]

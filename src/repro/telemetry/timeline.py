@@ -14,10 +14,19 @@ Naming convention (all per-bin):
   wired client respectively (outbound = that client's sent stream).
 * ``ul_*`` / ``dl_*`` — 5G/packet metrics per physical direction
   (uplink = cellular client → network).
+
+Ingestion is single-pass and vectorized: each record list is walked
+exactly once to pull its fields into flat numpy arrays (the only
+per-record Python work), and every per-bin aggregate is then a
+``np.bincount`` / ``np.minimum.at`` / fancy-assignment over those
+arrays.  Accumulation order per bin equals record order — the same
+order the per-record loops used — so the resulting series are
+bit-identical to the loop formulation.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -106,40 +115,63 @@ class Timeline:
         self.series[name] = array
         return array
 
+    def _bin_indices(self, ts_us: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+        """Vectorized :meth:`_bin`: (bin index, in-range mask)."""
+        index = ts_us // self.dt_us
+        return index, (index >= 0) & (index < self.n_bins)
+
     def _ingest_webrtc(self, bundle: TelemetryBundle) -> None:
-        client_role = {
-            bundle.cellular_client: "local",
-            bundle.wired_client: "remote",
-        }
-        arrays: Dict[str, np.ndarray] = {}
         for role in ("local", "remote"):
             for fieldname in self._APP_FIELDS:
-                arrays[f"{role}_{fieldname}"] = self._new(
-                    f"{role}_{fieldname}"
-                )
-            arrays[f"{role}_gcc_state"] = self._new(f"{role}_gcc_state")
-            arrays[f"{role}_frozen"] = self._new(f"{role}_frozen", 0.0)
-            arrays[f"{role}_concealed"] = self._new(f"{role}_concealed", 0.0)
-            arrays[f"{role}_total_samples"] = self._new(
-                f"{role}_total_samples", 0.0
+                self._new(f"{role}_{fieldname}")
+            self._new(f"{role}_gcc_state")
+            self._new(f"{role}_frozen", 0.0)
+            self._new(f"{role}_concealed", 0.0)
+            self._new(f"{role}_total_samples", 0.0)
+        records = bundle.webrtc_stats
+        n = len(records)
+        ts = np.fromiter((r.ts_us for r in records), np.int64, n)
+        index, in_range = self._bin_indices(ts)
+        wired = bundle.wired_client
+        cellular = bundle.cellular_client
+        remote_mask = np.fromiter(
+            (r.client == wired for r in records), np.bool_, n
+        )
+        if cellular == wired:
+            # Degenerate naming: dict-lookup ingestion resolved the
+            # shared name to "remote"; keep that.
+            local_mask = np.zeros(n, dtype=np.bool_)
+        else:
+            local_mask = np.fromiter(
+                (r.client == cellular for r in records), np.bool_, n
             )
-        for record in bundle.webrtc_stats:
-            role = client_role.get(record.client)
-            if role is None:
-                continue
-            index = self._bin(record.ts_us)
-            if index is None:
-                continue
-            for fieldname in self._APP_FIELDS:
-                arrays[f"{role}_{fieldname}"][index] = getattr(
-                    record, fieldname
-                )
-            arrays[f"{role}_gcc_state"][index] = GCC_STATE_CODE.get(
-                record.gcc_state, 0
+        columns = {
+            fieldname: np.fromiter(
+                (getattr(r, fieldname) for r in records), np.float64, n
             )
-            arrays[f"{role}_frozen"][index] = float(record.frozen)
-            arrays[f"{role}_concealed"][index] += record.concealed_samples
-            arrays[f"{role}_total_samples"][index] += record.total_samples
+            for fieldname in self._APP_FIELDS
+        }
+        columns["gcc_state"] = np.fromiter(
+            (GCC_STATE_CODE.get(r.gcc_state, 0) for r in records),
+            np.float64,
+            n,
+        )
+        columns["frozen"] = np.fromiter(
+            (r.frozen for r in records), np.float64, n
+        )
+        concealed = np.fromiter(
+            (r.concealed_samples for r in records), np.float64, n
+        )
+        total = np.fromiter((r.total_samples for r in records), np.float64, n)
+        for role, role_mask in (("local", local_mask), ("remote", remote_mask)):
+            mask = in_range & role_mask
+            idx = index[mask]
+            # Fancy assignment applies duplicates in order: the last
+            # record landing in a bin wins, as in per-record ingestion.
+            for name, values in columns.items():
+                self.series[f"{role}_{name}"][idx] = values[mask]
+            np.add.at(self.series[f"{role}_concealed"], idx, concealed[mask])
+            np.add.at(self.series[f"{role}_total_samples"], idx, total[mask])
         for name in list(self.series):
             if name.endswith(("_frozen", "_concealed", "_total_samples")):
                 continue
@@ -147,30 +179,49 @@ class Timeline:
                 self.series[name] = _forward_fill(self.series[name])
 
     def _ingest_packets(self, bundle: TelemetryBundle) -> None:
+        packets = bundle.packets
+        n = len(packets)
+        sent = np.fromiter((p.sent_us for p in packets), np.int64, n)
+        is_uplink = np.fromiter(
+            (p.is_uplink for p in packets), np.bool_, n
+        )
+        size = np.fromiter((p.size_bytes for p in packets), np.float64, n)
+        # -1 marks a lost packet; real receive timestamps are >= 0.
+        received = np.fromiter(
+            (
+                -1 if p.received_us is None else p.received_us
+                for p in packets
+            ),
+            np.int64,
+            n,
+        )
+        is_rtcp = np.fromiter(
+            (p.stream is StreamKind.RTCP for p in packets), np.bool_, n
+        )
+        index, in_range = self._bin_indices(sent)
+        delivered = received >= 0
+        delay = (received - sent).astype(np.float64)
         for direction, flag in (("ul", True), ("dl", False)):
-            delay_sum = np.zeros(self.n_bins)
-            delay_count = np.zeros(self.n_bins)
-            bytes_sent = np.zeros(self.n_bins)
-            lost = np.zeros(self.n_bins)
-            rtcp_delay_sum = np.zeros(self.n_bins)
-            rtcp_delay_count = np.zeros(self.n_bins)
-            for packet in bundle.packets:
-                if packet.is_uplink != flag:
-                    continue
-                index = self._bin(packet.sent_us)
-                if index is None:
-                    continue
-                bytes_sent[index] += packet.size_bytes
-                if packet.received_us is None:
-                    lost[index] += 1
-                    continue
-                delay = packet.received_us - packet.sent_us
-                if packet.stream is StreamKind.RTCP:
-                    rtcp_delay_sum[index] += delay
-                    rtcp_delay_count[index] += 1
-                else:
-                    delay_sum[index] += delay
-                    delay_count[index] += 1
+            mask = in_range & (is_uplink == flag)
+            nb = self.n_bins
+            bytes_sent = np.bincount(
+                index[mask], weights=size[mask], minlength=nb
+            )
+            lost = np.bincount(
+                index[mask & ~delivered], minlength=nb
+            ).astype(float)
+            data = mask & delivered & ~is_rtcp
+            delay_sum = np.bincount(
+                index[data], weights=delay[data], minlength=nb
+            )
+            delay_count = np.bincount(index[data], minlength=nb).astype(float)
+            rtcp = mask & delivered & is_rtcp
+            rtcp_delay_sum = np.bincount(
+                index[rtcp], weights=delay[rtcp], minlength=nb
+            )
+            rtcp_delay_count = np.bincount(index[rtcp], minlength=nb).astype(
+                float
+            )
             with np.errstate(invalid="ignore"):
                 delay_ms = np.where(
                     delay_count > 0, delay_sum / np.maximum(delay_count, 1), np.nan
@@ -188,37 +239,68 @@ class Timeline:
                 bytes_sent * 8.0 * 1e6 / self.dt_us
             )
 
+    #: Cross-traffic UEs use RNTIs at or above this value by convention
+    #: (see :class:`repro.mac.crosstraffic.CrossTrafficUe`); everything
+    #: below belongs to the experiment UE (whose RNTI changes across RRC
+    #: transitions).  Earlier ingest collected the set of observed
+    #: sub-floor RNTIs and tested membership per record — which reduces
+    #: to ``record.rnti < _CROSS_TRAFFIC_RNTI_FLOOR`` directly, with no
+    #: per-direction set rebuild.
+    _CROSS_TRAFFIC_RNTI_FLOOR = 40_000
+
     def _ingest_dci(self, bundle: TelemetryBundle) -> None:
+        records = bundle.dci
+        n = len(records)
+        ts = np.fromiter((r.ts_us for r in records), np.int64, n)
+        rnti = np.fromiter((r.rnti for r in records), np.int64, n)
+        is_uplink = np.fromiter((r.is_uplink for r in records), np.bool_, n)
+        n_prb = np.fromiter((r.n_prb for r in records), np.float64, n)
+        index, in_range = self._bin_indices(ts)
+        is_experiment = rnti < self._CROSS_TRAFFIC_RNTI_FLOOR
+        # MCS/TBS/retx only matter for the experiment UE, typically a
+        # small minority of grants next to cross traffic — pull those
+        # columns from the compressed sublist instead of the full list.
+        experiment_records = list(
+            itertools.compress(records, is_experiment.tolist())
+        )
+        m = len(experiment_records)
+        mcs = np.fromiter(
+            (r.mcs for r in experiment_records), np.float64, m
+        )
+        tbs = np.fromiter(
+            (r.tbs_bits for r in experiment_records), np.float64, m
+        )
+        is_retx = np.fromiter(
+            (r.is_retx for r in experiment_records), np.bool_, m
+        )
+        exp_index = index[is_experiment]
+        exp_in_range = in_range[is_experiment]
+        exp_uplink = is_uplink[is_experiment]
+        exp_rnti = rnti[is_experiment]
+        exp_prb = n_prb[is_experiment]
+        nb = self.n_bins
         for direction, flag in (("ul", True), ("dl", False)):
-            exp_prbs = np.zeros(self.n_bins)
-            other_prbs = np.zeros(self.n_bins)
-            tbs_bits = np.zeros(self.n_bins)
-            harq_retx = np.zeros(self.n_bins)
-            mcs_sum = np.zeros(self.n_bins)
-            mcs_count = np.zeros(self.n_bins)
-            mcs_min = np.full(self.n_bins, np.nan)
-            rnti = np.full(self.n_bins, np.nan)
-            exp_rntis = self._experiment_rntis(bundle)
-            for record in bundle.dci:
-                if record.is_uplink != flag:
-                    continue
-                index = self._bin(record.ts_us)
-                if index is None:
-                    continue
-                if record.rnti in exp_rntis:
-                    exp_prbs[index] += record.n_prb
-                    if record.is_retx:
-                        harq_retx[index] += 1
-                    else:
-                        tbs_bits[index] += record.tbs_bits
-                    mcs_sum[index] += record.mcs
-                    mcs_count[index] += 1
-                    current_min = mcs_min[index]
-                    if np.isnan(current_min) or record.mcs < current_min:
-                        mcs_min[index] = record.mcs
-                    rnti[index] = record.rnti
-                else:
-                    other_prbs[index] += record.n_prb
+            exp = exp_in_range & (exp_uplink == flag)
+            idx = exp_index[exp]
+            exp_prbs = np.bincount(idx, weights=exp_prb[exp], minlength=nb)
+            harq_retx = np.bincount(
+                exp_index[exp & is_retx], minlength=nb
+            ).astype(float)
+            new_data = exp & ~is_retx
+            tbs_bits = np.bincount(
+                exp_index[new_data], weights=tbs[new_data], minlength=nb
+            )
+            mcs_sum = np.bincount(idx, weights=mcs[exp], minlength=nb)
+            mcs_count = np.bincount(idx, minlength=nb).astype(float)
+            mcs_min = np.full(nb, np.inf)
+            np.minimum.at(mcs_min, idx, mcs[exp])
+            mcs_min[mcs_count == 0] = np.nan
+            rnti_series = np.full(nb, np.nan)
+            rnti_series[idx] = exp_rnti[exp]  # duplicates: last record wins
+            other = in_range & (is_uplink == flag) & ~is_experiment
+            other_prbs = np.bincount(
+                index[other], weights=n_prb[other], minlength=nb
+            )
             with np.errstate(invalid="ignore"):
                 mcs_mean = np.where(
                     mcs_count > 0, mcs_sum / np.maximum(mcs_count, 1), np.nan
@@ -235,44 +317,48 @@ class Timeline:
             self.series[f"{direction}_scheduled"] = (mcs_count > 0).astype(
                 float
             )
-            self.series[f"{direction}_rnti"] = _forward_fill(rnti)
-
-    @staticmethod
-    def _experiment_rntis(bundle: TelemetryBundle) -> set:
-        """RNTIs belonging to the experiment UE.
-
-        Cross-traffic UEs use RNTIs >= 40000 by convention (see
-        :class:`repro.mac.crosstraffic.CrossTrafficUe`); the experiment
-        UE's RNTI changes across RRC transitions, so collect every RNTI
-        below that range.
-        """
-        return {r.rnti for r in bundle.dci if r.rnti < 40_000}
+            self.series[f"{direction}_rnti"] = _forward_fill(rnti_series)
 
     def _ingest_gnb_log(self, bundle: TelemetryBundle) -> None:
+        records = bundle.gnb_log
+        n = len(records)
+        ts = np.fromiter((r.ts_us for r in records), np.int64, n)
+        is_buffer = np.fromiter(
+            (r.kind is GnbLogKind.RLC_BUFFER for r in records), np.bool_, n
+        )
+        is_rlc_retx = np.fromiter(
+            (r.kind is GnbLogKind.RLC_RETX for r in records), np.bool_, n
+        )
+        is_rrc = np.fromiter(
+            (
+                r.kind is GnbLogKind.RRC_RELEASE
+                or r.kind is GnbLogKind.RRC_CONNECT
+                for r in records
+            ),
+            np.bool_,
+            n,
+        )
+        is_uplink = np.fromiter((r.is_uplink for r in records), np.bool_, n)
+        buffer_values = np.fromiter(
+            (r.buffer_bytes for r in records), np.float64, n
+        )
+        index, in_range = self._bin_indices(ts)
+        nb = self.n_bins
         for direction, flag in (("ul", True), ("dl", False)):
-            buffer_bytes = np.full(self.n_bins, np.nan)
-            rlc_retx = np.zeros(self.n_bins)
-            for record in bundle.gnb_log:
-                index = self._bin(record.ts_us)
-                if index is None:
-                    continue
-                if record.kind is GnbLogKind.RLC_BUFFER:
-                    if record.is_uplink == flag:
-                        buffer_bytes[index] = record.buffer_bytes
-                elif record.kind is GnbLogKind.RLC_RETX:
-                    if record.is_uplink == flag:
-                        rlc_retx[index] += 1
+            mask = in_range & (is_uplink == flag)
+            buffer_bytes = np.full(nb, np.nan)
+            buffered = mask & is_buffer
+            buffer_bytes[index[buffered]] = buffer_values[buffered]
+            rlc_retx = np.bincount(
+                index[mask & is_rlc_retx], minlength=nb
+            ).astype(float)
             self.series[f"{direction}_rlc_buffer_bytes"] = _forward_fill(
                 buffer_bytes
             )
             self.series[f"{direction}_rlc_retx"] = rlc_retx
-        rrc_change = np.zeros(self.n_bins)
-        for record in bundle.gnb_log:
-            if record.kind in (GnbLogKind.RRC_RELEASE, GnbLogKind.RRC_CONNECT):
-                index = self._bin(record.ts_us)
-                if index is not None:
-                    rrc_change[index] += 1
-        self.series["rrc_events"] = rrc_change
+        self.series["rrc_events"] = np.bincount(
+            index[in_range & is_rrc], minlength=nb
+        ).astype(float)
 
     # -- accessors -----------------------------------------------------------
 

@@ -95,10 +95,22 @@ def test_unknown_command_rejected():
         main(["frobnicate"])
 
 
-def _run_fleet(tmp_path, capsys, workers, out_name):
+def _run_fleet(tmp_path, capsys, workers, out_name, extra_args=()):
     out = str(tmp_path / out_name)
     code = main(
-        ["fleet", "--preset", "smoke", "--workers", str(workers), "--out", out]
+        [
+            "fleet",
+            "--preset",
+            "smoke",
+            "--workers",
+            str(workers),
+            "--out",
+            out,
+            # Keep campaign runs hermetic (no .fleet-cache in the CWD)
+            # and genuinely simulated unless a test opts in to caching.
+            "--no-cache",
+            *extra_args,
+        ]
     )
     assert code == 0
     captured = capsys.readouterr().out
@@ -124,3 +136,34 @@ def test_fleet_report_rerenders_saved_outcomes(tmp_path, capsys):
     code = main(["fleet-report", str(tmp_path / "w1.jsonl")])
     assert code == 0
     assert capsys.readouterr().out.strip() == report.strip()
+
+
+def test_fleet_cache_dir_rerun_skips_simulation(tmp_path, capsys):
+    import time
+
+    cache_dir = str(tmp_path / "cache")
+
+    def run(out_name):
+        out = str(tmp_path / out_name)
+        start = time.perf_counter()
+        code = main(
+            [
+                "fleet",
+                "--preset",
+                "smoke",
+                "--out",
+                out,
+                "--cache-dir",
+                cache_dir,
+            ]
+        )
+        elapsed = time.perf_counter() - start
+        assert code == 0
+        capsys.readouterr()
+        with open(out, "rb") as handle:
+            return handle.read(), elapsed
+
+    cold_bytes, cold_elapsed = run("cold.jsonl")
+    warm_bytes, warm_elapsed = run("warm.jsonl")
+    assert warm_bytes == cold_bytes
+    assert warm_elapsed < cold_elapsed / 5  # cache hits, no simulation

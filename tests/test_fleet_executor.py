@@ -1,18 +1,23 @@
-"""Campaign execution: serial path, process pool, trace export, IO."""
+"""Campaign execution: serial path, process pool, caching, trace export, IO."""
 
+import glob
 import os
+import time
 
 import pytest
 
+from repro.core.detector import DetectorConfig
 from repro.errors import TelemetryError
 from repro.fleet.executor import (
     SessionOutcome,
+    detector_config_hash,
     load_outcomes,
     run_campaign,
     run_scenario,
     save_outcomes,
+    scenario_fingerprint,
 )
-from repro.fleet.scenarios import ImpairmentSpec, ScenarioMatrix
+from repro.fleet.scenarios import ImpairmentSpec, ScenarioMatrix, ScenarioSpec
 from repro.telemetry.io import load_bundle
 
 #: Small but non-trivial: two cells, one impairment, 8 s sessions (the
@@ -135,3 +140,98 @@ def test_future_format_version_rejected(tmp_path, serial_outcomes):
         handle.writelines(lines[1:])
     with pytest.raises(TelemetryError, match="version"):
         load_outcomes(path)
+
+
+# -- outcome caching -----------------------------------------------------------
+
+
+def test_cached_rerun_skips_simulation_and_matches(tmp_path):
+    spec = _MATRIX.expand()[0]
+    cache_dir = str(tmp_path / "cache")
+    cold_start = time.perf_counter()
+    cold = run_scenario(spec, cache_dir=cache_dir)
+    cold_elapsed = time.perf_counter() - cold_start
+    entries = glob.glob(os.path.join(cache_dir, "**", "*.json"), recursive=True)
+    assert len(entries) == 1
+    warm_start = time.perf_counter()
+    warm = run_scenario(spec, cache_dir=cache_dir)
+    warm_elapsed = time.perf_counter() - warm_start
+    assert warm == cold
+    assert warm_elapsed < cold_elapsed / 10  # no simulation happened
+
+
+def test_corrupt_cache_entry_is_resimulated(tmp_path):
+    spec = _MATRIX.expand()[0]
+    cache_dir = str(tmp_path / "cache")
+    cold = run_scenario(spec, cache_dir=cache_dir)
+    [entry] = glob.glob(
+        os.path.join(cache_dir, "**", "*.json"), recursive=True
+    )
+    with open(entry, "w") as handle:
+        handle.write("{half a json object")
+    assert run_scenario(spec, cache_dir=cache_dir) == cold
+
+
+def test_cache_key_separates_scenarios_and_detector_configs():
+    specs = _MATRIX.expand()
+    assert scenario_fingerprint(specs[0]) != scenario_fingerprint(specs[1])
+    default = detector_config_hash(None)
+    assert default == detector_config_hash(DetectorConfig())
+    assert default != detector_config_hash(DetectorConfig(window_us=2_000_000))
+    # Equivalence-guaranteed execution toggles must share cache entries.
+    assert default == detector_config_hash(DetectorConfig(use_batch=False))
+    assert default == detector_config_hash(DetectorConfig(use_codegen=False))
+
+
+def test_campaign_uses_cache_across_workers(tmp_path):
+    scenarios = _MATRIX.expand()[:2]
+    cache_dir = str(tmp_path / "cache")
+    first = run_campaign(scenarios, workers=1, cache_dir=cache_dir)
+    entries = glob.glob(os.path.join(cache_dir, "**", "*.json"), recursive=True)
+    assert len(entries) == len(scenarios)
+    start = time.perf_counter()
+    again = run_campaign(scenarios, workers=2, cache_dir=cache_dir)
+    elapsed = time.perf_counter() - start
+    assert again == first
+    assert elapsed < 5.0  # pool spin-up only, no simulation
+
+
+def test_trace_export_bypasses_cache(tmp_path):
+    spec = _MATRIX.expand()[0]
+    cache_dir = str(tmp_path / "cache")
+    run_scenario(spec, cache_dir=cache_dir)
+    trace_dir = str(tmp_path / "traces")
+    run_scenario(spec, cache_dir=cache_dir, trace_dir=trace_dir)
+    assert len(os.listdir(trace_dir)) == 1  # the bundle was produced
+
+
+# -- fail-fast cancellation ----------------------------------------------------
+
+
+def _failing_spec(name: str = "test/failing") -> ScenarioSpec:
+    # A baseline profile cannot apply RAN impairments: build_session
+    # raises ValueError, giving a deterministic in-worker failure.
+    return ScenarioSpec(
+        name=name,
+        profile="wired",
+        seed=0,
+        duration_s=8.0,
+        impairment=ImpairmentSpec(name="ul_fade", ul_fades=((1.0, 1.0, 10.0),)),
+    )
+
+
+def test_fail_fast_cancels_queued_scenarios():
+    scenarios = [_failing_spec()] + _MATRIX.expand()
+    start = time.perf_counter()
+    with pytest.raises(ValueError, match="RAN knobs"):
+        run_campaign(scenarios, workers=2, fail_fast=True)
+    elapsed = time.perf_counter() - start
+    # Without cancellation all four ~8 s sessions simulate to the end;
+    # with it the campaign dies in roughly one worker spin-up.
+    assert elapsed < 10.0
+
+
+def test_serial_campaign_raises_without_fail_fast_flag():
+    scenarios = [_failing_spec()] + _MATRIX.expand()[:1]
+    with pytest.raises(ValueError, match="RAN knobs"):
+        run_campaign(scenarios, workers=1)
