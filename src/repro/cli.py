@@ -37,7 +37,7 @@ from repro.core.stats import DominoStats
 from repro.datasets.cells import CELL_PROFILES, get_profile
 from repro.datasets.runner import make_cellular_session, make_wired_session
 from repro.fleet.aggregate import FleetAggregate
-from repro.fleet.executor import load_outcomes, run_campaign, save_outcomes
+from repro.fleet.executor import iter_outcomes, run_campaign, save_outcomes
 from repro.fleet.report import render_fleet_report
 from repro.fleet.scenarios import PRESETS, get_preset
 from repro.telemetry.io import load_bundle, save_bundle
@@ -174,9 +174,125 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet_report(args: argparse.Namespace) -> int:
-    outcomes = load_outcomes(args.outcomes)
-    print(render_fleet_report(FleetAggregate.from_outcomes(outcomes)))
+    # Streamed, not loaded: iter_outcomes hands the incremental
+    # aggregate one outcome at a time, so a sharded campaign JSONL far
+    # larger than memory renders fine.
+    print(render_fleet_report(FleetAggregate(iter_outcomes(args.outcomes))))
     return 0
+
+
+def _cmd_live(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.live import LiveRcaService, ReplaySource, SimSource
+    from repro.live.dashboard import render_snapshot
+
+    specs = _live_specs(args)
+    if args.source == "replay":
+        sources = []
+        for index, spec in enumerate(specs):
+            session = spec.build_session()
+            bundle = session.run(spec.duration_us).bundle
+            print(
+                f"simulated {index + 1}/{len(specs)}: {spec.name} "
+                f"({len(bundle.packets)} packets)",
+                flush=True,
+            )
+            sources.append(
+                ReplaySource(
+                    bundle,
+                    session_id=spec.name,
+                    speed=args.speed,
+                    profile=spec.profile,
+                    impairment=spec.impairment.name,
+                )
+            )
+    else:
+        sources = [
+            SimSource(spec, session_id=spec.name, speed=args.speed)
+            for spec in specs
+        ]
+
+    def progress(snapshot) -> None:
+        print(
+            f"[{snapshot.wall_s:6.1f}s] {snapshot.n_running} running, "
+            f"{snapshot.n_done} done, {snapshot.windows} windows, "
+            f"{snapshot.detected_windows} detected, "
+            f"lag={snapshot.lag_events}",
+            flush=True,
+        )
+
+    service = LiveRcaService(
+        sources,
+        backpressure=args.backpressure,
+        queue_batches=args.queue_batches,
+        snapshot_every_s=args.snapshot_every,
+        idle_timeout_s=args.idle_timeout,
+        snapshot_path=args.snapshot,
+        on_snapshot=progress if not args.quiet else None,
+    )
+    final = asyncio.run(service.run())
+    print()
+    print(render_snapshot(final))
+    if args.snapshot:
+        print(f"\nwrote final snapshot to {args.snapshot}")
+    return 0
+
+
+def _live_specs(args: argparse.Namespace):
+    """Expand a preset into N live session specs at the CLI duration."""
+    from dataclasses import replace as dc_replace
+
+    from repro.fleet.scenarios import derive_seed
+
+    matrix = get_preset(args.preset)
+    if args.base_seed is not None:
+        matrix = matrix.with_base_seed(args.base_seed)
+    base = matrix.expand()
+    specs = []
+    for index in range(args.sessions):
+        spec = base[index % len(base)]
+        name = f"live/{index}/{spec.profile}/{spec.impairment.name}"
+        specs.append(
+            dc_replace(
+                spec,
+                name=name,
+                duration_s=args.duration,
+                seed=derive_seed(matrix.base_seed, name),
+            )
+        )
+    return specs
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import json as json_module
+    import time
+
+    from repro.live.aggregator import FleetSnapshot
+    from repro.live.dashboard import render_snapshot
+
+    while True:
+        try:
+            with open(args.snapshot) as handle:
+                snapshot = FleetSnapshot.from_json(json_module.load(handle))
+        except FileNotFoundError:
+            if args.follow:
+                # The service writes its first snapshot after one
+                # interval; keep waiting instead of racing it.
+                print(
+                    f"waiting for {args.snapshot} ...",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                time.sleep(args.interval)
+                continue
+            print(f"no snapshot at {args.snapshot}", file=sys.stderr)
+            return 1
+        print(render_snapshot(snapshot))
+        if not args.follow:
+            return 0
+        time.sleep(args.interval)
+        print()
 
 
 def _cmd_codegen(args: argparse.Namespace) -> int:
@@ -264,6 +380,78 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet_report.add_argument("outcomes")
     fleet_report.set_defaults(fn=_cmd_fleet_report)
+
+    live = sub.add_parser(
+        "live",
+        help="run the live RCA service over N concurrent sessions",
+    )
+    live.add_argument(
+        "--sessions", type=_positive_int, default=4, help="concurrent sessions"
+    )
+    live.add_argument(
+        "--duration",
+        type=float,
+        default=20.0,
+        help="telemetry seconds per session",
+    )
+    live.add_argument(
+        "--preset",
+        default="smoke",
+        choices=sorted(PRESETS),
+        help="scenario preset the sessions cycle through",
+    )
+    live.add_argument(
+        "--source",
+        default="replay",
+        choices=("replay", "sim"),
+        help="replay pre-simulated traces, or drive simulators live",
+    )
+    live.add_argument(
+        "--speed",
+        type=float,
+        default=0.0,
+        help="realtime multiplier per feed (0 = as fast as possible)",
+    )
+    live.add_argument(
+        "--backpressure",
+        default="block",
+        choices=("block", "drop_oldest"),
+        help="full-queue policy: pause the feed, or drop oldest "
+        "batches and count them as lag",
+    )
+    live.add_argument(
+        "--queue-batches",
+        type=_positive_int,
+        default=64,
+        help="per-session ingest queue bound",
+    )
+    live.add_argument(
+        "--snapshot", help="write each fleet snapshot here (for `watch`)"
+    )
+    live.add_argument(
+        "--snapshot-every", type=float, default=1.0, help="seconds"
+    )
+    live.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="evict sessions idle longer than this many seconds",
+    )
+    live.add_argument("--base-seed", type=int, default=None)
+    live.add_argument(
+        "--quiet", action="store_true", help="suppress per-snapshot lines"
+    )
+    live.set_defaults(fn=_cmd_live)
+
+    watch = sub.add_parser(
+        "watch", help="render a live-service snapshot as a dashboard"
+    )
+    watch.add_argument("snapshot", help="snapshot JSON `repro live` wrote")
+    watch.add_argument(
+        "--follow", action="store_true", help="keep re-rendering"
+    )
+    watch.add_argument("--interval", type=float, default=1.0)
+    watch.set_defaults(fn=_cmd_watch)
     return parser
 
 

@@ -37,6 +37,29 @@ def _episode_count(flags: Sequence[bool]) -> int:
     return count
 
 
+def active_cause_kinds(window: WindowDetection) -> Set[CauseKind]:
+    """Cause families with at least one feature firing in *window*.
+
+    One pass over the feature dict; shared by the batch statistics here
+    and the incremental live aggregator (:mod:`repro.live.aggregator`),
+    so both count episodes from identical activity flags.
+    """
+    return {
+        kind
+        for name, value in window.features.items()
+        if value and (kind := classify_cause(name)) is not None
+    }
+
+
+def active_consequence_kinds(window: WindowDetection) -> Set[ConsequenceKind]:
+    """Consequence families with at least one feature firing in *window*."""
+    return {
+        kind
+        for name, value in window.features.items()
+        if value and (kind := classify_consequence(name)) is not None
+    }
+
+
 def _cause_active(window: WindowDetection, kind: CauseKind) -> bool:
     """Whether any feature of the given cause family fired."""
     return any(
@@ -89,24 +112,26 @@ class DominoStats:
 
     def cause_episode_counts(self) -> Dict[CauseKind, int]:
         """Total episodes of each cause family's events."""
-        out: Dict[CauseKind, int] = {}
-        for kind in CauseKind:
-            episodes = 0
-            for report in self.reports:
-                flags = [_cause_active(w, kind) for w in report.windows]
-                episodes += _episode_count(flags)
-            out[kind] = episodes
+        out: Dict[CauseKind, int] = {kind: 0 for kind in CauseKind}
+        for report in self.reports:
+            previous: Set[CauseKind] = set()
+            for window in report.windows:
+                active = active_cause_kinds(window)
+                for kind in active - previous:  # rising edge = new episode
+                    out[kind] += 1
+                previous = active
         return out
 
     def consequence_episode_counts(self) -> Dict[ConsequenceKind, int]:
         """Total episodes of each consequence family's events."""
-        out: Dict[ConsequenceKind, int] = {}
-        for kind in ConsequenceKind:
-            episodes = 0
-            for report in self.reports:
-                flags = [_consequence_active(w, kind) for w in report.windows]
-                episodes += _episode_count(flags)
-            out[kind] = episodes
+        out: Dict[ConsequenceKind, int] = {kind: 0 for kind in ConsequenceKind}
+        for report in self.reports:
+            previous: Set[ConsequenceKind] = set()
+            for window in report.windows:
+                active = active_consequence_kinds(window)
+                for kind in active - previous:
+                    out[kind] += 1
+                previous = active
         return out
 
     def cause_frequencies_per_min(self) -> Dict[CauseKind, float]:

@@ -27,6 +27,7 @@ from repro.telemetry.records import (
     GnbLogRecord,
     PacketRecord,
     WebRtcStatsRecord,
+    record_time_us,
 )
 from repro.telemetry.timeline import Timeline
 
@@ -63,6 +64,7 @@ class StreamingDomino:
         self._n_sorted = 0
         self._seq = 0
         self.windows_emitted = 0
+        self.sorts_performed = 0
 
     # -- ingestion ---------------------------------------------------------------
 
@@ -80,20 +82,25 @@ class StreamingDomino:
 
     def feed(self, record) -> None:
         """Type-dispatching convenience ingester."""
-        self._records.append((self._record_time(record), self._seq, record))
+        entry = (record_time_us(record), self._seq, record)
+        # In-order feeds (the common live case: a collector tailing
+        # time-ordered sources) keep the buffer sorted as they append,
+        # so advance() never has to re-sort; only a genuinely
+        # out-of-order arrival invalidates the sorted prefix.
+        if self._n_sorted == len(self._records) and (
+            not self._records or self._records[-1] <= entry
+        ):
+            self._n_sorted += 1
+        self._records.append(entry)
         self._seq += 1
 
     def _ensure_sorted(self) -> None:
         if self._n_sorted < len(self._records):
             self._records.sort()
             self._n_sorted = len(self._records)
+            self.sorts_performed += 1
 
     # -- processing ----------------------------------------------------------------
-
-    def _record_time(self, record) -> int:
-        if isinstance(record, PacketRecord):
-            return record.sent_us
-        return record.ts_us
 
     def advance(self, now_us: int) -> List[WindowDetection]:
         """Process every window that ends at or before *now_us*.
@@ -197,5 +204,33 @@ class StreamingDomino:
             self._n_sorted = len(self._records)
 
     @property
+    def chains(self) -> List[Tuple[str, ...]]:
+        """The chain tuples detections' ``chain_ids`` index into."""
+        return self._detector.chains
+
+    @property
     def buffered_records(self) -> int:
         return len(self._records)
+
+    @property
+    def pending_record_count(self) -> int:
+        """Buffered records not yet consumed by a completed window —
+        everything at or past the processing frontier.  Together with
+        :attr:`buffered_records` this is what a live supervisor reports
+        as its bounded-memory stats."""
+        self._ensure_sorted()
+        return len(self._records) - bisect.bisect_left(
+            self._records, (self._next_window_start_us,)
+        )
+
+    @property
+    def eviction_watermark_us(self) -> int:
+        """Timestamp below which records have been evicted: nothing
+        older than this can still be buffered (no future window can
+        reference it)."""
+        return max(0, self._next_window_start_us - self.config.window_us)
+
+    @property
+    def frontier_us(self) -> int:
+        """Start of the next window advance() will complete."""
+        return self._next_window_start_us

@@ -18,6 +18,7 @@ from repro.fleet.aggregate import FleetAggregate
 from repro.fleet.executor import (
     SessionOutcome,
     detector_config_hash,
+    iter_outcomes,
     load_outcomes,
     run_campaign,
     run_scenario,
@@ -44,6 +45,7 @@ __all__ = [
     "derive_seed",
     "detector_config_hash",
     "get_preset",
+    "iter_outcomes",
     "load_outcomes",
     "scenario_fingerprint",
     "render_fleet_report",

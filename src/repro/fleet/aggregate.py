@@ -6,13 +6,23 @@ so aggregating a thousand sessions costs what aggregating ten does.
 Rates are re-derived from counts and total wall time — merging sessions
 of different durations stays correct (a 4 s smoke run does not dilute a
 30 min soak the way averaging per-session rates would).
+
+The aggregate is *incremental*: :meth:`FleetAggregate.update` folds one
+outcome into the running counters, so a streaming consumer — the live
+RCA service's rollups, or ``fleet-report`` over a sharded JSONL too
+large to materialize — pays O(1) per outcome instead of re-scanning the
+whole campaign per snapshot.  :meth:`from_outcomes` is just ``update``
+in a loop, so batch and incremental construction are identical by
+construction.  Outcomes are *not* retained: the aggregate keeps merged
+counters plus the per-session scalars the CDFs need (one degradation
+rate and a few QoE floats per session), so memory stays far below the
+outcome JSONL it streams.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.analysis.cdf import Cdf, compute_cdf
 from repro.fleet.executor import SessionOutcome
@@ -21,66 +31,91 @@ from repro.fleet.executor import SessionOutcome
 GROUP_KEYS = ("profile", "impairment")
 
 
-def _merge_counts(counts: Sequence[Dict[str, float]]) -> Counter:
-    merged: Counter = Counter()
-    for part in counts:
-        merged.update(part)
-    return merged
+class _GroupTally:
+    """Running counters for one group label (or the whole fleet)."""
+
+    __slots__ = ("duration_s", "chain", "cause", "consequence")
+
+    def __init__(self) -> None:
+        self.duration_s = 0.0
+        self.chain: Counter = Counter()
+        self.cause: Counter = Counter()
+        self.consequence: Counter = Counter()
+
+    def fold(self, outcome: SessionOutcome) -> None:
+        self.duration_s += outcome.duration_s
+        self.chain.update(outcome.chain_counts)
+        self.cause.update(outcome.cause_counts)
+        self.consequence.update(outcome.consequence_counts)
+
+    @property
+    def minutes(self) -> float:
+        return max(self.duration_s / 60.0, 1e-9)
 
 
-@dataclass
 class FleetAggregate:
-    """Rollups across one campaign's outcomes."""
+    """Rollups across one campaign's outcomes (incrementally updatable)."""
 
-    outcomes: List[SessionOutcome]
+    def __init__(self, outcomes: Iterable[SessionOutcome] = ()) -> None:
+        self.n_sessions = 0
+        self._fleet = _GroupTally()
+        # group key → label → tally, labels in first-seen order.
+        self._groups: Dict[str, Dict[str, _GroupTally]] = {
+            key: {} for key in GROUP_KEYS
+        }
+        # Per-session scalars the cross-session CDFs need — a handful
+        # of floats per outcome, not the outcome itself.
+        self._degradation_rates: List[float] = []
+        self._qoe_values: Dict[str, List[float]] = {}
+        for outcome in outcomes:
+            self.update(outcome)
 
     @classmethod
     def from_outcomes(
-        cls, outcomes: Sequence[SessionOutcome]
+        cls, outcomes: Iterable[SessionOutcome]
     ) -> "FleetAggregate":
-        return cls(outcomes=list(outcomes))
+        return cls(outcomes)
 
-    # -- fleet totals ----------------------------------------------------------
-
-    @property
-    def n_sessions(self) -> int:
-        return len(self.outcomes)
+    def update(self, outcome: SessionOutcome) -> None:
+        """Fold one more session into the running rollups (O(1))."""
+        self.n_sessions += 1
+        self._fleet.fold(outcome)
+        for key, per_label in self._groups.items():
+            label = getattr(outcome, key)
+            tally = per_label.get(label)
+            if tally is None:
+                tally = per_label[label] = _GroupTally()
+            tally.fold(outcome)
+        self._degradation_rates.append(outcome.degradation_events_per_min)
+        for metric, value in outcome.qoe.items():
+            self._qoe_values.setdefault(metric, []).append(value)
 
     @property
     def total_minutes(self) -> float:
-        return sum(o.duration_s for o in self.outcomes) / 60.0
+        return self._fleet.duration_s / 60.0
 
     def groups(self, group_by: str = "profile") -> List[str]:
         """Distinct group labels, in first-seen (scenario) order."""
         return list(self._grouped(group_by))
 
-    def _grouped(
-        self, group_by: str
-    ) -> Dict[str, List[SessionOutcome]]:
-        """One pass: label → members, labels in first-seen order."""
+    def _grouped(self, group_by: str) -> Dict[str, _GroupTally]:
         if group_by not in GROUP_KEYS:
             raise KeyError(
                 f"unknown group key {group_by!r}; options: "
                 f"{', '.join(GROUP_KEYS)}"
             )
-        grouped: Dict[str, List[SessionOutcome]] = {}
-        for outcome in self.outcomes:
-            grouped.setdefault(getattr(outcome, group_by), []).append(
-                outcome
-            )
-        return grouped
+        return self._groups[group_by]
 
     # -- chain frequencies -----------------------------------------------------
 
     def _frequency_table(
-        self, group_by: str, counts_of: Callable[[SessionOutcome], Dict]
+        self, group_by: str, counter_name: str
     ) -> Dict[str, Dict[str, float]]:
         """key → group label → episodes per minute of that group."""
         table: Dict[str, Dict[str, float]] = {}
-        for label, members in self._grouped(group_by).items():
-            minutes = max(sum(o.duration_s for o in members) / 60.0, 1e-9)
-            merged = _merge_counts([counts_of(o) for o in members])
-            for key, count in merged.items():
+        for label, tally in self._grouped(group_by).items():
+            minutes = tally.minutes
+            for key, count in getattr(tally, counter_name).items():
                 table.setdefault(key, {})[label] = count / minutes
         return table
 
@@ -88,57 +123,60 @@ class FleetAggregate:
         self, group_by: str = "profile"
     ) -> Dict[str, Dict[str, float]]:
         """chain → group label → episodes per minute."""
-        return self._frequency_table(group_by, lambda o: o.chain_counts)
+        return self._frequency_table(group_by, "chain")
 
     def cause_frequency_table(
         self, group_by: str = "profile"
     ) -> Dict[str, Dict[str, float]]:
         """cause family → group label → episodes per minute."""
-        return self._frequency_table(group_by, lambda o: o.cause_counts)
+        return self._frequency_table(group_by, "cause")
 
     def consequence_frequency_table(
         self, group_by: str = "profile"
     ) -> Dict[str, Dict[str, float]]:
         """consequence family → group label → episodes per minute."""
-        return self._frequency_table(
-            group_by, lambda o: o.consequence_counts
-        )
+        return self._frequency_table(group_by, "consequence")
 
     def top_chains(self, limit: int = 10) -> List[Tuple[str, float]]:
         """Fleet-wide root-cause ranking: chain → episodes per minute,
         most frequent first (ties broken alphabetically for stable
         output)."""
-        minutes = max(self.total_minutes, 1e-9)
-        merged = _merge_counts([o.chain_counts for o in self.outcomes])
-        ranked = sorted(merged.items(), key=lambda kv: (-kv[1], kv[0]))
+        minutes = self._fleet.minutes
+        ranked = sorted(
+            self._fleet.chain.items(), key=lambda kv: (-kv[1], kv[0])
+        )
         return [(chain, count / minutes) for chain, count in ranked[:limit]]
+
+    def fleet_cause_rates(self) -> Dict[str, float]:
+        """cause family → fleet-wide episodes per minute."""
+        minutes = self._fleet.minutes
+        return {k: c / minutes for k, c in sorted(self._fleet.cause.items())}
+
+    def fleet_consequence_rates(self) -> Dict[str, float]:
+        """consequence family → fleet-wide episodes per minute."""
+        minutes = self._fleet.minutes
+        return {
+            k: c / minutes for k, c in sorted(self._fleet.consequence.items())
+        }
 
     # -- distributions across sessions ----------------------------------------
 
     def degradation_rate_cdf(self) -> Cdf:
         """Distribution of per-session degradation events/min."""
-        return compute_cdf(
-            [o.degradation_events_per_min for o in self.outcomes]
-        )
+        return compute_cdf(self._degradation_rates)
 
     def qoe_cdf(self, metric: str) -> Cdf:
         """Distribution of one QoE metric across sessions (keys as in
         :attr:`SessionOutcome.qoe`, e.g. ``ul_delay_p50_ms``)."""
-        values = [
-            o.qoe[metric] for o in self.outcomes if metric in o.qoe
-        ]
+        values = self._qoe_values.get(metric)
         if not values:
             raise KeyError(f"no outcome carries QoE metric {metric!r}")
         return compute_cdf(values)
 
     def qoe_metrics(self) -> List[str]:
-        """QoE metric names present in at least one outcome."""
-        names: List[str] = []
-        for outcome in self.outcomes:
-            for name in outcome.qoe:
-                if name not in names:
-                    names.append(name)
-        return names
+        """QoE metric names present in at least one outcome, in
+        first-seen order."""
+        return list(self._qoe_values)
 
 
 __all__ = ["FleetAggregate", "GROUP_KEYS"]

@@ -28,7 +28,7 @@ import json
 import os
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.analysis.summarize import summarize_session
 from repro.core.detector import DetectorConfig, DominoDetector
@@ -276,17 +276,19 @@ def save_outcomes(outcomes: Sequence[SessionOutcome], path: str) -> None:
             handle.write("\n")
 
 
-def load_outcomes(path: str) -> List[SessionOutcome]:
-    """Read back a :func:`save_outcomes` file.
+def iter_outcomes(path: str) -> Iterator[SessionOutcome]:
+    """Stream a :func:`save_outcomes` file one outcome at a time.
 
-    Raises :class:`~repro.errors.TelemetryError` on a format-version
-    mismatch or when the file holds fewer outcomes than its headers
-    promise (a truncated save would otherwise silently bias every
-    fleet rollup derived from it).  Concatenated saves — shards joined
-    with ``cat a.jsonl b.jsonl`` — load as one campaign; each header's
-    count is added to the expectation.
+    The generator validates exactly what :func:`load_outcomes` does —
+    format version per header, and at exhaustion that the file holds as
+    many outcomes as its headers promise (a truncated save would
+    otherwise silently bias every fleet rollup derived from it) — but
+    never materializes the whole campaign, so sharded JSONL files far
+    larger than memory aggregate fine.  Concatenated saves — shards
+    joined with ``cat a.jsonl b.jsonl`` — stream as one campaign; each
+    header's count is added to the expectation.
     """
-    outcomes: List[SessionOutcome] = []
+    yielded = 0
     expected: Optional[int] = None
     with open(path) as handle:
         for line in handle:
@@ -315,23 +317,30 @@ def load_outcomes(path: str) -> List[SessionOutcome]:
                 expected = (expected or 0) + data.get("n_outcomes", 0)
                 continue
             try:
-                outcomes.append(SessionOutcome.from_json(data))
+                outcome = SessionOutcome.from_json(data)
             except TypeError:
                 raise TelemetryError(
                     f"{path}: not a fleet outcomes file (unexpected "
                     f"record {line[:60]!r}...)"
                 )
+            yielded += 1
+            yield outcome
     if expected is None:
         raise TelemetryError(
             f"{path}: missing fleet header (not a fleet outcomes file, "
             f"or its head was lost?)"
         )
-    if len(outcomes) != expected:
+    if yielded != expected:
         raise TelemetryError(
             f"{path}: header promises {expected} outcomes but file "
-            f"holds {len(outcomes)} (truncated save?)"
+            f"holds {yielded} (truncated save?)"
         )
-    return outcomes
+
+
+def load_outcomes(path: str) -> List[SessionOutcome]:
+    """Read back a :func:`save_outcomes` file (see :func:`iter_outcomes`
+    for the streaming variant and the validation both share)."""
+    return list(iter_outcomes(path))
 
 
 __all__ = [
@@ -339,6 +348,7 @@ __all__ = [
     "CHAIN_SEPARATOR",
     "SessionOutcome",
     "detector_config_hash",
+    "iter_outcomes",
     "load_outcomes",
     "run_campaign",
     "run_scenario",

@@ -49,7 +49,7 @@ def render_fleet_report(
         f"fleet: {aggregate.n_sessions} sessions, "
         f"{aggregate.total_minutes:.1f} min total"
     )
-    if not aggregate.outcomes:
+    if not aggregate.n_sessions:
         sections.append("(no sessions to aggregate)")
         return "\n\n".join(sections)
 

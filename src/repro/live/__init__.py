@@ -1,0 +1,49 @@
+"""Live multi-session RCA: always-on Domino over streaming telemetry.
+
+The paper positions Domino for telemetry "network operators can provide
+on a continuous, near real-time basis"; this package turns the
+single-trace :class:`~repro.core.streaming.StreamingDomino` into an
+always-on *service* over many concurrent sessions:
+
+* :mod:`repro.live.sources` — the :class:`TelemetrySource` feed
+  protocol, with :class:`ReplaySource` (recorded bundle/JSONL at a
+  speed multiplier) and :class:`SimSource` (a live-stepped simulated
+  call).
+* :mod:`repro.live.supervisor` — one asyncio pipeline per session:
+  bounded ingest queue, block or drop-oldest backpressure with lag
+  accounting, per-session realtime/lag/memory stats.
+* :mod:`repro.live.aggregator` — incremental fleet rollups folding each
+  session's window detections as they complete, rendered through the
+  same :class:`~repro.fleet.aggregate.FleetAggregate` the offline
+  campaign tooling uses.
+* :mod:`repro.live.service` — the coordinator: runs N supervisors,
+  evicts idle sessions, emits periodic :class:`FleetSnapshot` rollups.
+* :mod:`repro.live.dashboard` — ASCII rendering for `repro watch`.
+
+Exposed on the CLI as ``repro live`` / ``repro watch``.
+"""
+
+from repro.live.aggregator import FleetSnapshot, LiveAggregator
+from repro.live.dashboard import render_snapshot
+from repro.live.service import LiveRcaService, canonical_detections
+from repro.live.sources import (
+    ReplaySource,
+    SimSource,
+    TelemetryBatch,
+    TelemetrySource,
+)
+from repro.live.supervisor import SessionSnapshot, SessionSupervisor
+
+__all__ = [
+    "FleetSnapshot",
+    "LiveAggregator",
+    "LiveRcaService",
+    "ReplaySource",
+    "SessionSnapshot",
+    "SessionSupervisor",
+    "SimSource",
+    "TelemetryBatch",
+    "TelemetrySource",
+    "canonical_detections",
+    "render_snapshot",
+]

@@ -1,0 +1,93 @@
+"""ASCII dashboard for live fleet snapshots (`repro watch`).
+
+Renders a :class:`~repro.live.aggregator.FleetSnapshot` through the
+same :mod:`repro.analysis.ascii` table helpers every other report in
+the repo uses, so the live view stays visually comparable with the
+offline fleet report and the paper-figure benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.ascii import render_table
+from repro.live.aggregator import FleetSnapshot
+
+#: Sessions shown individually before the table is elided.
+MAX_SESSION_ROWS = 16
+
+
+def render_snapshot(
+    snapshot: FleetSnapshot, max_sessions: int = MAX_SESSION_ROWS
+) -> str:
+    """Render one fleet snapshot as a terminal dashboard block."""
+    sections: List[str] = []
+    sections.append(
+        f"live fleet @ {snapshot.wall_s:.1f}s wall (snapshot "
+        f"#{snapshot.seq}): {snapshot.n_sessions} sessions "
+        f"({snapshot.n_running} running, {snapshot.n_done} done, "
+        f"{snapshot.n_evicted} evicted, {snapshot.n_failed} failed), "
+        f"{snapshot.total_minutes:.1f} telemetry min processed"
+    )
+    sections.append(
+        f"windows: {snapshot.windows} completed, "
+        f"{snapshot.detected_windows} with causal chains; "
+        f"degradation events/min: "
+        f"{snapshot.degradation_events_per_min:.2f}; "
+        f"lag events (dropped records): {snapshot.lag_events}"
+    )
+
+    if snapshot.top_chains:
+        sections.append(
+            "Top root causes fleet-wide (episodes/min)\n"
+            + render_table(
+                ["chain", "per-min"],
+                [[chain, rate] for chain, rate in snapshot.top_chains],
+                width=10,
+            )
+        )
+    else:
+        sections.append("Top root causes fleet-wide: (no detections yet)")
+
+    if snapshot.cause_rates:
+        sections.append(
+            "Causes / consequences per minute\n"
+            + render_table(
+                ["event", "per-min"],
+                [
+                    [name, rate]
+                    for name, rate in list(snapshot.cause_rates.items())
+                    + list(snapshot.consequence_rates.items())
+                ],
+                width=10,
+            )
+        )
+
+    rows = []
+    for session in snapshot.sessions[:max_sessions]:
+        rows.append(
+            [
+                session.session_id,
+                session.state,
+                f"{session.watermark_s:.1f}",
+                f"{session.realtime_factor:.0f}x",
+                session.lag_events,
+                session.buffered_records,
+                session.windows,
+                session.detected_windows,
+            ]
+        )
+    table = render_table(
+        ["session", "state", "t[s]", "rtf", "lag", "buf", "win", "det"],
+        rows,
+        width=9,
+    )
+    hidden = len(snapshot.sessions) - max_sessions
+    if hidden > 0:
+        table += f"\n... (+{hidden} more sessions)"
+    sections.append("Sessions\n" + table)
+
+    return "\n\n".join(sections)
+
+
+__all__ = ["MAX_SESSION_ROWS", "render_snapshot"]

@@ -1,0 +1,215 @@
+"""The live RCA service: N concurrent sessions, one rolling fleet view.
+
+:class:`LiveRcaService` multiplexes many
+:class:`~repro.live.supervisor.SessionSupervisor` pipelines on one
+asyncio loop, folds their detections through a shared
+:class:`~repro.live.aggregator.LiveAggregator`, and emits periodic
+:class:`~repro.live.aggregator.FleetSnapshot` rollups — to a callback,
+and optionally to a JSON file `repro watch` renders.  Housekeeping
+evicts sessions whose feed has gone idle, so a wedged source cannot pin
+its queue and detector state forever.
+
+The service is the coordinator half of a worker/coordinator seam:
+supervisors only touch their own source and detector, the aggregator
+only consumes (session_id, detections, chains, watermark) tuples — the
+shape a multi-host dispatch layer would ship over the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.detector import DetectorConfig, WindowDetection
+from repro.live.aggregator import FleetSnapshot, LiveAggregator
+from repro.live.sources import TelemetrySource
+from repro.live.supervisor import (
+    DONE,
+    EVICTED,
+    FAILED,
+    RUNNING,
+    SessionSupervisor,
+)
+
+
+def canonical_detections(detections: Sequence[WindowDetection]) -> str:
+    """Canonical serialization of a detection list.
+
+    Byte-for-byte stable across runs for identical detections (floats
+    round-trip exactly through ``repr``; feature keys are sorted), so
+    equality of two canonical strings is the "byte-identical
+    detections" bar the live==offline tests assert.
+    """
+    return json.dumps(
+        [
+            {
+                "start_us": w.start_us,
+                "end_us": w.end_us,
+                "features": {
+                    name: repr(value)
+                    for name, value in sorted(w.features.items())
+                },
+                "consequences": w.consequences,
+                "causes": w.causes,
+                "chain_ids": w.chain_ids,
+            }
+            for w in detections
+        ],
+        sort_keys=True,
+    )
+
+
+class LiveRcaService:
+    """Run many live sessions and aggregate their RCA continuously.
+
+    Args:
+        sources: one telemetry feed per session.
+        detector_config: Domino configuration shared by all sessions.
+        chunk_us / queue_batches / backpressure: per-supervisor knobs
+            (see :class:`~repro.live.supervisor.SessionSupervisor`).
+        snapshot_every_s: periodic rollup interval.
+        idle_timeout_s: evict a session after this long without feed
+            progress (None = never evict).
+        snapshot_path: write each snapshot there as JSON (atomically),
+            for `repro watch`.
+        on_snapshot: callback invoked with each periodic snapshot.
+    """
+
+    def __init__(
+        self,
+        sources: Sequence[TelemetrySource],
+        detector_config: Optional[DetectorConfig] = None,
+        *,
+        chunk_us: int = 30_000_000,
+        queue_batches: int = 64,
+        backpressure: str = "block",
+        snapshot_every_s: float = 0.5,
+        idle_timeout_s: Optional[float] = None,
+        snapshot_path: Optional[str] = None,
+        on_snapshot: Optional[Callable[[FleetSnapshot], None]] = None,
+    ) -> None:
+        if not sources:
+            raise ValueError("need at least one telemetry source")
+        ids = [source.session_id for source in sources]
+        if len(set(ids)) != len(ids):
+            raise ValueError("session ids must be unique")
+        self.aggregator = LiveAggregator()
+        self.supervisors: List[SessionSupervisor] = []
+        for source in sources:
+            self.aggregator.register(
+                source.session_id, source.profile, source.impairment
+            )
+            self.supervisors.append(
+                SessionSupervisor(
+                    source,
+                    detector_config,
+                    chunk_us=chunk_us,
+                    queue_batches=queue_batches,
+                    backpressure=backpressure,
+                    on_detections=self.aggregator.update,
+                )
+            )
+        self.snapshot_every_s = snapshot_every_s
+        self.idle_timeout_s = idle_timeout_s
+        self.snapshot_path = snapshot_path
+        self.on_snapshot = on_snapshot
+        self._seq = 0
+        self._started_at: Optional[float] = None
+        self._last_now = 0.0
+
+    # -- snapshots --------------------------------------------------------------
+
+    def snapshot(self) -> FleetSnapshot:
+        """Build the current fleet rollup (incremental, O(sessions))."""
+        try:
+            now = asyncio.get_running_loop().time()
+        except RuntimeError:  # outside the loop (after run() returned)
+            now = self._last_now
+        self._last_now = now
+        started = self._started_at if self._started_at is not None else now
+        sessions = []
+        for supervisor in self.supervisors:
+            # Keep each session's processed-duration clock fresh even
+            # when its recent windows held no detections.
+            self.aggregator.note_watermark(
+                supervisor.session_id, supervisor.watermark_us
+            )
+            sessions.append(supervisor.snapshot(now))
+        fleet = self.aggregator.fleet()
+        self._seq += 1
+        snapshot = FleetSnapshot(
+            seq=self._seq,
+            wall_s=now - started,
+            n_sessions=len(sessions),
+            n_running=sum(1 for s in sessions if s.state == RUNNING),
+            n_done=sum(1 for s in sessions if s.state == DONE),
+            n_evicted=sum(1 for s in sessions if s.state == EVICTED),
+            n_failed=sum(1 for s in sessions if s.state == FAILED),
+            total_minutes=self.aggregator.total_minutes,
+            windows=sum(s.windows for s in sessions),
+            detected_windows=sum(s.detected_windows for s in sessions),
+            lag_events=sum(s.lag_events for s in sessions),
+            degradation_events_per_min=(
+                self.aggregator.degradation_events_per_min
+            ),
+            top_chains=fleet.top_chains(),
+            cause_rates=fleet.fleet_cause_rates(),
+            consequence_rates=fleet.fleet_consequence_rates(),
+            sessions=sessions,
+        )
+        if self.snapshot_path:
+            self._write_snapshot(snapshot)
+        if self.on_snapshot is not None:
+            self.on_snapshot(snapshot)
+        return snapshot
+
+    def _write_snapshot(self, snapshot: FleetSnapshot) -> None:
+        tmp = f"{self.snapshot_path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(snapshot.to_json(), handle)
+        os.replace(tmp, self.snapshot_path)  # watchers never see a tear
+
+    # -- main loop --------------------------------------------------------------
+
+    async def _housekeeping(self) -> None:
+        loop = asyncio.get_running_loop()
+        while not all(s.done for s in self.supervisors):
+            await asyncio.sleep(self.snapshot_every_s)
+            if self.idle_timeout_s is not None:
+                now = loop.time()
+                for supervisor in self.supervisors:
+                    if (
+                        not supervisor.done
+                        and supervisor.idle_for_s(now) > self.idle_timeout_s
+                    ):
+                        supervisor.evict()
+            self.snapshot()
+
+    async def run(self) -> FleetSnapshot:
+        """Run every session to completion; return the final snapshot.
+
+        A failed session does not take the service down — its state is
+        reported as ``failed`` in snapshots; eviction likewise.  The
+        first failure's exception is available on the supervisor's
+        ``error`` attribute.
+        """
+        loop = asyncio.get_running_loop()
+        self._started_at = self._last_now = loop.time()
+        tasks = [
+            asyncio.create_task(s.run(), name=f"live:{s.session_id}")
+            for s in self.supervisors
+        ]
+        housekeeping = asyncio.create_task(self._housekeeping())
+        await asyncio.gather(*tasks, return_exceptions=True)
+        housekeeping.cancel()
+        try:
+            await housekeeping
+        except asyncio.CancelledError:
+            pass
+        self._last_now = loop.time()
+        return self.snapshot()
+
+
+__all__ = ["LiveRcaService", "canonical_detections"]

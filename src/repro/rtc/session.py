@@ -78,6 +78,7 @@ class TwoPartySession:
         self.client_b = WebRtcClient(client_b, alloc, self.collector)
         self._packets: Dict[int, Packet] = {}
         self.step_us = min(access_a.step_us, access_b.step_us)
+        self._now_us = 0
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -133,16 +134,31 @@ class TwoPartySession:
 
     # -- main loop ------------------------------------------------------------------
 
-    def run(self, duration_us: int) -> SessionResult:
-        """Simulate the call for *duration_us* and return all telemetry."""
-        now = 0
-        while now < duration_us:
-            now += self.step_us
-            arrivals_a, arrivals_b = self._pump_access(now)
-            out_a = self.client_a.step(now, arrivals_a)
-            out_b = self.client_b.step(now, arrivals_b)
+    @property
+    def now_us(self) -> int:
+        """Current simulated time (how far the call has been stepped)."""
+        return self._now_us
+
+    def advance_to(self, target_us: int) -> int:
+        """Step the call forward until its clock reaches *target_us*.
+
+        The incremental API the live :class:`~repro.live.sources.SimSource`
+        drives batch by batch; :meth:`run` is one advance_to over the
+        whole duration.  Returns the clock after stepping (the first
+        multiple of ``step_us`` at or past *target_us*).
+        """
+        while self._now_us < target_us:
+            self._now_us += self.step_us
+            arrivals_a, arrivals_b = self._pump_access(self._now_us)
+            out_a = self.client_a.step(self._now_us, arrivals_a)
+            out_b = self.client_b.step(self._now_us, arrivals_b)
             self._route_outgoing(True, out_a)
             self._route_outgoing(False, out_b)
+        return self._now_us
+
+    def run(self, duration_us: int) -> SessionResult:
+        """Simulate the call for *duration_us* and return all telemetry."""
+        self.advance_to(duration_us)
         bundle = self.collector.bundle(duration_us)
         return SessionResult(
             bundle=bundle, client_a=self.client_a, client_b=self.client_b

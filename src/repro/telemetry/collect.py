@@ -9,6 +9,8 @@ sorted by timestamp — the input format Domino consumes.
 
 from __future__ import annotations
 
+from dataclasses import replace
+from heapq import merge
 from typing import Dict, List, Optional
 
 from repro.telemetry.records import (
@@ -17,6 +19,7 @@ from repro.telemetry.records import (
     PacketRecord,
     TelemetryBundle,
     WebRtcStatsRecord,
+    record_time_us,
 )
 
 
@@ -37,7 +40,11 @@ class TelemetryCollector:
         self._dci: List[DciRecord] = []
         self._gnb_log: List[GnbLogRecord] = []
         self._packets: Dict[int, PacketRecord] = {}
+        self._packet_order: List[PacketRecord] = []  # send order
         self._webrtc: List[WebRtcStatsRecord] = []
+        # Per-list cursors for drain(): everything before these indices
+        # has already been handed to a live consumer.
+        self._drained = [0, 0, 0, 0]
 
     # -- RAN-side records ---------------------------------------------------
 
@@ -53,6 +60,7 @@ class TelemetryCollector:
     def record_packet_sent(self, record: PacketRecord) -> None:
         """Register a packet at its sender-side capture point."""
         self._packets[record.packet_id] = record
+        self._packet_order.append(record)
 
     def record_packet_received(
         self, packet_id: int, received_us: int
@@ -66,6 +74,39 @@ class TelemetryCollector:
 
     def record_webrtc_stats(self, record: WebRtcStatsRecord) -> None:
         self._webrtc.append(record)
+
+    # -- live draining ----------------------------------------------------------
+
+    def drain(self, up_to_us: int) -> List[object]:
+        """Hand out records with timestamp <= *up_to_us* not drained yet.
+
+        The live feed API: a :class:`~repro.live.sources.SimSource`
+        calls this as the simulation advances, leaving records newer
+        than *up_to_us* for a later drain.  Each source list is
+        timestamp-ordered by construction (the simulators append in
+        simulated-time order), so the result is one merged time-ordered
+        batch and every record is emitted exactly once.  Packet records
+        are emitted as frozen copies keyed on their *send* time: the
+        collector's own copy keeps mutating when the receive side joins,
+        so callers should drain with enough settling lag for in-flight
+        packets to land.
+        """
+        lists = (self._dci, self._gnb_log, self._packet_order, self._webrtc)
+        runs = []
+        for index, records in enumerate(lists):
+            cursor = self._drained[index]
+            run = []
+            while cursor < len(records):
+                record = records[cursor]
+                is_packet = records is self._packet_order
+                ts = record.sent_us if is_packet else record.ts_us
+                if ts > up_to_us:
+                    break
+                run.append(replace(record) if is_packet else record)
+                cursor += 1
+            self._drained[index] = cursor
+            runs.append(run)
+        return list(merge(*runs, key=record_time_us))
 
     # -- output -----------------------------------------------------------------
 

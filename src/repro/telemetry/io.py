@@ -10,7 +10,8 @@ round-trip exactly through :func:`save_bundle` / :func:`load_bundle`.
 from __future__ import annotations
 
 import json
-from typing import IO, Iterable, Union
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.errors import TelemetryError
 from repro.telemetry.records import (
@@ -24,6 +25,18 @@ from repro.telemetry.records import (
 )
 
 FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """The session metadata line of a JSONL telemetry trace."""
+
+    session_name: str
+    duration_us: int
+    cellular_client: str = "cellular"
+    wired_client: str = "wired"
+    gnb_log_available: bool = False
+    version: int = FORMAT_VERSION
 
 
 def _header_line(bundle: TelemetryBundle) -> dict:
@@ -191,22 +204,66 @@ def save_bundle(bundle: TelemetryBundle, path_or_file: Union[str, IO[str]]) -> N
         path_or_file.write(line + "\n")
 
 
-def load_bundle(path_or_file: Union[str, IO[str]]) -> TelemetryBundle:
-    """Read a JSONL telemetry file back into a bundle."""
+_PARSERS = {
+    "dci": _dci_from_json,
+    "gnb": _gnb_from_json,
+    "pkt": _packet_from_json,
+    "webrtc": _stats_from_json,
+}
+
+#: Union of everything :func:`iter_records` can yield.
+TraceItem = Union[
+    TraceHeader, DciRecord, GnbLogRecord, PacketRecord, WebRtcStatsRecord
+]
+
+
+def iter_records(
+    path_or_file: Union[str, IO[str]],
+    kinds: Optional[Tuple[str, ...]] = None,
+) -> Iterator[TraceItem]:
+    """Incrementally parse a JSONL telemetry trace, one record at a time.
+
+    Yields the :class:`TraceHeader` when its line is reached (first, for
+    anything :func:`save_bundle` wrote), then each typed record in file
+    order — so a consumer can stream an arbitrarily large trace without
+    materializing it the way :func:`load_bundle` does.  *kinds* filters
+    the record lines to a subset of ``("dci", "gnb", "pkt", "webrtc")``;
+    the header is always yielded.  Raises
+    :class:`~repro.errors.TelemetryError` exactly where
+    :func:`load_bundle` would: malformed lines immediately, a missing
+    header at exhaustion — except that a filtered pass skips lines it
+    can positively identify as another kind *before* parsing them (a
+    replay over four filtered passes would otherwise JSON-decode every
+    line four times), so malformed content inside skipped lines goes
+    unreported until an unfiltered read.
+    """
     if isinstance(path_or_file, str):
         with open(path_or_file) as handle:
-            return load_bundle(handle)
-    header = None
-    dci, gnb, packets, stats = [], [], [], []
-    parsers = {
-        "dci": (_dci_from_json, dci),
-        "gnb": (_gnb_from_json, gnb),
-        "pkt": (_packet_from_json, packets),
-        "webrtc": (_stats_from_json, stats),
-    }
+            yield from iter_records(handle, kinds)
+        return
+    skip_tokens: Tuple[str, ...] = ()
+    if kinds is not None:
+        # Exact tokens save_bundle writes.  A line bearing none of the
+        # wanted kinds' tokens (nor the header's) but some other kind's
+        # is skipped unparsed; anything ambiguous — foreign spacing, a
+        # wanted token appearing inside a string value — falls through
+        # to the full parse, whose post-parse kind check stays exact.
+        wanted = tuple(f'"type": "{kind}"' for kind in kinds) + (
+            '"type": "header"',
+        )
+        skip_tokens = tuple(
+            f'"type": "{kind}"' for kind in _PARSERS if kind not in kinds
+        )
+    saw_header = False
     for line_number, line in enumerate(path_or_file, start=1):
         line = line.strip()
         if not line:
+            continue
+        if (
+            skip_tokens
+            and not any(token in line for token in wanted)
+            and any(token in line for token in skip_tokens)
+        ):
             continue
         try:
             data = json.loads(line)
@@ -220,28 +277,56 @@ def load_bundle(path_or_file: Union[str, IO[str]]) -> TelemetryBundle:
                 raise TelemetryError(
                     f"unsupported format version {data.get('version')!r}"
                 )
-            header = data
+            saw_header = True
+            yield TraceHeader(
+                session_name=data["session_name"],
+                duration_us=data["duration_us"],
+                cellular_client=data["cellular_client"],
+                wired_client=data["wired_client"],
+                gnb_log_available=data["gnb_log_available"],
+                version=data["version"],
+            )
             continue
         try:
-            parser, sink = parsers[kind]
+            parser = _PARSERS[kind]
         except KeyError:
             raise TelemetryError(
                 f"line {line_number}: unknown record type {kind!r}"
             )
+        if kinds is not None and kind not in kinds:
+            continue
         try:
-            sink.append(parser(data))
+            yield parser(data)
         except (KeyError, ValueError) as exc:
             raise TelemetryError(
                 f"line {line_number}: malformed {kind} record: {exc}"
             ) from exc
-    if header is None:
+    if not saw_header:
         raise TelemetryError("missing header line")
+
+
+def load_bundle(path_or_file: Union[str, IO[str]]) -> TelemetryBundle:
+    """Read a JSONL telemetry file back into a bundle."""
+    header = None
+    dci, gnb, packets, stats = [], [], [], []
+    sinks = {
+        DciRecord: dci,
+        GnbLogRecord: gnb,
+        PacketRecord: packets,
+        WebRtcStatsRecord: stats,
+    }
+    for item in iter_records(path_or_file):
+        if isinstance(item, TraceHeader):
+            header = item
+        else:
+            sinks[type(item)].append(item)
+    assert header is not None  # iter_records raised otherwise
     return TelemetryBundle(
-        session_name=header["session_name"],
-        duration_us=header["duration_us"],
-        cellular_client=header["cellular_client"],
-        wired_client=header["wired_client"],
-        gnb_log_available=header["gnb_log_available"],
+        session_name=header.session_name,
+        duration_us=header.duration_us,
+        cellular_client=header.cellular_client,
+        wired_client=header.wired_client,
+        gnb_log_available=header.gnb_log_available,
         dci=dci,
         gnb_log=gnb,
         packets=packets,

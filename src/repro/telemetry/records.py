@@ -164,3 +164,17 @@ class TelemetryBundle:
             "packets": len(self.packets) / minutes,
             "webrtc": len(self.webrtc_stats) / minutes,
         }
+
+
+def record_time_us(record) -> int:
+    """Feed-order timestamp of any telemetry record type.
+
+    Packets order by their *send* time (the sender-side capture point
+    is where a live tail first sees them); everything else carries a
+    plain ``ts_us``.  The one definition shared by streaming detection,
+    collector draining, and live replay — so all three order a mixed
+    record feed identically.
+    """
+    if isinstance(record, PacketRecord):
+        return record.sent_us
+    return record.ts_us

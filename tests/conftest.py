@@ -1,7 +1,15 @@
 """Shared fixtures: simulated sessions are expensive, so the bundles the
-integration-level tests share are built once per test session."""
+integration-level tests share are built once per test session.
+
+Also installs a per-test wall-clock timeout (SIGALRM-based, POSIX only)
+so an async hang — a live-service deadlock, a stuck event loop — fails
+the one test fast instead of wedging the whole job.  Override with
+``REPRO_TEST_TIMEOUT_S`` (0 disables)."""
 
 from __future__ import annotations
+
+import os
+import signal
 
 import pytest
 
@@ -10,6 +18,29 @@ from repro.datasets.runner import (
     make_cellular_session,
     make_wired_session,
 )
+
+TEST_TIMEOUT_S = int(os.environ.get("REPRO_TEST_TIMEOUT_S", "300"))
+
+
+@pytest.fixture(autouse=True)
+def _per_test_timeout(request):
+    if TEST_TIMEOUT_S <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_timeout(signum, frame):
+        raise TimeoutError(
+            f"test exceeded {TEST_TIMEOUT_S}s wall-clock timeout "
+            f"({request.node.nodeid}); likely an async hang"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.alarm(TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

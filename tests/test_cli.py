@@ -138,6 +138,51 @@ def test_fleet_report_rerenders_saved_outcomes(tmp_path, capsys):
     assert capsys.readouterr().out.strip() == report.strip()
 
 
+def test_live_replay_service_and_watch(tmp_path, capsys):
+    """`repro live` runs a replay fleet to completion and writes a
+    snapshot `repro watch` can render."""
+    snap = str(tmp_path / "snap.json")
+    code = main(
+        [
+            "live",
+            "--sessions",
+            "2",
+            "--duration",
+            "8",
+            "--quiet",
+            "--snapshot",
+            snap,
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "live fleet" in captured
+    assert "rtf" in captured  # per-session realtime factor column
+    code = main(["watch", snap])
+    assert code == 0
+    watched = capsys.readouterr().out
+    assert "2 sessions" in watched
+    assert "2 done" in watched
+
+
+def test_live_sim_source(capsys):
+    code = main(
+        [
+            "live",
+            "--sessions",
+            "1",
+            "--duration",
+            "6",
+            "--source",
+            "sim",
+            "--quiet",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "1 done" in captured
+
+
 def test_fleet_cache_dir_rerun_skips_simulation(tmp_path, capsys):
     import time
 

@@ -143,6 +143,58 @@ def test_streaming_requires_window_sized_chunks():
         )
 
 
+def test_in_order_feed_never_resorts(private_bundle):
+    """Time-ordered feeding (the live tail-a-collector case) keeps the
+    buffer sorted as it appends; advance() — including advances where
+    no new record arrived — never pays a re-sort."""
+    stream = StreamingDomino(gnb_log_available=True)
+    records = sorted(
+        private_bundle.dci
+        + private_bundle.gnb_log
+        + private_bundle.webrtc_stats,
+        key=lambda r: r.ts_us,
+    )
+    half = private_bundle.duration_us // 2
+    for record in records:
+        if record.ts_us < half:
+            stream.feed(record)
+    stream.advance(half)
+    stream.advance(half + 1_000_000)  # zero new records: no re-sort
+    for record in records:
+        if record.ts_us >= half:
+            stream.feed(record)
+    stream.advance(private_bundle.duration_us)
+    assert stream.sorts_performed == 0
+
+
+def test_out_of_order_feed_sorts_once(private_bundle):
+    stream = StreamingDomino(gnb_log_available=True)
+    stats = list(private_bundle.webrtc_stats[:50])
+    stats.reverse()
+    for record in stats:
+        stream.feed(record)
+    stream.advance(private_bundle.duration_us)
+    assert stream.sorts_performed == 1
+
+
+def test_pending_and_eviction_watermark_properties(private_bundle):
+    stream = StreamingDomino(gnb_log_available=True, chunk_us=6_000_000)
+    assert stream.pending_record_count == 0
+    assert stream.eviction_watermark_us == 0
+    _feed_bundle(stream, private_bundle)
+    assert stream.pending_record_count == stream.buffered_records
+    stream.advance(private_bundle.duration_us)
+    # The frontier moved past most of the feed: everything older than
+    # one window behind it is gone, and only records at/after the
+    # frontier still count as pending.
+    assert stream.eviction_watermark_us == (
+        stream.frontier_us - stream.config.window_us
+    )
+    assert stream.pending_record_count <= stream.buffered_records
+    horizon = stream.eviction_watermark_us
+    assert all(ts >= horizon for ts, _, _ in stream._records)
+
+
 def test_streaming_no_data_no_windows():
     stream = StreamingDomino()
     assert stream.advance(2_000_000) == []  # less than one window

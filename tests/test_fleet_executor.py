@@ -11,6 +11,7 @@ from repro.errors import TelemetryError
 from repro.fleet.executor import (
     SessionOutcome,
     detector_config_hash,
+    iter_outcomes,
     load_outcomes,
     run_campaign,
     run_scenario,
@@ -93,6 +94,32 @@ def test_truncated_outcomes_rejected(tmp_path, serial_outcomes):
         handle.writelines(lines[:-1])  # drop the last outcome
     with pytest.raises(TelemetryError, match="truncated"):
         load_outcomes(path)
+
+
+def test_iter_outcomes_streams_one_at_a_time(tmp_path, serial_outcomes):
+    path = str(tmp_path / "outcomes.jsonl")
+    save_outcomes(serial_outcomes, path)
+    iterator = iter_outcomes(path)
+    first = next(iterator)
+    assert first == serial_outcomes[0]
+    assert [first] + list(iterator) == list(serial_outcomes)
+
+
+def test_iter_outcomes_validates_count_at_exhaustion(
+    tmp_path, serial_outcomes
+):
+    """Truncation is only detectable at the end of a stream; the
+    generator yields what exists, then raises."""
+    path = str(tmp_path / "outcomes.jsonl")
+    save_outcomes(serial_outcomes, path)
+    lines = open(path).readlines()
+    with open(path, "w") as handle:
+        handle.writelines(lines[:-1])
+    iterator = iter_outcomes(path)
+    yielded = [next(iterator) for _ in range(len(serial_outcomes) - 1)]
+    assert yielded == list(serial_outcomes[:-1])
+    with pytest.raises(TelemetryError, match="truncated"):
+        next(iterator)
 
 
 def test_concatenated_shards_load_as_one_campaign(

@@ -5,7 +5,14 @@ import io
 import pytest
 
 from repro.errors import TelemetryError
-from repro.telemetry.io import dump_lines, load_bundle, save_bundle
+from repro.telemetry.io import (
+    TraceHeader,
+    dump_lines,
+    iter_records,
+    load_bundle,
+    save_bundle,
+)
+from repro.telemetry.records import DciRecord, WebRtcStatsRecord
 
 
 def _roundtrip(bundle):
@@ -82,3 +89,64 @@ def test_blank_lines_tolerated(wired_bundle):
     text = "\n\n".join(lines)
     loaded = load_bundle(io.StringIO(text))
     assert len(loaded.packets) == len(wired_bundle.packets)
+
+
+# -- incremental reader ---------------------------------------------------------
+
+
+def _saved(bundle):
+    buffer = io.StringIO()
+    save_bundle(bundle, buffer)
+    buffer.seek(0)
+    return buffer
+
+
+def test_iter_records_header_first_then_file_order(private_bundle):
+    items = list(iter_records(_saved(private_bundle)))
+    header = items[0]
+    assert isinstance(header, TraceHeader)
+    assert header.session_name == private_bundle.session_name
+    assert header.duration_us == private_bundle.duration_us
+    assert header.gnb_log_available is True
+    records = items[1:]
+    assert len(records) == (
+        len(private_bundle.dci)
+        + len(private_bundle.gnb_log)
+        + len(private_bundle.packets)
+        + len(private_bundle.webrtc_stats)
+    )
+    # Same content the batch loader produces.
+    assert [r for r in records if isinstance(r, DciRecord)] == (
+        private_bundle.dci
+    )
+
+
+def test_iter_records_is_lazy(private_bundle):
+    """Malformed tail lines only raise once iteration reaches them."""
+    text = _saved(private_bundle).getvalue() + "not json\n"
+    iterator = iter_records(io.StringIO(text))
+    assert isinstance(next(iterator), TraceHeader)
+    with pytest.raises(TelemetryError):
+        list(iterator)
+
+
+def test_iter_records_kind_filter(private_bundle):
+    items = list(
+        iter_records(_saved(private_bundle), kinds=("webrtc",))
+    )
+    assert isinstance(items[0], TraceHeader)
+    assert all(isinstance(r, WebRtcStatsRecord) for r in items[1:])
+    assert len(items) - 1 == len(private_bundle.webrtc_stats)
+
+
+def test_iter_records_missing_header_raises():
+    with pytest.raises(TelemetryError):
+        list(iter_records(io.StringIO('{"type": "dci"}\n')))
+
+
+def test_iter_records_from_path(tmp_path, wired_bundle):
+    path = str(tmp_path / "trace.jsonl")
+    save_bundle(wired_bundle, path)
+    items = list(iter_records(path))
+    assert isinstance(items[0], TraceHeader)
+    assert len(items) - 1 > 0
