@@ -153,17 +153,36 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         with open(args.out, "a"):
             pass
     cache_dir = None if args.no_cache else args.cache_dir
+    dispatch = getattr(args, "dispatch", "local")
     print(
         f"campaign {matrix.name}: {len(scenarios)} sessions, "
-        f"workers={args.workers}"
+        + (
+            f"dispatch=cluster ({args.bind}:{args.port}, "
+            f"min {args.min_workers} workers)"
+            if dispatch == "cluster"
+            else f"workers={args.workers}"
+        )
         + (f", cache={cache_dir}" if cache_dir else ", cache off")
     )
+
+    def listening(host: str, port: int) -> None:
+        print(
+            f"coordinator listening on {host}:{port} — start workers "
+            f"with: repro cluster worker --connect {host}:{port}",
+            flush=True,
+        )
+
     outcomes = run_campaign(
         scenarios,
         workers=args.workers,
         trace_dir=args.trace_dir,
         cache_dir=cache_dir,
         fail_fast=args.fail_fast,
+        dispatch=dispatch,
+        cluster_host=args.bind,
+        cluster_port=args.port,
+        cluster_min_workers=args.min_workers,
+        on_listening=listening if dispatch == "cluster" else None,
     )
     if args.out:
         save_outcomes(outcomes, args.out)
@@ -176,8 +195,30 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 def _cmd_fleet_report(args: argparse.Namespace) -> int:
     # Streamed, not loaded: iter_outcomes hands the incremental
     # aggregate one outcome at a time, so a sharded campaign JSONL far
-    # larger than memory renders fine.
-    print(render_fleet_report(FleetAggregate(iter_outcomes(args.outcomes))))
+    # larger than memory renders fine.  Tolerant mode: a campaign cut
+    # short (killed worker, crashed run) leaves a partial trailing line
+    # and a count shortfall — report what survived, loudly.
+    stats: dict = {}
+    print(
+        render_fleet_report(
+            FleetAggregate(
+                iter_outcomes(args.outcomes, tolerant=True, stats=stats)
+            )
+        )
+    )
+    if stats.get("skipped_lines"):
+        print(
+            f"warning: skipped {stats['skipped_lines']} undecodable "
+            f"line(s) (truncated save?)",
+            file=sys.stderr,
+        )
+    if stats.get("missing_outcomes"):
+        print(
+            f"warning: file holds {stats['missing_outcomes']} fewer "
+            f"outcome(s) than its header promises — rollup covers the "
+            f"surviving sessions only",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -222,16 +263,38 @@ def _cmd_live(args: argparse.Namespace) -> int:
             flush=True,
         )
 
-    service = LiveRcaService(
-        sources,
-        backpressure=args.backpressure,
-        queue_batches=args.queue_batches,
-        snapshot_every_s=args.snapshot_every,
-        idle_timeout_s=args.idle_timeout,
-        snapshot_path=args.snapshot,
-        on_snapshot=progress if not args.quiet else None,
-    )
-    final = asyncio.run(service.run())
+    async def _serve():
+        forwarder = None
+        sink = None
+        if args.forward:
+            from repro.cluster import DetectionForwarder
+
+            host, port = args.forward
+            forwarder = DetectionForwarder(host, port)
+            await forwarder.start()
+            for source in sources:
+                forwarder.register(
+                    source.session_id, source.profile, source.impairment
+                )
+            sink = forwarder.sink
+        service = LiveRcaService(
+            sources,
+            backpressure=args.backpressure,
+            queue_batches=args.queue_batches,
+            snapshot_every_s=args.snapshot_every,
+            idle_timeout_s=args.idle_timeout,
+            snapshot_path=args.snapshot,
+            on_snapshot=progress if not args.quiet else None,
+            detection_sink=sink,
+            adaptive_advance=args.adaptive_advance,
+        )
+        try:
+            return await service.run()
+        finally:
+            if forwarder is not None:
+                await forwarder.close()
+
+    final = asyncio.run(_serve())
     print()
     print(render_snapshot(final))
     if args.snapshot:
@@ -264,12 +327,73 @@ def _live_specs(args: argparse.Namespace):
     return specs
 
 
+def _parse_address(value: str):
+    """'host:port' → (host, port); argparse-friendly errors."""
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {value!r}"
+        )
+    return host, int(port)
+
+
 def _cmd_watch(args: argparse.Namespace) -> int:
     import json as json_module
     import time
 
     from repro.live.aggregator import FleetSnapshot
-    from repro.live.dashboard import render_snapshot
+    from repro.live.dashboard import SnapshotHistory, render_snapshot, render_trend
+
+    if args.snapshot is None and not args.connect:
+        print(
+            "need a snapshot file or --connect HOST:PORT", file=sys.stderr
+        )
+        return 1
+    history = SnapshotHistory() if args.follow else None
+
+    def show(snapshot: FleetSnapshot) -> None:
+        print(render_snapshot(snapshot))
+        if history is not None:
+            history.add(snapshot)
+            print()
+            print(render_trend(history))
+
+    if args.connect:
+        # Stream SNAPSHOT frames straight off the coordinator socket —
+        # the fleet-wide dashboard with no shared filesystem.
+        import asyncio
+
+        from repro.cluster import iter_snapshots
+
+        host, port = args.connect
+
+        async def _stream() -> None:
+            import asyncio as aio
+
+            while True:
+                try:
+                    async for snapshot in iter_snapshots(host, port):
+                        show(snapshot)
+                        if not args.follow:
+                            return
+                        print()
+                except (ConnectionError, OSError):
+                    pass
+                if not args.follow:
+                    return
+                # Like file-follow mode racing the first write: a
+                # restarting coordinator is something to wait out, not
+                # a reason for an always-on dashboard to exit silently.
+                print(
+                    f"coordinator at {host}:{port} unreachable; "
+                    f"retrying ...",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                await aio.sleep(args.interval)
+
+        asyncio.run(_stream())
+        return 0
 
     while True:
         try:
@@ -288,11 +412,112 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                 continue
             print(f"no snapshot at {args.snapshot}", file=sys.stderr)
             return 1
-        print(render_snapshot(snapshot))
+        show(snapshot)
         if not args.follow:
             return 0
         time.sleep(args.interval)
         print()
+
+
+def _cmd_cluster_coordinator(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.cluster import ClusterCoordinator
+    from repro.fleet.executor import save_outcomes as save
+
+    async def _serve() -> int:
+        coordinator = ClusterCoordinator(
+            args.bind,
+            args.port,
+            heartbeat_s=args.heartbeat,
+            worker_timeout_s=args.worker_timeout,
+            live_backpressure=args.backpressure,
+            snapshot_path=args.snapshot,
+            snapshot_every_s=args.snapshot_every,
+        )
+        await coordinator.start()
+        print(
+            f"coordinator listening on "
+            f"{coordinator.host}:{coordinator.port} — workers join "
+            f"with: repro cluster worker --connect "
+            f"{coordinator.host}:{coordinator.port}",
+            flush=True,
+        )
+        try:
+            if args.preset is None:
+                # Live plane only: fold remote supervisors' detections
+                # (repro live --forward) and serve `repro watch`.
+                print("serving live plane (Ctrl-C to stop)", flush=True)
+                while True:
+                    await asyncio.sleep(3600)
+            matrix = get_preset(args.preset)
+            if args.base_seed is not None:
+                matrix = matrix.with_base_seed(args.base_seed)
+            scenarios = matrix.expand()
+            print(
+                f"campaign {matrix.name}: {len(scenarios)} scenarios; "
+                f"waiting for {args.min_workers} worker(s)",
+                flush=True,
+            )
+            await coordinator.wait_for_workers(args.min_workers)
+
+            def progress(done: int, total: int, requeues: int) -> None:
+                print(
+                    f"[{done}/{total}] outcomes collected"
+                    + (f", {requeues} requeued" if requeues else ""),
+                    flush=True,
+                )
+
+            outcomes = await coordinator.run_campaign(
+                scenarios,
+                trace_dir=args.trace_dir,
+                cache_dir=None if args.no_cache else args.cache_dir,
+                fail_fast=args.fail_fast,
+                on_progress=progress,
+            )
+            if args.out:
+                save(outcomes, args.out)
+                print(f"wrote {args.out}: {len(outcomes)} outcomes")
+            print()
+            # The coordinator folded each outcome as it arrived; render
+            # that incremental aggregate rather than re-scanning.
+            print(render_fleet_report(coordinator.batch_aggregate))
+            return 0
+        finally:
+            await coordinator.close()
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\ncoordinator stopped")
+        return 0
+
+
+def _cmd_cluster_worker(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.cluster import ClusterWorker
+
+    host, port = args.connect
+    worker = ClusterWorker(
+        host,
+        port,
+        slots=args.slots,
+        name=args.name,
+        cache_dir=args.cache_dir,
+        trace_dir=args.trace_dir,
+        connect_timeout_s=args.connect_timeout,
+    )
+    print(
+        f"worker connecting to {host}:{port} ({args.slots} slot(s))",
+        flush=True,
+    )
+    try:
+        asyncio.run(worker.run())
+    except KeyboardInterrupt:
+        pass
+    print(f"worker done: ran {worker.scenarios_run} scenario(s)")
+    return 0
 
 
 def _cmd_codegen(args: argparse.Namespace) -> int:
@@ -373,6 +598,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="cancel queued scenarios as soon as one errors",
     )
+    fleet.add_argument(
+        "--dispatch",
+        default="local",
+        choices=("local", "cluster"),
+        help="run scenarios in-process / process-pool (local) or "
+        "serve them to connected `repro cluster worker` peers",
+    )
+    fleet.add_argument(
+        "--bind",
+        default="127.0.0.1",
+        help="cluster coordinator bind address (dispatch=cluster)",
+    )
+    fleet.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="cluster coordinator port (0 = ephemeral, printed at start)",
+    )
+    fleet.add_argument(
+        "--min-workers",
+        type=_positive_int,
+        default=1,
+        help="wait for this many workers before dispatching",
+    )
     fleet.set_defaults(fn=_cmd_fleet)
 
     fleet_report = sub.add_parser(
@@ -441,17 +690,143 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument(
         "--quiet", action="store_true", help="suppress per-snapshot lines"
     )
+    live.add_argument(
+        "--forward",
+        type=_parse_address,
+        metavar="HOST:PORT",
+        help="also ship every detection batch to a cluster "
+        "coordinator's live plane (fleet-wide `repro watch`)",
+    )
+    live.add_argument(
+        "--adaptive-advance",
+        action="store_true",
+        help="autotune each session's advance interval: back off "
+        "under sustained lag, speed up when idle",
+    )
     live.set_defaults(fn=_cmd_live)
 
     watch = sub.add_parser(
         "watch", help="render a live-service snapshot as a dashboard"
     )
-    watch.add_argument("snapshot", help="snapshot JSON `repro live` wrote")
     watch.add_argument(
-        "--follow", action="store_true", help="keep re-rendering"
+        "snapshot",
+        nargs="?",
+        default=None,
+        help="snapshot JSON `repro live` or a coordinator wrote",
+    )
+    watch.add_argument(
+        "--connect",
+        type=_parse_address,
+        metavar="HOST:PORT",
+        help="stream snapshots from a cluster coordinator instead of "
+        "reading a file",
+    )
+    watch.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep re-rendering, with a per-chain trend sparkline over "
+        "recent snapshots",
     )
     watch.add_argument("--interval", type=float, default=1.0)
     watch.set_defaults(fn=_cmd_watch)
+
+    cluster = sub.add_parser(
+        "cluster", help="multi-host distributed RCA (coordinator/worker)"
+    )
+    csub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    coordinator = csub.add_parser(
+        "coordinator",
+        help="serve workers and live supervisors; optionally run a "
+        "campaign preset",
+    )
+    coordinator.add_argument("--bind", default="127.0.0.1")
+    coordinator.add_argument(
+        "--port",
+        type=int,
+        default=7077,
+        help="listen port (0 = ephemeral, printed at start)",
+    )
+    coordinator.add_argument(
+        "--preset",
+        default=None,
+        choices=sorted(PRESETS),
+        help="run this campaign over connected workers, then exit "
+        "(omit to serve the live plane until Ctrl-C)",
+    )
+    coordinator.add_argument("--base-seed", type=int, default=None)
+    coordinator.add_argument(
+        "--min-workers", type=_positive_int, default=1
+    )
+    coordinator.add_argument(
+        "--out", help="write per-session outcomes JSONL here"
+    )
+    coordinator.add_argument(
+        "--trace-dir",
+        help="ask workers to export telemetry shards (worker-local path)",
+    )
+    coordinator.add_argument(
+        "--cache-dir",
+        default=".fleet-cache",
+        help="ask workers to cache outcomes (worker-local path)",
+    )
+    coordinator.add_argument("--no-cache", action="store_true")
+    coordinator.add_argument("--fail-fast", action="store_true")
+    coordinator.add_argument(
+        "--heartbeat", type=float, default=2.0, help="seconds"
+    )
+    coordinator.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=None,
+        help="declare a silent worker dead after this many seconds "
+        "(default 5x heartbeat) and requeue its scenarios",
+    )
+    coordinator.add_argument(
+        "--backpressure",
+        default="block",
+        choices=("block", "drop_oldest"),
+        help="live-plane ingest policy when the fold queue is full",
+    )
+    coordinator.add_argument(
+        "--snapshot", help="write fleet snapshots here (for `watch`)"
+    )
+    coordinator.add_argument(
+        "--snapshot-every", type=float, default=1.0, help="seconds"
+    )
+    coordinator.set_defaults(fn=_cmd_cluster_coordinator)
+
+    worker = csub.add_parser(
+        "worker", help="run dispatched scenarios for a coordinator"
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        type=_parse_address,
+        metavar="HOST:PORT",
+        help="coordinator address",
+    )
+    worker.add_argument(
+        "--slots",
+        type=_positive_int,
+        default=1,
+        help="concurrent scenarios (process-pool size)",
+    )
+    worker.add_argument("--name", default=None)
+    worker.add_argument(
+        "--cache-dir",
+        default=None,
+        help="override the coordinator's cache dir with a local one",
+    )
+    worker.add_argument(
+        "--trace-dir",
+        default=None,
+        help="override the coordinator's trace dir with a local one",
+    )
+    worker.add_argument(
+        "--connect-timeout", type=float, default=20.0, help="seconds"
+    )
+    worker.set_defaults(fn=_cmd_cluster_worker)
     return parser
 
 

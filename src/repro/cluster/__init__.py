@@ -1,0 +1,57 @@
+"""Multi-host distributed RCA: socket dispatch, central aggregation.
+
+The fleet executor scales to one machine's cores and the live service
+to one process's event loop; this package is the layer above both — an
+asyncio TCP coordinator/worker subsystem speaking a small
+length-prefixed JSON frame protocol:
+
+* :mod:`repro.cluster.protocol` — the frame codec (HELLO / HEARTBEAT /
+  DISPATCH / OUTCOME / DETECTION / SNAPSHOT / BYE, versioned) plus the
+  JSON codecs for the dataclasses that cross the wire.
+* :mod:`repro.cluster.coordinator` — :class:`ClusterCoordinator`, one
+  listener serving two planes: a batch scenario-dispatch queue feeding
+  connected workers (with heartbeat liveness and crash requeue), and a
+  live plane folding remote supervisors' detections into a central
+  :class:`~repro.live.aggregator.LiveAggregator`.
+* :mod:`repro.cluster.worker` — :class:`ClusterWorker`, running each
+  dispatched scenario on the same process-pool executor local
+  campaigns use and answering with OUTCOME frames.
+* :mod:`repro.cluster.client` — :class:`DetectionForwarder` (plug a
+  local live service's detections into a remote coordinator) and
+  :func:`iter_snapshots` (subscribe to the coordinator's fleet
+  snapshots).
+
+Exposed as ``run_campaign(..., dispatch="cluster")`` for API-compatible
+campaigns (byte-identical to local execution) and on the CLI as
+``repro cluster coordinator`` / ``repro cluster worker``.
+"""
+
+from repro.cluster.client import DetectionForwarder, iter_snapshots
+from repro.cluster.coordinator import ClusterCoordinator, run_cluster_campaign
+from repro.cluster.protocol import (
+    FRAME_TYPES,
+    Frame,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    send_frame,
+)
+from repro.cluster.worker import ClusterWorker
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterWorker",
+    "DetectionForwarder",
+    "FRAME_TYPES",
+    "Frame",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "decode_frame",
+    "encode_frame",
+    "iter_snapshots",
+    "read_frame",
+    "run_cluster_campaign",
+    "send_frame",
+]

@@ -1,0 +1,242 @@
+"""Client-side cluster helpers: forward detections, watch snapshots.
+
+:class:`DetectionForwarder` bridges the local live service to a remote
+coordinator's live plane.  Its :meth:`sink` matches the
+:data:`~repro.live.supervisor.DetectionSink` signature exactly, so a
+:class:`~repro.live.service.LiveRcaService` (or a bare supervisor) can
+hand every completed detection batch to the forwarder *in addition to*
+its local aggregator — making ``repro watch`` on the coordinator a
+fleet-wide dashboard spanning hosts.  The sink never blocks the
+detector loop: frames go onto a bounded queue drained by a background
+sender, and when the queue is full the oldest frame is shed and its
+records counted in :attr:`lag_events` — the same drop-oldest semantics
+the live service's own backpressure uses.
+
+:func:`iter_snapshots` is the other direction: subscribe to a
+coordinator as a ``watch`` peer and yield each pushed
+:class:`~repro.live.aggregator.FleetSnapshot` (``repro watch
+--connect``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import AsyncIterator, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.detector import WindowDetection
+from repro.errors import ClusterError
+from repro.live.aggregator import FleetSnapshot
+from repro.cluster import protocol
+from repro.cluster.protocol import (
+    BYE,
+    DETECTION,
+    HEARTBEAT,
+    HELLO,
+    PROTOCOL_VERSION,
+    ROLE_LIVE,
+    ROLE_WATCH,
+    SNAPSHOT,
+    check_hello,
+    read_frame,
+    send_frame,
+)
+
+
+class DetectionForwarder:
+    """Ship (session_id, detections, chains, watermark) to a coordinator.
+
+    Args:
+        host / port: coordinator address.
+        queue_frames: bound of the outgoing frame queue; a slow or
+            distant coordinator sheds oldest frames past this depth.
+        heartbeat_s: keepalive interval while idle.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        queue_frames: int = 256,
+        heartbeat_s: float = 2.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.heartbeat_s = heartbeat_s
+        #: Detection records shed because the send queue was full.
+        self.lag_events = 0
+        self._meta: Dict[str, Tuple[str, str]] = {}
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_frames)
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._sender: Optional[asyncio.Task] = None
+        self._heartbeat: Optional[asyncio.Task] = None
+
+    async def start(self) -> "DetectionForwarder":
+        """Connect and handshake as a live-plane peer."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        self._writer = writer
+        await send_frame(
+            writer,
+            HELLO,
+            {"version": PROTOCOL_VERSION, "role": ROLE_LIVE},
+        )
+        reply = await read_frame(reader)
+        if reply is not None and reply.type == BYE:
+            raise ClusterError(
+                f"coordinator refused handshake: "
+                f"{reply.payload.get('reason', 'no reason given')}"
+            )
+        hello = check_hello(reply, expect_role=False)
+        advertised = hello.get("heartbeat_s")
+        if isinstance(advertised, (int, float)) and advertised > 0:
+            self.heartbeat_s = min(self.heartbeat_s, float(advertised))
+        self._sender = asyncio.create_task(self._send_loop())
+        self._heartbeat = asyncio.create_task(self._heartbeat_loop())
+        return self
+
+    def register(
+        self, session_id: str, profile: str = "", impairment: str = "none"
+    ) -> None:
+        """Attach rollup labels to a session's future frames."""
+        self._meta[session_id] = (profile, impairment)
+
+    def sink(
+        self,
+        session_id: str,
+        detections: Sequence[WindowDetection],
+        chains: Sequence[Tuple[str, ...]],
+        watermark_us: int,
+    ) -> None:
+        """DetectionSink-compatible enqueue (synchronous, never blocks)."""
+        profile, impairment = self._meta.get(session_id, ("", "none"))
+        payload = {
+            "session_id": session_id,
+            "profile": profile,
+            "impairment": impairment,
+            "detections": protocol.detections_to_json(detections),
+            "chains": protocol.chains_to_json(chains),
+            "watermark_us": watermark_us,
+        }
+        while True:
+            try:
+                self._queue.put_nowait(payload)
+                return
+            except asyncio.QueueFull:
+                dropped = self._queue.get_nowait()
+                if dropped is None:
+                    # close() already queued the shutdown sentinel;
+                    # restore it (room exists: we just popped) and shed
+                    # this late frame instead.
+                    self._queue.put_nowait(None)
+                    self.lag_events += len(payload["detections"])
+                    return
+                self.lag_events += len(dropped.get("detections", ()))
+
+    async def _send_loop(self) -> None:
+        while True:
+            payload = await self._queue.get()
+            if payload is None:
+                return
+            try:
+                await send_frame(self._writer, DETECTION, payload)
+            except Exception:
+                # Coordinator gone, or an unsendable frame (e.g. a
+                # batch over MAX_FRAME_BYTES): forwarding stops, the
+                # local service keeps running and sheds into lag_events.
+                return
+
+    async def _heartbeat_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.heartbeat_s)
+            try:
+                await send_frame(self._writer, HEARTBEAT, {"t": loop.time()})
+            except (ConnectionError, OSError):
+                return
+
+    async def close(self) -> None:
+        """Flush queued frames, say BYE, and disconnect.
+
+        Never blocks indefinitely: if the coordinator died (the sender
+        already returned) or is wedged mid-send, the sentinel is
+        shed-put rather than awaited and the sender is cancelled after
+        a bounded drain.
+        """
+        if self._sender is not None:
+            if not self._sender.done():
+                try:
+                    self._queue.put_nowait(None)  # sentinel: drain, stop
+                except asyncio.QueueFull:
+                    # Dead/slow consumer with a full queue: make room
+                    # (single-threaded, so the slot cannot be stolen
+                    # before the next put).
+                    dropped = self._queue.get_nowait()
+                    if dropped is not None:
+                        self.lag_events += len(
+                            dropped.get("detections", ())
+                        )
+                    self._queue.put_nowait(None)
+            try:
+                await asyncio.wait_for(self._sender, timeout=10.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                pass  # wait_for cancelled the wedged sender
+            except Exception:
+                pass  # the sender's stored failure; close() stays quiet
+            self._sender = None
+        if self._heartbeat is not None:
+            self._heartbeat.cancel()
+            try:
+                await self._heartbeat
+            except asyncio.CancelledError:
+                pass
+            self._heartbeat = None
+        if self._writer is not None:
+            try:
+                await send_frame(self._writer, BYE, {"reason": "done"})
+            except (ConnectionError, OSError):
+                pass
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+
+
+async def iter_snapshots(
+    host: str, port: int
+) -> AsyncIterator[FleetSnapshot]:
+    """Subscribe to a coordinator's snapshot stream (``watch`` role).
+
+    Yields each pushed fleet snapshot until the coordinator closes the
+    connection.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await send_frame(
+            writer,
+            HELLO,
+            {"version": PROTOCOL_VERSION, "role": ROLE_WATCH},
+        )
+        reply = await read_frame(reader)
+        if reply is not None and reply.type == BYE:
+            raise ClusterError(
+                f"coordinator refused handshake: "
+                f"{reply.payload.get('reason', 'no reason given')}"
+            )
+        check_hello(reply, expect_role=False)
+        while True:
+            frame = await read_frame(reader)
+            if frame is None or frame.type == BYE:
+                return
+            if frame.type == SNAPSHOT:
+                yield FleetSnapshot.from_json(frame.payload["snapshot"])
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+__all__ = ["DetectionForwarder", "iter_snapshots"]

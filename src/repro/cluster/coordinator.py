@@ -1,0 +1,837 @@
+"""The cluster coordinator: one listener, two planes.
+
+:class:`ClusterCoordinator` is the central analysis plane of a
+multi-host deployment.  A single asyncio TCP listener serves both kinds
+of peer the protocol knows:
+
+* **batch plane** — :class:`~repro.cluster.worker.ClusterWorker` peers
+  announce slots; the coordinator pushes queued
+  :class:`~repro.fleet.scenarios.ScenarioSpec` dispatches at them and
+  folds the returned :class:`~repro.fleet.executor.SessionOutcome`
+  records into an incremental
+  :class:`~repro.fleet.aggregate.FleetAggregate`.  Outcomes are indexed
+  by scenario position, so the finished campaign is returned in
+  scenario order and — because every scenario is a deterministic
+  function of its spec — byte-identical to local execution.
+* **live plane** — remote supervisors (via
+  :class:`~repro.cluster.client.DetectionForwarder`) stream
+  ``(session_id, detections, chains, watermark)`` frames that fold into
+  one central :class:`~repro.live.aggregator.LiveAggregator`; periodic
+  :class:`~repro.live.aggregator.FleetSnapshot` rollups are written for
+  ``repro watch`` and pushed to ``watch``-role connections.
+
+Fault model: a worker that disconnects or stops heartbeating has its
+in-flight scenarios requeued (front of the queue, excluding the dead
+worker), so a killed worker costs latency, never outcomes.  A worker
+that later turns out merely slow can still deliver; duplicate outcomes
+are idempotent because outcomes are deterministic.  Live-plane ingest
+runs behind a bounded queue with the live service's backpressure
+semantics: ``block`` pauses the socket reader (TCP backpressure all the
+way to the remote supervisor), ``drop_oldest`` sheds the oldest batch
+and counts its records as lag.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import os
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set
+
+from repro.core.detector import DetectorConfig
+from repro.errors import ClusterError, ClusterProtocolError
+from repro.fleet.aggregate import FleetAggregate
+from repro.fleet.executor import SessionOutcome
+from repro.fleet.scenarios import ScenarioSpec
+from repro.live.aggregator import FleetSnapshot, LiveAggregator
+from repro.live.supervisor import RUNNING, SessionSnapshot
+from repro.cluster import protocol
+from repro.cluster.protocol import (
+    BYE,
+    DETECTION,
+    DISPATCH,
+    HEARTBEAT,
+    HELLO,
+    OUTCOME,
+    PROTOCOL_VERSION,
+    ROLE_LIVE,
+    ROLE_WATCH,
+    ROLE_WORKER,
+    SNAPSHOT,
+    check_hello,
+    read_frame,
+    send_frame,
+)
+
+#: on_progress(done, total, requeues) after every recorded outcome.
+ProgressCallback = Callable[[int, int, int], None]
+
+
+class _WorkerConn:
+    """Coordinator-side state for one connected worker."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        name: str,
+        slots: int,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.worker_id = worker_id
+        self.name = name
+        self.slots = max(1, slots)
+        self.writer = writer
+        self.in_flight: Set[int] = set()
+        self.last_seen = 0.0
+        self.closed = False
+        self.send_lock = asyncio.Lock()
+
+    async def send(self, frame_type: str, payload: dict) -> None:
+        async with self.send_lock:
+            await send_frame(self.writer, frame_type, payload)
+
+
+class _Campaign:
+    """One in-progress distributed campaign."""
+
+    def __init__(
+        self,
+        scenarios: Sequence[ScenarioSpec],
+        trace_dir: Optional[str],
+        cache_dir: Optional[str],
+        fail_fast: bool,
+        epoch: int,
+    ) -> None:
+        #: Monotonic campaign id; DISPATCH/OUTCOME frames echo it so a
+        #: late outcome from a previous campaign can never be recorded
+        #: into the current one at the same index.
+        self.epoch = epoch
+        self.scenarios = list(scenarios)
+        self.trace_dir = trace_dir
+        self.cache_dir = cache_dir
+        self.fail_fast = fail_fast
+        self.pending: Deque[int] = deque(range(len(self.scenarios)))
+        #: scenario index → worker ids it must not be dispatched to
+        #: (workers that died while running it).
+        self.excluded: Dict[int, Set[int]] = {}
+        self.outcomes: List[Optional[SessionOutcome]] = [None] * len(
+            self.scenarios
+        )
+        self.errors: Dict[int, str] = {}
+        #: Indices ever requeued — only these can have a duplicate copy
+        #: sitting in pending when an outcome arrives, so only these
+        #: pay the O(pending) deque removal.
+        self.requeued: Set[int] = set()
+        self.n_done = 0
+        self.requeues = 0
+        self.done = asyncio.Event()
+
+    def settled(self, index: int) -> bool:
+        return self.outcomes[index] is not None or index in self.errors
+
+
+class ClusterCoordinator:
+    """Serve workers and live supervisors; aggregate centrally.
+
+    Args:
+        host / port: listen address (``port=0`` binds an ephemeral port,
+            readable from :attr:`port` after :meth:`start`).
+        detector_config: Domino configuration shipped with every
+            dispatch so all workers analyze identically.
+        heartbeat_s: keepalive interval advertised to peers.
+        worker_timeout_s: declare a worker dead after this long without
+            any frame (default ``5 × heartbeat_s``) and requeue its
+            in-flight scenarios.
+        live_queue_frames: bound of the live-plane ingest queue.
+        live_backpressure: ``"block"`` or ``"drop_oldest"`` (the live
+            service's bounded-queue semantics; see module docstring).
+        snapshot_path: write each periodic fleet snapshot there
+            (atomically) for ``repro watch``.
+        snapshot_every_s: snapshot/watch push interval.
+        on_snapshot: callback invoked with each periodic snapshot.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        detector_config: Optional[DetectorConfig] = None,
+        heartbeat_s: float = 2.0,
+        worker_timeout_s: Optional[float] = None,
+        live_queue_frames: int = 256,
+        live_backpressure: str = "block",
+        snapshot_path: Optional[str] = None,
+        snapshot_every_s: float = 1.0,
+        on_snapshot: Optional[Callable[[FleetSnapshot], None]] = None,
+    ) -> None:
+        if live_backpressure not in ("block", "drop_oldest"):
+            raise ValueError(
+                "live_backpressure must be 'block' or 'drop_oldest', "
+                f"not {live_backpressure!r}"
+            )
+        self.host = host
+        self.port = port
+        self.detector_config = detector_config
+        self.heartbeat_s = heartbeat_s
+        self.worker_timeout_s = (
+            worker_timeout_s
+            if worker_timeout_s is not None
+            else heartbeat_s * 5.0
+        )
+        self.live_backpressure = live_backpressure
+        self.snapshot_path = snapshot_path
+        self.snapshot_every_s = snapshot_every_s
+        self.on_snapshot = on_snapshot
+
+        #: Central rollups: batch campaign outcomes and live detections.
+        self.batch_aggregate = FleetAggregate()
+        self.live = LiveAggregator()
+        #: Live-plane records shed by drop_oldest backpressure.
+        self.lag_events = 0
+        #: Total scenario requeues caused by dead workers (all campaigns).
+        self.requeues = 0
+
+        self._workers: Dict[int, _WorkerConn] = {}
+        self._worker_ids = itertools.count()
+        self._worker_joined = asyncio.Condition()
+        self._work_available = asyncio.Condition()
+        self._campaign: Optional[_Campaign] = None
+        self._campaign_epochs = 0
+        self._on_progress: Optional[ProgressCallback] = None
+        self._live_queue: asyncio.Queue = asyncio.Queue(
+            maxsize=live_queue_frames
+        )
+        self._live_seen: Set[str] = set()
+        #: session_id → loop time its first frame folded, so dashboard
+        #: realtime factors reflect each session's own forwarding span
+        #: rather than coordinator uptime.
+        self._live_started: Dict[str, float] = {}
+        self._watchers: List[asyncio.StreamWriter] = []
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._tasks: List[asyncio.Task] = []
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._seq = 0
+        self._started_at: Optional[float] = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    async def start(self) -> "ClusterCoordinator":
+        """Bind the listener and start background tasks."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        loop = asyncio.get_running_loop()
+        self._started_at = loop.time()
+        self._tasks = [
+            asyncio.create_task(self._watchdog(), name="cluster:watchdog"),
+            asyncio.create_task(self._fold_live(), name="cluster:live-fold"),
+            asyncio.create_task(
+                self._snapshot_loop(), name="cluster:snapshots"
+            ),
+        ]
+        return self
+
+    async def close(self) -> None:
+        """Stop serving: close the listener and every connection."""
+        for task in self._tasks:
+            task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        await asyncio.gather(
+            *self._tasks, *self._conn_tasks, return_exceptions=True
+        )
+        self._tasks = []
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def worker_names(self) -> List[str]:
+        return [w.name for w in self._workers.values()]
+
+    async def wait_for_workers(
+        self, count: int, timeout_s: Optional[float] = None
+    ) -> None:
+        """Block until at least *count* workers are connected."""
+
+        async def _wait() -> None:
+            async with self._worker_joined:
+                await self._worker_joined.wait_for(
+                    lambda: len(self._workers) >= count
+                )
+
+        await asyncio.wait_for(_wait(), timeout_s)
+
+    # -- campaign API (batch plane) ---------------------------------------------
+
+    async def run_campaign(
+        self,
+        scenarios: Sequence[ScenarioSpec],
+        *,
+        trace_dir: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        fail_fast: bool = False,
+        on_progress: Optional[ProgressCallback] = None,
+    ) -> List[SessionOutcome]:
+        """Dispatch *scenarios* to connected workers; gather outcomes.
+
+        Returns outcomes in scenario order (byte-identical to a local
+        :func:`~repro.fleet.executor.run_campaign`).  Raises
+        :class:`ClusterError` carrying the first failing scenario's
+        error (in scenario order); ``fail_fast`` stops dispatching new
+        scenarios at the first failure instead of finishing the rest.
+        Dispatch waits for workers — a campaign submitted before any
+        worker connects simply idles until one joins.
+        """
+        if self._campaign is not None:
+            raise ClusterError("a campaign is already running")
+        if not scenarios:
+            return []
+        self._campaign_epochs += 1
+        campaign = _Campaign(
+            scenarios, trace_dir, cache_dir, fail_fast,
+            epoch=self._campaign_epochs,
+        )
+        self._campaign = campaign
+        self._on_progress = on_progress
+        self.batch_aggregate = FleetAggregate()  # rollup of THIS campaign
+        async with self._work_available:
+            self._work_available.notify_all()
+        try:
+            await campaign.done.wait()
+        finally:
+            self._campaign = None
+            self._on_progress = None
+            # Scenarios still on workers belong to the finished epoch
+            # (fail_fast, or a duplicate settled first); their OUTCOME
+            # frames will be ignored by the epoch check, so free the
+            # slots now for the next campaign.
+            async with self._work_available:
+                for worker in self._workers.values():
+                    worker.in_flight.clear()
+                self._work_available.notify_all()
+        if campaign.errors:
+            index = min(campaign.errors)
+            raise ClusterError(
+                f"scenario {campaign.scenarios[index].name!r} failed: "
+                f"{campaign.errors[index]}"
+            )
+        for outcome in campaign.outcomes:
+            if outcome is not None:
+                self.batch_aggregate.update(outcome)
+        return [outcome for outcome in campaign.outcomes if outcome]
+
+    # -- connection handling ----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            try:
+                hello = check_hello(
+                    await read_frame(reader), expect_role=True
+                )
+            except ClusterProtocolError as exc:
+                # Tell well-formed-but-incompatible peers why; a peer
+                # not speaking the protocol at all may not parse it.
+                try:
+                    await send_frame(writer, BYE, {"reason": str(exc)})
+                except (ConnectionError, ClusterProtocolError):
+                    pass
+                return
+            await send_frame(
+                writer,
+                HELLO,
+                {
+                    "version": PROTOCOL_VERSION,
+                    "server": "repro-cluster",
+                    "heartbeat_s": self.heartbeat_s,
+                },
+            )
+            role = hello["role"]
+            if role == ROLE_WORKER:
+                await self._serve_worker(reader, writer, hello)
+            elif role == ROLE_LIVE:
+                await self._serve_live(reader, writer)
+            elif role == ROLE_WATCH:
+                await self._serve_watch(reader, writer)
+        except (
+            ConnectionError,
+            ClusterProtocolError,
+            asyncio.IncompleteReadError,
+        ):
+            pass  # peer vanished or spoke garbage; its state is cleaned up
+        except asyncio.CancelledError:
+            pass  # coordinator shutting down; swallowing ends the task
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+
+    # -- batch plane: workers ---------------------------------------------------
+
+    async def _serve_worker(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        hello: dict,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        worker_id = next(self._worker_ids)
+        try:
+            slots = int(hello.get("slots", 1))
+        except (TypeError, ValueError):
+            raise ClusterProtocolError(
+                f"malformed HELLO slots {hello.get('slots')!r}"
+            )
+        worker = _WorkerConn(
+            worker_id,
+            name=str(hello.get("name") or f"worker-{worker_id}"),
+            slots=slots,
+            writer=writer,
+        )
+        worker.last_seen = loop.time()
+        self._workers[worker_id] = worker
+        async with self._worker_joined:
+            self._worker_joined.notify_all()
+        dispatcher = asyncio.create_task(
+            self._dispatch_loop(worker), name=f"cluster:dispatch:{worker_id}"
+        )
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None or frame.type == BYE:
+                    break
+                worker.last_seen = loop.time()
+                if frame.type == OUTCOME:
+                    await self._record_outcome(worker, frame.payload)
+                elif frame.type == HEARTBEAT:
+                    continue
+                else:
+                    raise ClusterProtocolError(
+                        f"unexpected {frame.type} frame from worker"
+                    )
+        finally:
+            dispatcher.cancel()
+            # return_exceptions: the dispatcher may already have died
+            # with a ConnectionError (send to a reset socket) — that
+            # must not short-circuit past the requeue below.
+            await asyncio.gather(dispatcher, return_exceptions=True)
+            await self._drop_worker(worker)
+
+    async def _dispatch_loop(self, worker: _WorkerConn) -> None:
+        """Push queued scenarios at one worker while it has free slots."""
+        while True:
+            async with self._work_available:
+                index = None
+                while index is None:
+                    if worker.closed:
+                        return
+                    if self._claim_ready(worker):
+                        index = self._claim(worker)
+                        if index is not None:
+                            break
+                    # No claimable work (idle, slots full, or every
+                    # pending scenario excludes this worker): block
+                    # until the next state change rather than re-spin.
+                    await self._work_available.wait()
+                campaign = self._campaign
+            if campaign is None:
+                continue
+            spec = campaign.scenarios[index]
+            await worker.send(
+                DISPATCH,
+                {
+                    "campaign": campaign.epoch,
+                    "index": index,
+                    "spec": protocol.spec_to_json(spec),
+                    "detector_config": protocol.detector_config_to_json(
+                        self.detector_config
+                    ),
+                    "trace_dir": campaign.trace_dir,
+                    "cache_dir": campaign.cache_dir,
+                },
+            )
+
+    def _claim_ready(self, worker: _WorkerConn) -> bool:
+        """O(1) pre-check; exclusion filtering is _claim's job.
+
+        Kept constant-time deliberately: every recorded outcome wakes
+        every dispatcher, so scanning the pending deque here would be
+        O(workers x scenarios) per outcome.  The rare false positive
+        (all pending scenarios exclude this worker) just makes _claim
+        return None and the dispatcher block again.
+        """
+        campaign = self._campaign
+        return (
+            campaign is not None
+            and len(worker.in_flight) < worker.slots
+            and bool(campaign.pending)
+        )
+
+    def _claim(self, worker: _WorkerConn) -> Optional[int]:
+        """Pop the first pending scenario this worker may run."""
+        campaign = self._campaign
+        if campaign is None:
+            return None
+        for _ in range(len(campaign.pending)):
+            index = campaign.pending.popleft()
+            if worker.worker_id in campaign.excluded.get(index, ()):
+                campaign.pending.append(index)
+                continue
+            worker.in_flight.add(index)
+            return index
+        return None
+
+    async def _record_outcome(
+        self, worker: _WorkerConn, payload: dict
+    ) -> None:
+        campaign = self._campaign
+        index = payload.get("index")
+        frame_epoch = payload.get("campaign")
+        if campaign is None:
+            return  # no campaign running; a stale straggler
+        if frame_epoch != campaign.epoch:
+            if isinstance(frame_epoch, int) and 0 < frame_epoch < campaign.epoch:
+                # A leftover from a previous campaign (fail_fast
+                # abandon, or a duplicate settled first): its index may
+                # collide with the current campaign's numbering, so
+                # touch nothing.
+                return
+            # Not a known past campaign: the worker is confused, and
+            # silently ignoring would wedge its in-flight scenario.
+            # Raising drops the worker and requeues that scenario.
+            raise ClusterProtocolError(
+                f"OUTCOME for unknown campaign {frame_epoch!r} "
+                f"(current epoch {campaign.epoch})"
+            )
+        error = payload.get("error")
+        outcome = None
+        if error is None:
+            # Parse before touching any dispatch state: a malformed
+            # frame raises here, the serve loop drops the worker, and
+            # the still-in-flight scenario gets requeued — not lost.
+            try:
+                outcome = SessionOutcome.from_json(payload["outcome"])
+            except (KeyError, TypeError) as exc:
+                raise ClusterProtocolError(f"malformed OUTCOME frame: {exc}")
+        worker.in_flight.discard(index)
+        async with self._work_available:
+            self._work_available.notify_all()  # a slot freed up
+        if (
+            not isinstance(index, int)
+            or not 0 <= index < len(campaign.scenarios)
+            or campaign.settled(index)
+        ):
+            return  # late duplicate from a worker we declared dead
+        # Only a requeued index can have a duplicate copy sitting in
+        # pending (outcomes are deterministic, so whichever worker
+        # answered first settles it); gating on the set keeps outcome
+        # recording O(1) instead of an O(pending) scan per outcome.
+        if index in campaign.requeued:
+            try:
+                campaign.pending.remove(index)
+            except ValueError:
+                pass
+        if error is not None:
+            campaign.errors[index] = str(error)
+            if campaign.fail_fast:
+                campaign.pending.clear()
+                campaign.done.set()
+        else:
+            campaign.outcomes[index] = outcome
+        campaign.n_done += 1
+        if self._on_progress is not None:
+            self._on_progress(
+                campaign.n_done, len(campaign.scenarios), campaign.requeues
+            )
+        if campaign.n_done == len(campaign.scenarios):
+            campaign.done.set()
+
+    async def _drop_worker(self, worker: _WorkerConn) -> None:
+        """Unregister a worker; requeue whatever it was running."""
+        worker.closed = True
+        self._workers.pop(worker.worker_id, None)
+        campaign = self._campaign
+        async with self._work_available:
+            if campaign is not None and worker.in_flight:
+                # Front of the queue: a crashed worker's scenarios are
+                # the oldest work in flight, finish them first.
+                for index in sorted(worker.in_flight, reverse=True):
+                    if campaign.settled(index):
+                        continue
+                    campaign.excluded.setdefault(index, set()).add(
+                        worker.worker_id
+                    )
+                    campaign.pending.appendleft(index)
+                    campaign.requeued.add(index)
+                    campaign.requeues += 1
+                    self.requeues += 1
+            worker.in_flight.clear()
+            self._work_available.notify_all()
+
+    async def _watchdog(self) -> None:
+        """Heartbeat workers; declare silent ones dead."""
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.heartbeat_s)
+            now = loop.time()
+            for worker in list(self._workers.values()):
+                if now - worker.last_seen > self.worker_timeout_s:
+                    # Abort the transport: the serve loop's read fails,
+                    # which funnels into _drop_worker and the requeue.
+                    worker.writer.transport.abort()
+                    continue
+                # Bounded send: a wedged peer whose socket buffer is
+                # full must not stall liveness checks for every other
+                # worker.
+                try:
+                    await asyncio.wait_for(
+                        worker.send(HEARTBEAT, {"t": now}),
+                        timeout=self.heartbeat_s,
+                    )
+                except (
+                    asyncio.TimeoutError,
+                    ConnectionError,
+                    ClusterProtocolError,
+                    OSError,
+                ):
+                    worker.writer.transport.abort()
+
+    # -- live plane: remote supervisors and watchers ----------------------------
+
+    async def _serve_live(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            frame = await read_frame(reader)
+            if frame is None or frame.type == BYE:
+                return
+            if frame.type == HEARTBEAT:
+                continue
+            if frame.type != DETECTION:
+                raise ClusterProtocolError(
+                    f"unexpected {frame.type} frame from live supervisor"
+                )
+            if self.live_backpressure == "block":
+                # Pausing this reader applies TCP backpressure all the
+                # way back to the remote supervisor's forwarder queue.
+                await self._live_queue.put(frame.payload)
+            else:
+                while True:
+                    try:
+                        self._live_queue.put_nowait(frame.payload)
+                        break
+                    except asyncio.QueueFull:
+                        dropped = self._live_queue.get_nowait()
+                        self.lag_events += len(
+                            dropped.get("detections", ())
+                        )
+
+    async def _fold_live(self) -> None:
+        """Single consumer folding live-plane frames into the rollups."""
+        while True:
+            payload = await self._live_queue.get()
+            # Broad except around the whole fold: this task lives for
+            # the coordinator's lifetime, and a peer's malformed frame
+            # (bad watermark type, unfoldable detection fields, ...)
+            # must cost that one frame, never the live plane.
+            try:
+                session_id = str(payload["session_id"])
+                detections = protocol.detections_from_json(
+                    payload.get("detections", ())
+                )
+                chains = protocol.chains_from_json(payload.get("chains", ()))
+                watermark = payload.get("watermark_us")
+                if watermark is not None:
+                    watermark = int(watermark)
+                if session_id not in self._live_seen:
+                    self._live_seen.add(session_id)
+                    self._live_started[session_id] = (
+                        asyncio.get_running_loop().time()
+                    )
+                    self.live.register(
+                        session_id,
+                        profile=str(payload.get("profile", "")),
+                        impairment=str(payload.get("impairment", "none")),
+                    )
+                self.live.update(session_id, detections, chains, watermark)
+            except Exception:
+                continue
+
+    async def _serve_watch(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await send_frame(
+            writer, SNAPSHOT, {"snapshot": self.live_snapshot().to_json()}
+        )
+        self._watchers.append(writer)
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None or frame.type == BYE:
+                    return
+        finally:
+            if writer in self._watchers:
+                self._watchers.remove(writer)
+
+    def live_snapshot(self) -> FleetSnapshot:
+        """Fleet-wide rollup of everything the live plane has folded."""
+        try:
+            now = asyncio.get_running_loop().time()
+        except RuntimeError:
+            now = self._started_at or 0.0
+        wall_s = max(
+            now - (self._started_at if self._started_at is not None else now),
+            1e-9,
+        )
+        outcomes = self.live.session_outcomes()
+        fleet = self.live.fleet()
+        sessions = [
+            SessionSnapshot(
+                session_id=outcome.scenario,
+                profile=outcome.profile,
+                impairment=outcome.impairment,
+                state=RUNNING,  # remote: liveness is the supervisor's call
+                watermark_s=outcome.duration_s,
+                wall_s=(
+                    session_wall := max(
+                        now - self._live_started.get(outcome.scenario, now),
+                        1e-9,
+                    )
+                ),
+                realtime_factor=outcome.duration_s / session_wall,
+                lag_events=0,
+                queue_depth=0,
+                buffered_records=0,
+                pending_records=0,
+                eviction_watermark_s=0.0,
+                windows=outcome.n_windows,
+                detected_windows=outcome.n_detected_windows,
+            )
+            for outcome in outcomes
+        ]
+        self._seq += 1
+        return FleetSnapshot(
+            seq=self._seq,
+            wall_s=wall_s,
+            n_sessions=len(sessions),
+            n_running=len(sessions),
+            n_done=0,
+            n_evicted=0,
+            n_failed=0,
+            total_minutes=self.live.total_minutes,
+            windows=sum(s.windows for s in sessions),
+            detected_windows=sum(s.detected_windows for s in sessions),
+            lag_events=self.lag_events,
+            degradation_events_per_min=(
+                self.live.degradation_events_per_min
+            ),
+            top_chains=fleet.top_chains(),
+            cause_rates=fleet.fleet_cause_rates(),
+            consequence_rates=fleet.fleet_consequence_rates(),
+            chain_totals=fleet.fleet_chain_totals(),
+            sessions=sessions,
+        )
+
+    async def _snapshot_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.snapshot_every_s)
+            if not (
+                self.snapshot_path or self.on_snapshot or self._watchers
+            ):
+                continue
+            snapshot = self.live_snapshot()
+            if self.snapshot_path:
+                tmp = f"{self.snapshot_path}.tmp.{os.getpid()}"
+                with open(tmp, "w") as handle:
+                    json.dump(snapshot.to_json(), handle)
+                os.replace(tmp, self.snapshot_path)
+            if self.on_snapshot is not None:
+                self.on_snapshot(snapshot)
+            payload = {"snapshot": snapshot.to_json()}
+            for writer in list(self._watchers):
+                # Bounded like the watchdog's sends: a stopped watcher
+                # must not stall snapshot delivery to everyone else.
+                try:
+                    await asyncio.wait_for(
+                        send_frame(writer, SNAPSHOT, payload),
+                        timeout=self.snapshot_every_s,
+                    )
+                except (
+                    asyncio.TimeoutError,
+                    ConnectionError,
+                    ClusterProtocolError,
+                    OSError,
+                ):
+                    writer.transport.abort()
+                    if writer in self._watchers:
+                        self._watchers.remove(writer)
+
+
+def run_cluster_campaign(
+    scenarios: Sequence[ScenarioSpec],
+    *,
+    detector_config: Optional[DetectorConfig] = None,
+    trace_dir: Optional[str] = None,
+    cache_dir: Optional[str] = None,
+    fail_fast: bool = False,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    min_workers: int = 1,
+    worker_wait_s: Optional[float] = None,
+    on_listening: Optional[Callable[[str, int], None]] = None,
+    on_progress: Optional[ProgressCallback] = None,
+) -> List[SessionOutcome]:
+    """Synchronous one-shot coordinator: serve one campaign, then stop.
+
+    This is the engine behind
+    ``run_campaign(..., dispatch="cluster")``: bind, wait for
+    *min_workers* :class:`~repro.cluster.worker.ClusterWorker` peers
+    (forever by default; *worker_wait_s* bounds it), dispatch every
+    scenario, and return outcomes in scenario order.  *on_listening*
+    fires with the bound ``(host, port)`` so callers can advertise an
+    ephemeral port to workers.
+    """
+
+    async def _run() -> List[SessionOutcome]:
+        coordinator = ClusterCoordinator(
+            host, port, detector_config=detector_config
+        )
+        await coordinator.start()
+        try:
+            if on_listening is not None:
+                on_listening(coordinator.host, coordinator.port)
+            if min_workers > 0:
+                await coordinator.wait_for_workers(
+                    min_workers, timeout_s=worker_wait_s
+                )
+            return await coordinator.run_campaign(
+                scenarios,
+                trace_dir=trace_dir,
+                cache_dir=cache_dir,
+                fail_fast=fail_fast,
+                on_progress=on_progress,
+            )
+        finally:
+            await coordinator.close()
+
+    return asyncio.run(_run())
+
+
+__all__ = ["ClusterCoordinator", "run_cluster_campaign"]

@@ -1,0 +1,278 @@
+"""Wire protocol of the cluster: length-prefixed JSON frames.
+
+Every message between a :class:`~repro.cluster.coordinator.ClusterCoordinator`
+and its peers is one *frame*: a 4-byte big-endian payload length followed
+by a UTF-8 JSON object ``{"type": <frame type>, "payload": {...}}``.
+JSON keeps the protocol debuggable with ``nc``/``tcpdump`` and — because
+Python's ``json`` round-trips floats through ``repr`` — preserves every
+float bit-exactly, which is what lets a cluster campaign stay
+byte-identical to local execution.
+
+Frame types (see the coordinator/worker/client modules for sequencing):
+
+* ``HELLO`` — handshake, first frame in both directions.  Carries the
+  protocol version and the peer's role (``worker`` / ``live`` /
+  ``watch``); a version mismatch is answered with ``BYE`` and a close.
+* ``HEARTBEAT`` — keepalive; any frame refreshes a peer's liveness, a
+  heartbeat is just the cheapest one.
+* ``DISPATCH`` — coordinator → worker: one scenario to run (spec,
+  detector config, scenario index, optional trace/cache dirs).
+* ``OUTCOME`` — worker → coordinator: the scenario's
+  :class:`~repro.fleet.executor.SessionOutcome` (or an error string).
+* ``DETECTION`` — live supervisor → coordinator: one batch of completed
+  window detections ``(session_id, detections, chains, watermark_us)``.
+* ``SNAPSHOT`` — coordinator → watch clients: a periodic
+  :class:`~repro.live.aggregator.FleetSnapshot` rollup.
+* ``BYE`` — graceful close (with a reason), either direction.
+
+The module also owns the JSON codecs for the dataclasses that cross the
+wire (:class:`ScenarioSpec`, :class:`DetectorConfig`,
+:class:`WindowDetection`), so coordinator and worker cannot drift apart
+on serialization details.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.detector import DetectorConfig, WindowDetection
+from repro.core.events import EventConfig
+from repro.errors import ClusterProtocolError
+from repro.fleet.scenarios import ImpairmentSpec, ScenarioSpec
+
+#: Bump on any incompatible frame/payload change.  Peers exchange it in
+#: HELLO and refuse to talk across versions.
+PROTOCOL_VERSION = 1
+
+#: Length prefix size and the sanity cap on one frame's payload.  A
+#: detection batch for a long chunk is tens of KB; 32 MiB leaves room
+#: for pathological campaigns while rejecting garbage prefixes (e.g. a
+#: peer that is not speaking this protocol at all).
+LENGTH_BYTES = 4
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+# Frame types.
+HELLO = "HELLO"
+HEARTBEAT = "HEARTBEAT"
+DISPATCH = "DISPATCH"
+OUTCOME = "OUTCOME"
+DETECTION = "DETECTION"
+SNAPSHOT = "SNAPSHOT"
+BYE = "BYE"
+
+FRAME_TYPES = frozenset(
+    (HELLO, HEARTBEAT, DISPATCH, OUTCOME, DETECTION, SNAPSHOT, BYE)
+)
+
+#: Peer roles a HELLO may announce.
+ROLE_WORKER = "worker"
+ROLE_LIVE = "live"
+ROLE_WATCH = "watch"
+ROLES = frozenset((ROLE_WORKER, ROLE_LIVE, ROLE_WATCH))
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded protocol frame."""
+
+    type: str
+    payload: dict = field(default_factory=dict)
+
+
+# -- encoding / decoding -------------------------------------------------------
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize a frame to its on-wire bytes (length prefix included)."""
+    body = json.dumps(
+        {"type": frame.type, "payload": frame.payload},
+        separators=(",", ":"),
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ClusterProtocolError(
+            f"frame too large to send: {len(body)} bytes "
+            f"(max {MAX_FRAME_BYTES})"
+        )
+    return len(body).to_bytes(LENGTH_BYTES, "big") + body
+
+
+def decode_frame(body: bytes) -> Frame:
+    """Decode one frame body (the bytes after the length prefix)."""
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ClusterProtocolError(f"undecodable frame body: {exc}")
+    if not isinstance(data, dict):
+        raise ClusterProtocolError(
+            f"frame body is not an object: {type(data).__name__}"
+        )
+    frame_type = data.get("type")
+    if frame_type not in FRAME_TYPES:
+        raise ClusterProtocolError(f"unknown frame type {frame_type!r}")
+    payload = data.get("payload", {})
+    if not isinstance(payload, dict):
+        raise ClusterProtocolError(
+            f"frame payload is not an object: {type(payload).__name__}"
+        )
+    return Frame(type=frame_type, payload=payload)
+
+
+async def send_frame(
+    writer: asyncio.StreamWriter, frame_type: str, payload: dict
+) -> None:
+    """Encode and send one frame, draining the transport."""
+    writer.write(encode_frame(Frame(frame_type, payload)))
+    await writer.drain()
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Frame]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    EOF in the middle of a frame, an oversized length prefix, or an
+    undecodable body raise :class:`ClusterProtocolError`.
+    """
+    try:
+        header = await reader.readexactly(LENGTH_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise ClusterProtocolError(
+                "connection closed mid-frame (truncated length prefix)"
+            )
+        return None  # clean EOF between frames
+    length = int.from_bytes(header, "big")
+    if length == 0 or length > MAX_FRAME_BYTES:
+        raise ClusterProtocolError(
+            f"invalid frame length {length} (max {MAX_FRAME_BYTES}); "
+            f"peer is probably not speaking the cluster protocol"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ClusterProtocolError(
+            "connection closed mid-frame (truncated body)"
+        )
+    return decode_frame(body)
+
+
+def check_hello(frame: Optional[Frame], *, expect_role: bool) -> dict:
+    """Validate a handshake frame; return its payload.
+
+    Raises :class:`ClusterProtocolError` on a missing/foreign HELLO, a
+    version mismatch, or (``expect_role=True``, the server side) an
+    unknown role.
+    """
+    if frame is None or frame.type != HELLO:
+        got = "EOF" if frame is None else frame.type
+        raise ClusterProtocolError(f"expected HELLO handshake, got {got}")
+    version = frame.payload.get("version")
+    if version != PROTOCOL_VERSION:
+        raise ClusterProtocolError(
+            f"protocol version mismatch: peer speaks {version!r}, "
+            f"this side speaks {PROTOCOL_VERSION}"
+        )
+    if expect_role and frame.payload.get("role") not in ROLES:
+        raise ClusterProtocolError(
+            f"unknown peer role {frame.payload.get('role')!r}; "
+            f"options: {', '.join(sorted(ROLES))}"
+        )
+    return frame.payload
+
+
+# -- dataclass codecs ----------------------------------------------------------
+
+
+def spec_to_json(spec: ScenarioSpec) -> dict:
+    """ScenarioSpec → JSON object (nested ImpairmentSpec included)."""
+    return asdict(spec)
+
+
+def spec_from_json(data: dict) -> ScenarioSpec:
+    """Rebuild a ScenarioSpec (tuples restored from JSON lists)."""
+    try:
+        imp = dict(data["impairment"])
+        imp["rrc_releases_s"] = tuple(imp.get("rrc_releases_s", ()))
+        imp["ul_fades"] = tuple(tuple(f) for f in imp.get("ul_fades", ()))
+        imp["dl_bursts"] = tuple(tuple(b) for b in imp.get("dl_bursts", ()))
+        return ScenarioSpec(
+            name=data["name"],
+            profile=data["profile"],
+            seed=data["seed"],
+            duration_s=data["duration_s"],
+            impairment=ImpairmentSpec(**imp),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ClusterProtocolError(f"malformed scenario spec: {exc}")
+
+
+def detector_config_to_json(config: Optional[DetectorConfig]) -> Optional[dict]:
+    """DetectorConfig → JSON object (None passes through)."""
+    return None if config is None else asdict(config)
+
+
+def detector_config_from_json(
+    data: Optional[dict],
+) -> Optional[DetectorConfig]:
+    if data is None:
+        return None
+    try:
+        fields = dict(data)
+        fields["events"] = EventConfig(**fields.get("events", {}))
+        return DetectorConfig(**fields)
+    except TypeError as exc:
+        raise ClusterProtocolError(f"malformed detector config: {exc}")
+
+
+def detections_to_json(detections: Sequence[WindowDetection]) -> List[dict]:
+    """WindowDetections → JSON list (floats round-trip bit-exactly)."""
+    return [asdict(w) for w in detections]
+
+
+def detections_from_json(data: Sequence[dict]) -> List[WindowDetection]:
+    try:
+        return [WindowDetection(**w) for w in data]
+    except TypeError as exc:
+        raise ClusterProtocolError(f"malformed detection batch: {exc}")
+
+
+def chains_to_json(chains: Sequence[Tuple[str, ...]]) -> List[List[str]]:
+    return [list(chain) for chain in chains]
+
+
+def chains_from_json(data: Sequence[Sequence[str]]) -> List[Tuple[str, ...]]:
+    return [tuple(chain) for chain in data]
+
+
+__all__ = [
+    "BYE",
+    "DETECTION",
+    "DISPATCH",
+    "FRAME_TYPES",
+    "Frame",
+    "HEARTBEAT",
+    "HELLO",
+    "LENGTH_BYTES",
+    "MAX_FRAME_BYTES",
+    "OUTCOME",
+    "PROTOCOL_VERSION",
+    "ROLES",
+    "ROLE_LIVE",
+    "ROLE_WATCH",
+    "ROLE_WORKER",
+    "SNAPSHOT",
+    "chains_from_json",
+    "chains_to_json",
+    "check_hello",
+    "decode_frame",
+    "detections_from_json",
+    "detections_to_json",
+    "detector_config_from_json",
+    "detector_config_to_json",
+    "encode_frame",
+    "read_frame",
+    "send_frame",
+    "spec_from_json",
+    "spec_to_json",
+]

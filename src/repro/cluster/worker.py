@@ -1,0 +1,257 @@
+"""The cluster worker: dispatched scenarios on a local process pool.
+
+A :class:`ClusterWorker` is the execution half of the batch plane: it
+connects to a :class:`~repro.cluster.coordinator.ClusterCoordinator`,
+announces how many scenario *slots* it offers, and runs every
+``DISPATCH`` it receives through the exact same
+:func:`~repro.fleet.executor.run_scenario` the local process-pool
+executor uses — one :class:`~concurrent.futures.ProcessPoolExecutor`
+sized to its slot count, so simulation never blocks the event loop and
+heartbeats keep flowing while scenarios run.  Each finished scenario is
+answered with an ``OUTCOME`` frame; a scenario that raises is answered
+with an error outcome rather than killing the worker.
+
+The worker is stateless between dispatches: everything a scenario needs
+rides in the frame (spec, detector config, trace/cache dirs), which is
+what makes coordinator-side requeueing safe — any worker can pick up
+any scenario at any time and produce the identical outcome.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional, Set
+
+from repro.errors import ClusterError, ClusterProtocolError
+from repro.fleet.executor import run_scenario
+from repro.cluster import protocol
+from repro.cluster.protocol import (
+    BYE,
+    DISPATCH,
+    HEARTBEAT,
+    HELLO,
+    OUTCOME,
+    PROTOCOL_VERSION,
+    ROLE_WORKER,
+    check_hello,
+    read_frame,
+    send_frame,
+)
+
+
+class ClusterWorker:
+    """Run dispatched scenarios for a coordinator until told to stop.
+
+    Args:
+        host / port: coordinator address.
+        slots: concurrent scenarios this worker offers (process-pool
+            size).
+        name: label in coordinator logs; defaults to a coordinator-
+            assigned id.
+        heartbeat_s: keepalive interval.
+        connect_timeout_s: give up connecting after this long.
+        retry_s: delay between connection attempts (workers usually
+            start before or alongside the coordinator; retrying makes
+            start order irrelevant).
+        trace_dir / cache_dir: worker-local overrides; when ``None``
+            the dispatch frame's values (the coordinator's settings)
+            apply.  Paths are interpreted on the *worker's* filesystem.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        slots: int = 1,
+        name: Optional[str] = None,
+        heartbeat_s: float = 2.0,
+        connect_timeout_s: float = 20.0,
+        retry_s: float = 0.2,
+        trace_dir: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        self.host = host
+        self.port = port
+        self.slots = slots
+        self.name = name
+        self.heartbeat_s = heartbeat_s
+        self.connect_timeout_s = connect_timeout_s
+        self.retry_s = retry_s
+        self.trace_dir = trace_dir
+        self.cache_dir = cache_dir
+        self.scenarios_run = 0
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._send_lock = asyncio.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._jobs: Set[asyncio.Task] = set()
+
+    # -- connection -------------------------------------------------------------
+
+    async def _connect(self) -> asyncio.StreamReader:
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.connect_timeout_s
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+                break
+            except OSError:
+                if loop.time() >= deadline:
+                    raise ClusterError(
+                        f"could not reach coordinator at "
+                        f"{self.host}:{self.port} within "
+                        f"{self.connect_timeout_s:.0f}s"
+                    )
+                await asyncio.sleep(self.retry_s)
+        self._writer = writer
+        await self._send(
+            HELLO,
+            {
+                "version": PROTOCOL_VERSION,
+                "role": ROLE_WORKER,
+                "slots": self.slots,
+                "name": self.name,
+            },
+        )
+        reply = await read_frame(reader)
+        if reply is not None and reply.type == BYE:
+            raise ClusterError(
+                f"coordinator refused handshake: "
+                f"{reply.payload.get('reason', 'no reason given')}"
+            )
+        hello = check_hello(reply, expect_role=False)
+        # Adopt the coordinator's (shorter) keepalive cadence: its
+        # watchdog declares workers dead at a multiple of *its*
+        # heartbeat_s, so heartbeating slower than it expects would get
+        # healthy workers aborted mid-scenario.
+        advertised = hello.get("heartbeat_s")
+        if isinstance(advertised, (int, float)) and advertised > 0:
+            self.heartbeat_s = min(self.heartbeat_s, float(advertised))
+        return reader
+
+    async def _send(self, frame_type: str, payload: dict) -> None:
+        if self._writer is None:
+            raise ClusterError("worker is not connected")
+        async with self._send_lock:
+            await send_frame(self._writer, frame_type, payload)
+
+    # -- main loop --------------------------------------------------------------
+
+    async def run(self) -> None:
+        """Serve dispatches until the coordinator disconnects us."""
+        reader = await self._connect()
+        heartbeat = asyncio.create_task(self._heartbeat_loop())
+        # Spawn, not fork: forked pool children would inherit every open
+        # socket fd (this worker's coordinator connection — and, when a
+        # loopback cluster runs in one process, the coordinator's
+        # listener and accepted connections too), keeping TCP sessions
+        # half-alive after their owner closes them.  Spawned children
+        # start from a fresh interpreter and inherit nothing.
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.slots,
+            mp_context=multiprocessing.get_context("spawn"),
+        )
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None or frame.type == BYE:
+                    return
+                if frame.type == DISPATCH:
+                    await self._handle_dispatch(frame.payload)
+                elif frame.type == HEARTBEAT:
+                    continue
+                else:
+                    raise ClusterProtocolError(
+                        f"unexpected {frame.type} frame from coordinator"
+                    )
+        except ConnectionError:
+            return  # coordinator went away; a standing worker just exits
+        finally:
+            heartbeat.cancel()
+            for job in list(self._jobs):
+                job.cancel()
+            await asyncio.gather(
+                heartbeat, *self._jobs, return_exceptions=True
+            )
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            if self._writer is not None:
+                self._writer.close()
+                try:
+                    await self._writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+                self._writer = None
+
+    async def _heartbeat_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.heartbeat_s)
+            try:
+                await self._send(HEARTBEAT, {"t": loop.time()})
+            except (ConnectionError, ClusterError, OSError):
+                return  # the read loop will notice the dead socket
+
+    async def _handle_dispatch(self, payload: dict) -> None:
+        """Start one dispatched scenario without blocking the reader."""
+        job = asyncio.create_task(self._run_one(payload))
+        self._jobs.add(job)
+        job.add_done_callback(self._jobs.discard)
+
+    async def _run_one(self, payload: dict) -> None:
+        index = payload.get("index")
+        try:
+            spec = protocol.spec_from_json(payload["spec"])
+            config = protocol.detector_config_from_json(
+                payload.get("detector_config")
+            )
+            loop = asyncio.get_running_loop()
+            outcome = await loop.run_in_executor(
+                self._pool,
+                functools.partial(
+                    run_scenario,
+                    spec,
+                    config,
+                    self.trace_dir or payload.get("trace_dir"),
+                    self.cache_dir or payload.get("cache_dir"),
+                ),
+            )
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            # Report instead of dying: one bad scenario (or a broken
+            # pool process) must not cost the worker its other slots.
+            try:
+                await self._send(
+                    OUTCOME,
+                    {
+                        "campaign": payload.get("campaign"),
+                        "index": index,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    },
+                )
+            except (ConnectionError, ClusterError, OSError):
+                pass
+            return
+        self.scenarios_run += 1
+        try:
+            await self._send(
+                OUTCOME,
+                {
+                    "campaign": payload.get("campaign"),
+                    "index": index,
+                    "outcome": outcome.to_json(),
+                },
+            )
+        except (ConnectionError, ClusterError, OSError):
+            pass  # coordinator gone; it will requeue this scenario
+
+
+__all__ = ["ClusterWorker"]

@@ -52,3 +52,11 @@ class GraphError(ReproError):
 
 class TelemetryError(ReproError):
     """Telemetry records are malformed or cannot be aligned."""
+
+
+class ClusterError(ReproError):
+    """A distributed-cluster operation failed (dispatch, campaign, peer)."""
+
+
+class ClusterProtocolError(ClusterError):
+    """A cluster peer sent a malformed, oversized, or unexpected frame."""

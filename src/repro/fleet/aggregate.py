@@ -147,6 +147,15 @@ class FleetAggregate:
         )
         return [(chain, count / minutes) for chain, count in ranked[:limit]]
 
+    def fleet_chain_totals(self) -> Dict[str, int]:
+        """chain → fleet-wide merged episode count (raw, not a rate).
+
+        Totals (unlike the per-minute rates) difference cleanly between
+        two rollups of the same fleet, which is what the ``repro watch
+        --follow`` trend view does with consecutive snapshots.
+        """
+        return {k: c for k, c in sorted(self._fleet.chain.items())}
+
     def fleet_cause_rates(self) -> Dict[str, float]:
         """cause family → fleet-wide episodes per minute."""
         minutes = self._fleet.minutes

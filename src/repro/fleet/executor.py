@@ -216,12 +216,28 @@ def run_campaign(
     trace_dir: Optional[str] = None,
     cache_dir: Optional[str] = None,
     fail_fast: bool = False,
+    dispatch: str = "local",
+    cluster_host: str = "127.0.0.1",
+    cluster_port: int = 0,
+    cluster_min_workers: int = 1,
+    cluster_worker_wait_s: Optional[float] = None,
+    on_listening=None,
 ) -> List[SessionOutcome]:
     """Run every scenario; return outcomes in scenario order.
 
     ``workers = 1`` stays in-process (deterministic stack traces, easy
     pdb); ``workers > 1`` distributes over a process pool.  Each session
     is seeded by its spec, so the outcome list is identical either way.
+
+    ``dispatch="cluster"`` serves the campaign over TCP instead: a
+    :class:`~repro.cluster.coordinator.ClusterCoordinator` binds
+    *cluster_host*:*cluster_port* (0 = ephemeral; *on_listening* is
+    called with the bound address), waits for *cluster_min_workers*
+    :class:`~repro.cluster.worker.ClusterWorker` peers, and dispatches
+    scenarios at them.  Scenarios are deterministic functions of their
+    spec (blake2b-derived seeds ride inside it), so cluster outcomes are
+    byte-identical to local execution; *workers* is ignored — each
+    remote worker brings its own slot count.
 
     *cache_dir* short-circuits scenarios whose outcome is already
     cached (see :func:`run_scenario`).  *fail_fast* cancels every
@@ -231,6 +247,26 @@ def run_campaign(
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if dispatch not in ("local", "cluster"):
+        raise ValueError(
+            f"dispatch must be 'local' or 'cluster', not {dispatch!r}"
+        )
+    if dispatch == "cluster":
+        # Imported lazily: repro.cluster imports this module.
+        from repro.cluster.coordinator import run_cluster_campaign
+
+        return run_cluster_campaign(
+            scenarios,
+            detector_config=detector_config,
+            trace_dir=trace_dir,
+            cache_dir=cache_dir,
+            fail_fast=fail_fast,
+            host=cluster_host,
+            port=cluster_port,
+            min_workers=cluster_min_workers,
+            worker_wait_s=cluster_worker_wait_s,
+            on_listening=on_listening,
+        )
     if workers == 1 or len(scenarios) <= 1:
         return [
             run_scenario(spec, detector_config, trace_dir, cache_dir)
@@ -276,7 +312,12 @@ def save_outcomes(outcomes: Sequence[SessionOutcome], path: str) -> None:
             handle.write("\n")
 
 
-def iter_outcomes(path: str) -> Iterator[SessionOutcome]:
+def iter_outcomes(
+    path: str,
+    *,
+    tolerant: bool = False,
+    stats: Optional[Dict[str, int]] = None,
+) -> Iterator[SessionOutcome]:
     """Stream a :func:`save_outcomes` file one outcome at a time.
 
     The generator validates exactly what :func:`load_outcomes` does —
@@ -287,7 +328,20 @@ def iter_outcomes(path: str) -> Iterator[SessionOutcome]:
     larger than memory aggregate fine.  Concatenated saves — shards
     joined with ``cat a.jsonl b.jsonl`` — stream as one campaign; each
     header's count is added to the expectation.
+
+    ``tolerant=True`` is the crash-recovery mode: a killed worker (or a
+    crashed campaign) leaves a partial trailing JSONL line and fewer
+    outcomes than the header promised.  Instead of raising, undecodable
+    lines are skipped and counted in ``stats["skipped_lines"]``, and a
+    count shortfall lands in ``stats["missing_outcomes"]`` — every
+    intact outcome still streams, and the caller decides how loudly to
+    warn.  A missing/foreign header still raises either way (that is a
+    wrong-file error, not truncation).
     """
+    if stats is None:
+        stats = {}
+    stats.setdefault("skipped_lines", 0)
+    stats.setdefault("missing_outcomes", 0)
     yielded = 0
     expected: Optional[int] = None
     with open(path) as handle:
@@ -298,11 +352,17 @@ def iter_outcomes(path: str) -> Iterator[SessionOutcome]:
             try:
                 data = json.loads(line)
             except json.JSONDecodeError:
+                if tolerant:
+                    stats["skipped_lines"] += 1
+                    continue
                 raise TelemetryError(
                     f"{path}: invalid JSON line {line[:60]!r}... "
                     f"(truncated save?)"
                 )
             if not isinstance(data, dict):
+                if tolerant:
+                    stats["skipped_lines"] += 1
+                    continue
                 raise TelemetryError(
                     f"{path}: not a fleet outcomes file (unexpected "
                     f"record {line[:60]!r}...)"
@@ -319,6 +379,9 @@ def iter_outcomes(path: str) -> Iterator[SessionOutcome]:
             try:
                 outcome = SessionOutcome.from_json(data)
             except TypeError:
+                if tolerant:
+                    stats["skipped_lines"] += 1
+                    continue
                 raise TelemetryError(
                     f"{path}: not a fleet outcomes file (unexpected "
                     f"record {line[:60]!r}...)"
@@ -331,6 +394,9 @@ def iter_outcomes(path: str) -> Iterator[SessionOutcome]:
             f"or its head was lost?)"
         )
     if yielded != expected:
+        if tolerant:
+            stats["missing_outcomes"] = max(expected - yielded, 0)
+            return
         raise TelemetryError(
             f"{path}: header promises {expected} outcomes but file "
             f"holds {yielded} (truncated save?)"

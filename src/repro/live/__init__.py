@@ -24,7 +24,11 @@ Exposed on the CLI as ``repro live`` / ``repro watch``.
 """
 
 from repro.live.aggregator import FleetSnapshot, LiveAggregator
-from repro.live.dashboard import render_snapshot
+from repro.live.dashboard import (
+    SnapshotHistory,
+    render_snapshot,
+    render_trend,
+)
 from repro.live.service import LiveRcaService, canonical_detections
 from repro.live.sources import (
     ReplaySource,
@@ -42,8 +46,10 @@ __all__ = [
     "SessionSnapshot",
     "SessionSupervisor",
     "SimSource",
+    "SnapshotHistory",
     "TelemetryBatch",
     "TelemetrySource",
     "canonical_detections",
     "render_snapshot",
+    "render_trend",
 ]

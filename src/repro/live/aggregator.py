@@ -118,6 +118,10 @@ class FleetSnapshot:
     top_chains: List[Tuple[str, float]] = field(default_factory=list)
     cause_rates: Dict[str, float] = field(default_factory=dict)
     consequence_rates: Dict[str, float] = field(default_factory=dict)
+    #: chain → fleet-wide merged episode count; raw totals so two
+    #: consecutive snapshots difference into per-interval deltas (the
+    #: `repro watch --follow` trend view).
+    chain_totals: Dict[str, int] = field(default_factory=dict)
     sessions: List[SessionSnapshot] = field(default_factory=list)
 
     def to_json(self) -> dict:

@@ -8,13 +8,102 @@ offline fleet report and the paper-figure benchmarks.
 
 from __future__ import annotations
 
-from typing import List
+from collections import deque
+from typing import Deque, Iterator, List, Optional, Sequence
 
 from repro.analysis.ascii import render_table
 from repro.live.aggregator import FleetSnapshot
 
 #: Sessions shown individually before the table is elided.
 MAX_SESSION_ROWS = 16
+
+#: Snapshots the `watch --follow` trend ring keeps by default.
+TREND_HISTORY = 64
+
+#: Chains shown in the trend section.
+TREND_CHAINS = 5
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+class SnapshotHistory:
+    """Bounded ring of recent fleet snapshots (`watch --follow`).
+
+    Keeps the last *maxlen* snapshots so the trend view can difference
+    consecutive rollups into per-interval deltas without the watcher
+    ever re-reading history — memory stays O(maxlen) no matter how long
+    the watch runs.
+    """
+
+    def __init__(self, maxlen: int = TREND_HISTORY) -> None:
+        if maxlen < 2:
+            raise ValueError("need at least two snapshots for a trend")
+        self._ring: Deque[FleetSnapshot] = deque(maxlen=maxlen)
+
+    def add(self, snapshot: FleetSnapshot) -> None:
+        self._ring.append(snapshot)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[FleetSnapshot]:
+        return iter(self._ring)
+
+    @property
+    def latest(self) -> Optional[FleetSnapshot]:
+        return self._ring[-1] if self._ring else None
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render values as a unicode block sparkline (empty input → '')."""
+    if not values:
+        return ""
+    peak = max(values)
+    if peak <= 0:
+        return _SPARK_CHARS[0] * len(values)
+    top = len(_SPARK_CHARS) - 1
+    return "".join(
+        _SPARK_CHARS[min(top, int(round(max(v, 0) / peak * top)))]
+        for v in values
+    )
+
+
+def _deltas(values: Sequence[float]) -> List[float]:
+    return [b - a for a, b in zip(values, values[1:])]
+
+
+def render_trend(
+    history: SnapshotHistory, max_chains: int = TREND_CHAINS
+) -> str:
+    """Trend section: per-interval deltas over the snapshot ring.
+
+    Differences consecutive snapshots' cumulative counters (windows,
+    detections, per-chain episode totals) into per-interval activity
+    and renders each series as a sparkline, newest to the right.
+    """
+    snapshots = list(history)
+    if len(snapshots) < 2:
+        return "Trend: (waiting for a second snapshot)"
+    window_deltas = _deltas([s.windows for s in snapshots])
+    detected_deltas = _deltas([s.detected_windows for s in snapshots])
+    lines = [
+        f"Trend (last {len(snapshots)} snapshots, per interval)",
+        f"  windows   {sparkline(window_deltas)}  "
+        f"{window_deltas[-1]:+g} last",
+        f"  detected  {sparkline(detected_deltas)}  "
+        f"{detected_deltas[-1]:+g} last",
+    ]
+    latest_totals = snapshots[-1].chain_totals
+    ranked = sorted(latest_totals.items(), key=lambda kv: (-kv[1], kv[0]))
+    for chain, total in ranked[:max_chains]:
+        series = _deltas([s.chain_totals.get(chain, 0) for s in snapshots])
+        lines.append(
+            f"  {sparkline(series)}  {series[-1]:+g} last "
+            f"({total} episodes) {chain}"
+        )
+    if not ranked:
+        lines.append("  (no chain episodes yet)")
+    return "\n".join(lines)
 
 
 def render_snapshot(
@@ -90,4 +179,12 @@ def render_snapshot(
     return "\n\n".join(sections)
 
 
-__all__ = ["MAX_SESSION_ROWS", "render_snapshot"]
+__all__ = [
+    "MAX_SESSION_ROWS",
+    "SnapshotHistory",
+    "TREND_CHAINS",
+    "TREND_HISTORY",
+    "render_snapshot",
+    "render_trend",
+    "sparkline",
+]

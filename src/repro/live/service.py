@@ -75,6 +75,13 @@ class LiveRcaService:
         snapshot_path: write each snapshot there as JSON (atomically),
             for `repro watch`.
         on_snapshot: callback invoked with each periodic snapshot.
+        detection_sink: extra sink invoked with every detection batch
+            *in addition to* the local aggregator — the hook a
+            :class:`~repro.cluster.client.DetectionForwarder` plugs
+            into to mirror this service's detections onto a remote
+            cluster coordinator.
+        adaptive_advance: let each supervisor autotune its advance
+            interval (see :class:`SessionSupervisor`).
     """
 
     def __init__(
@@ -89,6 +96,8 @@ class LiveRcaService:
         idle_timeout_s: Optional[float] = None,
         snapshot_path: Optional[str] = None,
         on_snapshot: Optional[Callable[[FleetSnapshot], None]] = None,
+        detection_sink=None,
+        adaptive_advance: bool = False,
     ) -> None:
         if not sources:
             raise ValueError("need at least one telemetry source")
@@ -96,6 +105,7 @@ class LiveRcaService:
         if len(set(ids)) != len(ids):
             raise ValueError("session ids must be unique")
         self.aggregator = LiveAggregator()
+        self.detection_sink = detection_sink
         self.supervisors: List[SessionSupervisor] = []
         for source in sources:
             self.aggregator.register(
@@ -108,7 +118,8 @@ class LiveRcaService:
                     chunk_us=chunk_us,
                     queue_batches=queue_batches,
                     backpressure=backpressure,
-                    on_detections=self.aggregator.update,
+                    adaptive_advance=adaptive_advance,
+                    on_detections=self._fold_detections,
                 )
             )
         self.snapshot_every_s = snapshot_every_s
@@ -118,6 +129,12 @@ class LiveRcaService:
         self._seq = 0
         self._started_at: Optional[float] = None
         self._last_now = 0.0
+
+    def _fold_detections(self, session_id, detections, chains, watermark_us):
+        """Aggregate locally, then mirror to the extra sink (if any)."""
+        self.aggregator.update(session_id, detections, chains, watermark_us)
+        if self.detection_sink is not None:
+            self.detection_sink(session_id, detections, chains, watermark_us)
 
     # -- snapshots --------------------------------------------------------------
 
@@ -157,6 +174,7 @@ class LiveRcaService:
             top_chains=fleet.top_chains(),
             cause_rates=fleet.fleet_cause_rates(),
             consequence_rates=fleet.fleet_consequence_rates(),
+            chain_totals=fleet.fleet_chain_totals(),
             sessions=sessions,
         )
         if self.snapshot_path:

@@ -86,9 +86,23 @@ class SessionSupervisor:
             one core sustain 64+ concurrent sessions.  Detection
             latency grows to at most this interval; the feed (and the
             reported watermark) is never delayed.
+        adaptive_advance: autotune the advance interval at runtime —
+            back off (doubling, up to ``max_advance_interval_us``) while
+            the ingest queue stays deep or drop-oldest backpressure is
+            shedding records, speed back up (halving, down to
+            ``min_advance_interval_us``) after sustained idle.  Advance
+            cadence only changes *when* completed windows are handed
+            downstream, never *which* windows: detections stay
+            byte-identical to the fixed-interval pipeline, and lag
+            accounting is untouched.
+        min_advance_interval_us / max_advance_interval_us: adaptive
+            bounds; default to ¼× and 8× the base interval.
         on_detections: sink invoked with every non-empty detection
             batch, typically ``LiveAggregator.update`` via the service.
     """
+
+    #: Consecutive empty-queue batches before adaptivity speeds up.
+    IDLE_BATCHES_TO_SPEED_UP = 4
 
     def __init__(
         self,
@@ -99,6 +113,9 @@ class SessionSupervisor:
         queue_batches: int = 64,
         backpressure: str = "block",
         advance_interval_us: int = 5_000_000,
+        adaptive_advance: bool = False,
+        min_advance_interval_us: Optional[int] = None,
+        max_advance_interval_us: Optional[int] = None,
         on_detections: Optional[DetectionSink] = None,
     ) -> None:
         if backpressure not in ("block", "drop_oldest"):
@@ -114,6 +131,19 @@ class SessionSupervisor:
         )
         self.backpressure = backpressure
         self.advance_interval_us = advance_interval_us
+        self.adaptive_advance = adaptive_advance
+        self.min_advance_interval_us = (
+            min_advance_interval_us
+            if min_advance_interval_us is not None
+            else max(advance_interval_us // 4, 1)
+        )
+        self.max_advance_interval_us = (
+            max_advance_interval_us
+            if max_advance_interval_us is not None
+            else advance_interval_us * 8
+        )
+        self._lag_seen = 0
+        self._idle_batches = 0
         self.on_detections = on_detections
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_batches)
         self.lag_events = 0
@@ -178,6 +208,7 @@ class SessionSupervisor:
                 self.stream.feed(record)
             self.watermark_us = max(self.watermark_us, batch.watermark_us)
             self.last_progress_at = loop.time()
+            self._adapt_advance_interval()
             if not batch.final and (
                 batch.watermark_us - self._last_advance_us
                 < self.advance_interval_us
@@ -187,6 +218,40 @@ class SessionSupervisor:
             self._flush(batch.watermark_us)
             # One batch per loop turn: keep 64 sessions interleaving.
             await asyncio.sleep(0)
+
+    def _adapt_advance_interval(self) -> None:
+        """Autotune advance coalescing from queue pressure (one batch).
+
+        Sustained lag (dropped records, or a half-full ingest queue)
+        doubles the interval — fewer, larger advances shed detector
+        cost so the consumer catches up.  Sustained idle (empty queue)
+        halves it back — detection latency shrinks when there is slack.
+        """
+        if not self.adaptive_advance:
+            return
+        qsize = self._queue.qsize()
+        maxsize = self._queue.maxsize
+        lagged = self.lag_events > self._lag_seen
+        # maxsize >= 2: with a 1-deep queue, `qsize >= maxsize // 2`
+        # would be `>= 0` — always true, pinning the interval at max
+        # even when idle.  A 1-deep queue signals pressure through lag
+        # events alone.
+        if lagged or (maxsize >= 2 and qsize >= max(maxsize // 2, 1)):
+            self._lag_seen = self.lag_events
+            self._idle_batches = 0
+            self.advance_interval_us = min(
+                self.advance_interval_us * 2, self.max_advance_interval_us
+            )
+        elif qsize == 0:
+            self._idle_batches += 1
+            if self._idle_batches >= self.IDLE_BATCHES_TO_SPEED_UP:
+                self._idle_batches = 0
+                self.advance_interval_us = max(
+                    self.advance_interval_us // 2,
+                    self.min_advance_interval_us,
+                )
+        else:
+            self._idle_batches = 0
 
     def _flush(self, watermark_us: int) -> None:
         """Advance the stream and hand completed windows downstream."""

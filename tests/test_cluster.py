@@ -1,0 +1,585 @@
+"""The distributed cluster (repro.cluster): protocol, planes, chaos."""
+
+import asyncio
+import json
+import math
+import random
+
+import pytest
+
+from repro.cluster import (
+    ClusterCoordinator,
+    ClusterWorker,
+    DetectionForwarder,
+    iter_snapshots,
+)
+from repro.cluster import protocol
+from repro.cluster.protocol import (
+    BYE,
+    DETECTION,
+    DISPATCH,
+    FRAME_TYPES,
+    Frame,
+    HEARTBEAT,
+    HELLO,
+    MAX_FRAME_BYTES,
+    OUTCOME,
+    PROTOCOL_VERSION,
+    SNAPSHOT,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    send_frame,
+)
+from repro.core.detector import DetectorConfig, DominoDetector, WindowDetection
+from repro.errors import ClusterError, ClusterProtocolError
+from repro.fleet.executor import run_campaign
+from repro.fleet.scenarios import ImpairmentSpec, ScenarioMatrix, ScenarioSpec
+from repro.live.service import LiveRcaService, canonical_detections
+from repro.live.sources import ReplaySource
+
+#: Four 8 s scenarios across two cells — enough for every worker to see
+#: work and for a killed worker to leave scenarios behind.
+_MATRIX = ScenarioMatrix(
+    name="cluster",
+    profiles=("tmobile_fdd", "amarisoft"),
+    durations_s=(8.0,),
+    repetitions=2,
+)
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return _MATRIX.expand()
+
+
+@pytest.fixture(scope="module")
+def local_outcomes(scenarios):
+    return run_campaign(scenarios, workers=1)
+
+
+def _outcome_bytes(outcomes):
+    return json.dumps([o.to_json() for o in outcomes], sort_keys=True)
+
+
+# -- frame protocol ------------------------------------------------------------
+
+
+def test_frame_roundtrip_all_types():
+    payloads = {
+        HELLO: {"version": PROTOCOL_VERSION, "role": "worker", "slots": 4},
+        HEARTBEAT: {"t": 12.5},
+        DISPATCH: {"index": 3, "spec": {"name": "s"}},
+        OUTCOME: {"index": 3, "outcome": {"scenario": "s"}},
+        DETECTION: {"session_id": "x", "detections": [], "chains": []},
+        SNAPSHOT: {"snapshot": {"seq": 1}},
+        BYE: {"reason": "done"},
+    }
+    assert set(payloads) == set(FRAME_TYPES)
+    for frame_type, payload in payloads.items():
+        wire = encode_frame(Frame(frame_type, payload))
+        decoded = decode_frame(wire[protocol.LENGTH_BYTES :])
+        assert decoded == Frame(frame_type, payload)
+
+
+def test_frame_floats_roundtrip_bit_exact():
+    values = [0.1 + 0.2, 1e-300, math.pi, float("nan"), -0.0]
+    wire = encode_frame(Frame(HEARTBEAT, {"v": values}))
+    out = decode_frame(wire[protocol.LENGTH_BYTES :]).payload["v"]
+    assert [repr(v) for v in out] == [repr(v) for v in values]
+
+
+def test_decode_frame_fuzz_rejects_garbage():
+    rng = random.Random(0)
+    for _ in range(300):
+        blob = bytes(rng.randrange(256) for _ in range(rng.randrange(64)))
+        with pytest.raises(ClusterProtocolError):
+            decode_frame(blob)
+
+
+def test_decode_frame_rejects_wrong_shapes():
+    for body in (b"[1,2]", b'"HELLO"', b'{"type":"NOPE"}',
+                 b'{"type":"HELLO","payload":[]}'):
+        with pytest.raises(ClusterProtocolError):
+            decode_frame(body)
+
+
+def _reader_for(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def test_read_frame_stream_semantics():
+    async def main():
+        # Clean EOF at a boundary → None.
+        assert await read_frame(_reader_for(b"")) is None
+        # Two concatenated frames stream in order, then EOF.
+        wire = encode_frame(Frame(HELLO, {"version": 1})) + encode_frame(
+            Frame(BYE, {})
+        )
+        reader = _reader_for(wire)
+        assert (await read_frame(reader)).type == HELLO
+        assert (await read_frame(reader)).type == BYE
+        assert await read_frame(reader) is None
+        # Truncated length prefix / truncated body / oversized length.
+        with pytest.raises(ClusterProtocolError):
+            await read_frame(_reader_for(b"\x00\x00"))
+        with pytest.raises(ClusterProtocolError):
+            await read_frame(
+                _reader_for((10).to_bytes(4, "big") + b"12345")
+            )
+        with pytest.raises(ClusterProtocolError):
+            await read_frame(
+                _reader_for(
+                    (MAX_FRAME_BYTES + 1).to_bytes(4, "big") + b"{}"
+                )
+            )
+
+    asyncio.run(main())
+
+
+def test_read_frame_fuzz_never_hangs():
+    """Arbitrary byte chunks either parse or raise — no hang, no crash."""
+    rng = random.Random(1)
+    wire = encode_frame(Frame(HEARTBEAT, {"t": 1.0}))
+
+    async def feed(blob):
+        reader = _reader_for(blob)
+        while True:
+            try:
+                if await read_frame(reader) is None:
+                    return
+            except ClusterProtocolError:
+                return
+
+    async def main():
+        for _ in range(100):
+            cut = rng.randrange(len(wire) + 1)
+            blob = wire[:cut] + bytes(
+                rng.randrange(256) for _ in range(rng.randrange(16))
+            )
+            await asyncio.wait_for(feed(blob), timeout=5)
+
+    asyncio.run(main())
+
+
+def test_spec_and_config_codecs_roundtrip(scenarios):
+    spec = ScenarioSpec(
+        name="codec",
+        profile="tmobile_fdd",
+        seed=7,
+        duration_s=9.5,
+        impairment=ImpairmentSpec(
+            name="mix",
+            rrc_releases_s=(1.0, 2.5),
+            ul_fades=((1.0, 0.5, 10.0),),
+            dl_bursts=((2.0, 1.0, 120),),
+            pushback_enabled=False,
+        ),
+    )
+    # Through actual JSON text, as the wire does.
+    data = json.loads(json.dumps(protocol.spec_to_json(spec)))
+    assert protocol.spec_from_json(data) == spec
+
+    config = DetectorConfig(window_us=4_000_000, step_us=250_000)
+    data = json.loads(json.dumps(protocol.detector_config_to_json(config)))
+    assert protocol.detector_config_from_json(data) == config
+    assert protocol.detector_config_from_json(None) is None
+
+    detection = WindowDetection(
+        start_us=0,
+        end_us=5_000_000,
+        features={"a": 1.5, "b": float("nan")},
+        consequences=["x"],
+        causes=["y"],
+        chain_ids=[0, 2],
+    )
+    data = json.loads(json.dumps(protocol.detections_to_json([detection])))
+    [back] = protocol.detections_from_json(data)
+    assert canonical_detections([back]) == canonical_detections([detection])
+
+    chains = [("a", "b"), ("c",)]
+    assert (
+        protocol.chains_from_json(
+            json.loads(json.dumps(protocol.chains_to_json(chains)))
+        )
+        == chains
+    )
+
+
+def test_malformed_spec_and_batch_rejected():
+    with pytest.raises(ClusterProtocolError):
+        protocol.spec_from_json({"name": "x"})
+    with pytest.raises(ClusterProtocolError):
+        protocol.detections_from_json([{"nope": 1}])
+
+
+# -- batch plane ---------------------------------------------------------------
+
+
+async def _with_cluster(scenarios, workers, run, **coordinator_kwargs):
+    """Start a loopback coordinator + workers, run `run`, tear down."""
+    coordinator = ClusterCoordinator(**coordinator_kwargs)
+    await coordinator.start()
+    tasks = [asyncio.create_task(w.run()) for w in workers(coordinator.port)]
+    try:
+        await coordinator.wait_for_workers(len(tasks), timeout_s=60)
+        return await run(coordinator)
+    finally:
+        await coordinator.close()
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+
+def test_cluster_campaign_byte_identical_to_local(
+    scenarios, local_outcomes
+):
+    """The acceptance bar: loopback workers produce outcomes
+    byte-identical to single-host execution, in scenario order."""
+
+    def workers(port):
+        return [
+            ClusterWorker("127.0.0.1", port, slots=1, name=f"w{i}")
+            for i in range(2)
+        ]
+
+    outcomes = asyncio.run(
+        _with_cluster(
+            scenarios, workers, lambda c: c.run_campaign(scenarios)
+        )
+    )
+    assert _outcome_bytes(outcomes) == _outcome_bytes(local_outcomes)
+
+
+class _DyingWorker(ClusterWorker):
+    """Takes its first dispatch, then drops dead without answering."""
+
+    async def _handle_dispatch(self, payload):
+        self._writer.transport.abort()
+
+
+def test_worker_killed_mid_campaign_requeues(scenarios, local_outcomes):
+    """Chaos: a worker that dies holding a scenario costs nothing — the
+    coordinator requeues its in-flight work (excluding the dead worker)
+    and the final aggregate is byte-identical to a single-host run."""
+
+    def workers(port):
+        return [
+            ClusterWorker("127.0.0.1", port, slots=1, name="survivor"),
+            _DyingWorker("127.0.0.1", port, slots=1, name="victim"),
+        ]
+
+    async def run(coordinator):
+        outcomes = await coordinator.run_campaign(scenarios)
+        return outcomes, coordinator.requeues
+
+    outcomes, requeues = asyncio.run(
+        _with_cluster(scenarios, workers, run)
+    )
+    assert requeues >= 1
+    assert _outcome_bytes(outcomes) == _outcome_bytes(local_outcomes)
+
+
+class _CorruptWorker(ClusterWorker):
+    """Answers every dispatch with a malformed OUTCOME payload (valid
+    campaign echo, unparseable outcome body)."""
+
+    async def _run_one(self, payload):
+        await self._send(
+            OUTCOME,
+            {
+                "campaign": payload.get("campaign"),
+                "index": payload.get("index"),
+                "outcome": {"nope": 1},
+            },
+        )
+
+
+def test_malformed_outcome_requeues_not_loses(scenarios, local_outcomes):
+    """A worker answering garbage is dropped and its scenario requeued
+    (parsed-before-settled), so the campaign still completes exactly."""
+
+    def workers(port):
+        return [
+            ClusterWorker("127.0.0.1", port, slots=1, name="survivor"),
+            _CorruptWorker("127.0.0.1", port, slots=1, name="corrupt"),
+        ]
+
+    async def run(coordinator):
+        outcomes = await coordinator.run_campaign(scenarios)
+        return outcomes, coordinator.requeues
+
+    outcomes, requeues = asyncio.run(_with_cluster(scenarios, workers, run))
+    assert requeues >= 1
+    assert _outcome_bytes(outcomes) == _outcome_bytes(local_outcomes)
+
+
+def test_malformed_detection_frame_does_not_kill_live_fold():
+    """One bad live-plane frame (wrong watermark type) is dropped; the
+    fold keeps serving later well-formed frames."""
+
+    async def main():
+        coordinator = ClusterCoordinator()
+        await coordinator.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", coordinator.port
+            )
+            await send_frame(
+                writer,
+                HELLO,
+                {"version": PROTOCOL_VERSION, "role": "live"},
+            )
+            assert (await read_frame(reader)).type == HELLO
+            await send_frame(
+                writer,
+                DETECTION,
+                {
+                    "session_id": "s0",
+                    "detections": [],
+                    "chains": [],
+                    "watermark_us": "not-a-number",
+                },
+            )
+            await send_frame(
+                writer,
+                DETECTION,
+                {
+                    "session_id": "s0",
+                    "profile": "p",
+                    "detections": [],
+                    "chains": [],
+                    "watermark_us": 2_000_000,
+                },
+            )
+            for _ in range(500):
+                outcomes = coordinator.live.session_outcomes()
+                if outcomes and outcomes[0].duration_s == 2.0:
+                    break
+                await asyncio.sleep(0.01)
+            [outcome] = coordinator.live.session_outcomes()
+            assert outcome.duration_s == 2.0
+            assert outcome.profile == "p"
+            writer.close()
+        finally:
+            await coordinator.close()
+
+    asyncio.run(main())
+
+
+def test_scenario_error_reported_not_fatal():
+    """A scenario that raises on the worker comes back as a campaign
+    error (scenario name included), not a dead worker."""
+    bad = ScenarioSpec(
+        name="bad",
+        profile="wired",
+        seed=1,
+        duration_s=8.0,
+        # RAN-only impairment on a baseline profile → build_session
+        # raises on the worker.
+        impairment=ImpairmentSpec(name="fade", ul_fades=((1.0, 0.5, 10.0),)),
+    )
+
+    def workers(port):
+        return [ClusterWorker("127.0.0.1", port, slots=1)]
+
+    with pytest.raises(ClusterError, match="bad"):
+        asyncio.run(
+            _with_cluster([bad], workers, lambda c: c.run_campaign([bad]))
+        )
+
+
+def test_sequential_campaigns_on_one_coordinator(
+    scenarios, local_outcomes
+):
+    """A standing coordinator serves campaigns back to back; each gets
+    its own epoch, so nothing leaks across (and the per-campaign
+    incremental aggregate matches a from-scratch one)."""
+    from repro.fleet.aggregate import FleetAggregate
+
+    def workers(port):
+        return [ClusterWorker("127.0.0.1", port, slots=2, name="w")]
+
+    async def run(coordinator):
+        first = await coordinator.run_campaign(scenarios[:2])
+        second = await coordinator.run_campaign(scenarios[2:])
+        return first, second, coordinator.batch_aggregate
+
+    first, second, aggregate = asyncio.run(
+        _with_cluster(scenarios, workers, run)
+    )
+    assert _outcome_bytes(first + second) == _outcome_bytes(local_outcomes)
+    # batch_aggregate covers exactly the most recent campaign.
+    fresh = FleetAggregate.from_outcomes(second)
+    assert aggregate.n_sessions == fresh.n_sessions
+    assert aggregate.fleet_chain_totals() == fresh.fleet_chain_totals()
+
+
+def test_run_campaign_dispatch_validation(scenarios):
+    with pytest.raises(ValueError, match="dispatch"):
+        run_campaign(scenarios[:1], dispatch="carrier-pigeon")
+
+
+def test_run_campaign_cluster_dispatch_api(scenarios, local_outcomes):
+    """`run_campaign(dispatch="cluster")` is API-compatible: same call
+    site, workers join the printed address, identical outcomes."""
+    import threading
+
+    address = {}
+    listening = threading.Event()
+
+    def on_listening(host, port):
+        address["host"], address["port"] = host, port
+        listening.set()
+
+    def serve_worker():
+        listening.wait(timeout=60)
+
+        async def _run():
+            worker = ClusterWorker(
+                address["host"],
+                address["port"],
+                slots=2,
+                connect_timeout_s=60,
+            )
+            await worker.run()
+
+        asyncio.run(_run())
+
+    thread = threading.Thread(target=serve_worker, daemon=True)
+    thread.start()
+    outcomes = run_campaign(
+        scenarios,
+        dispatch="cluster",
+        cluster_port=0,
+        on_listening=on_listening,
+    )
+    thread.join(timeout=60)
+    assert _outcome_bytes(outcomes) == _outcome_bytes(local_outcomes)
+
+
+def test_version_mismatch_refused():
+    async def main():
+        coordinator = ClusterCoordinator()
+        await coordinator.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", coordinator.port
+            )
+            await send_frame(
+                writer, HELLO, {"version": 999, "role": "worker"}
+            )
+            frame = await read_frame(reader)
+            assert frame is not None and frame.type == BYE
+            assert "version" in frame.payload["reason"]
+            assert await read_frame(reader) is None  # server hung up
+            writer.close()
+        finally:
+            await coordinator.close()
+
+    asyncio.run(main())
+
+
+# -- live plane ----------------------------------------------------------------
+
+
+def _tally_fields(outcome):
+    return (
+        outcome.scenario,
+        outcome.n_windows,
+        outcome.n_detected_windows,
+        outcome.chain_counts,
+        outcome.cause_counts,
+        outcome.consequence_counts,
+    )
+
+
+def test_forwarder_mirrors_live_service_to_coordinator(private_bundle):
+    """A live service forwarding over the socket leaves the central
+    aggregator with exactly the tallies the local aggregator has."""
+
+    async def main():
+        coordinator = ClusterCoordinator()
+        await coordinator.start()
+        try:
+            forwarder = DetectionForwarder("127.0.0.1", coordinator.port)
+            await forwarder.start()
+            forwarder.register("s0", "amarisoft", "none")
+            service = LiveRcaService(
+                [
+                    ReplaySource(
+                        private_bundle,
+                        session_id="s0",
+                        profile="amarisoft",
+                    )
+                ],
+                detection_sink=forwarder.sink,
+            )
+            await service.run()
+            await forwarder.close()  # flushes the send queue
+            local = service.aggregator.session_outcomes()[0]
+            for _ in range(500):  # wait out the coordinator's fold task
+                remote = coordinator.live.session_outcomes()
+                if remote and _tally_fields(remote[0]) == _tally_fields(
+                    local
+                ):
+                    break
+                await asyncio.sleep(0.01)
+            [remote] = coordinator.live.session_outcomes()
+            assert _tally_fields(remote) == _tally_fields(local)
+            assert remote.profile == "amarisoft"
+            # And the offline detector agrees the session had activity.
+            offline = DominoDetector().analyze(private_bundle)
+            assert remote.n_detected_windows == len(
+                offline.windows_with_detections()
+            )
+        finally:
+            await coordinator.close()
+
+    asyncio.run(main())
+
+
+def test_forwarder_close_survives_dead_coordinator():
+    """close() must stay bounded when the coordinator died mid-session
+    and the send queue is full — shed-put sentinel, no deadlock."""
+
+    async def main():
+        coordinator = ClusterCoordinator()
+        await coordinator.start()
+        forwarder = DetectionForwarder(
+            "127.0.0.1", coordinator.port, queue_frames=4
+        )
+        await forwarder.start()
+        await coordinator.close()
+        await asyncio.sleep(0.05)  # let the sender hit the dead socket
+        for i in range(20):  # keep the queue topped up past its bound
+            forwarder.sink(f"s{i}", [], [], 1_000)
+        await asyncio.wait_for(forwarder.close(), timeout=15)
+
+    asyncio.run(main())
+
+
+def test_watch_stream_serves_snapshots(private_bundle):
+    """A watch-role peer receives the initial snapshot immediately and
+    periodic pushes after (fleet-wide `repro watch --connect`)."""
+
+    async def main():
+        coordinator = ClusterCoordinator(snapshot_every_s=0.05)
+        await coordinator.start()
+        try:
+            received = []
+            async for snapshot in iter_snapshots(
+                "127.0.0.1", coordinator.port
+            ):
+                received.append(snapshot)
+                if len(received) >= 3:
+                    break
+            assert [s.seq for s in received] == sorted(
+                s.seq for s in received
+            )
+            assert received[0].n_sessions == 0
+        finally:
+            await coordinator.close()
+
+    asyncio.run(main())

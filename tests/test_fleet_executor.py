@@ -122,6 +122,50 @@ def test_iter_outcomes_validates_count_at_exhaustion(
         next(iterator)
 
 
+def test_tolerant_skips_partial_trailing_line(tmp_path, serial_outcomes):
+    """Crash recovery: a killed worker leaves a half-written trailing
+    line; tolerant streaming skips it, counts it, and still yields
+    every intact outcome (strict mode keeps rejecting the file)."""
+    path = str(tmp_path / "outcomes.jsonl")
+    save_outcomes(serial_outcomes, path)
+    content = open(path).read()
+    with open(path, "w") as handle:
+        handle.write(content[: len(content) - len(content) // 6])
+    with pytest.raises(TelemetryError):
+        load_outcomes(path)
+    stats = {}
+    survived = list(iter_outcomes(path, tolerant=True, stats=stats))
+    assert survived == list(serial_outcomes[: len(survived)])
+    assert len(survived) < len(serial_outcomes)
+    assert stats["skipped_lines"] == 1
+    assert stats["missing_outcomes"] == len(serial_outcomes) - len(survived)
+
+
+def test_tolerant_counts_missing_outcomes(tmp_path, serial_outcomes):
+    """A cleanly cut file (whole trailing lines lost) has nothing to
+    skip but still reports the header/count shortfall."""
+    path = str(tmp_path / "outcomes.jsonl")
+    save_outcomes(serial_outcomes, path)
+    lines = open(path).readlines()
+    with open(path, "w") as handle:
+        handle.writelines(lines[:-1])
+    stats = {}
+    survived = list(iter_outcomes(path, tolerant=True, stats=stats))
+    assert survived == list(serial_outcomes[:-1])
+    assert stats["skipped_lines"] == 0
+    assert stats["missing_outcomes"] == 1
+
+
+def test_tolerant_still_rejects_wrong_files(tmp_path):
+    """Tolerance covers truncation, not wrong-file errors: a headerless
+    file is rejected either way."""
+    path = str(tmp_path / "not_outcomes.jsonl")
+    with open(path, "w") as handle:
+        handle.write('{"scenario": "x"}\n')
+    with pytest.raises(TelemetryError, match="header"):
+        list(iter_outcomes(path, tolerant=True))
+
+
 def test_concatenated_shards_load_as_one_campaign(
     tmp_path, serial_outcomes
 ):

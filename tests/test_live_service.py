@@ -451,3 +451,175 @@ def test_duplicate_session_ids_rejected(short_bundle):
                 ReplaySource(short_bundle, session_id="dup"),
             ]
         )
+
+
+# -- adaptive advance interval ---------------------------------------------------
+
+
+def test_adaptive_advance_detections_stay_byte_identical(replay_bundle):
+    """Adaptivity changes *when* windows are handed downstream, never
+    *which* windows: a replayed trace still matches offline exactly."""
+    offline = DominoDetector().analyze(replay_bundle)
+    service = LiveRcaService(
+        [ReplaySource(replay_bundle, session_id="ad", profile="amarisoft")],
+        adaptive_advance=True,
+    )
+    live = _collect_live_detections(service)
+    asyncio.run(service.run())
+    assert canonical_detections(live["ad"]) == canonical_detections(
+        offline.windows
+    )
+    supervisor = service.supervisors[0]
+    assert (
+        supervisor.min_advance_interval_us
+        <= supervisor.advance_interval_us
+        <= supervisor.max_advance_interval_us
+    )
+
+
+def test_adaptive_advance_backs_off_and_recovers(replay_bundle):
+    """Queue pressure doubles the interval toward the cap; sustained
+    idle halves it back toward the floor.  Lag accounting untouched."""
+    from repro.live.supervisor import SessionSupervisor
+
+    supervisor = SessionSupervisor(
+        _ScriptedSource([]),
+        adaptive_advance=True,
+        advance_interval_us=4_000_000,
+        queue_batches=4,
+        backpressure="drop_oldest",
+    )
+    base = supervisor.advance_interval_us
+    # Half-full queue → back off, doubling up to the cap.
+    supervisor._queue.put_nowait(TelemetryBatch(watermark_us=1))
+    supervisor._queue.put_nowait(TelemetryBatch(watermark_us=2))
+    for _ in range(10):
+        supervisor._adapt_advance_interval()
+    assert supervisor.advance_interval_us == supervisor.max_advance_interval_us
+    # Fresh lag alone (queue empty) also backs off once.
+    supervisor._queue.get_nowait()
+    supervisor._queue.get_nowait()
+    lagged = SessionSupervisor(
+        _ScriptedSource([]),
+        adaptive_advance=True,
+        advance_interval_us=4_000_000,
+        backpressure="drop_oldest",
+    )
+    lagged.lag_events = 100
+    lagged._adapt_advance_interval()
+    assert lagged.advance_interval_us == 2 * 4_000_000
+    assert lagged.lag_events == 100  # accounting preserved
+    # Sustained idle → halve every IDLE_BATCHES_TO_SPEED_UP batches,
+    # down to the floor.
+    for _ in range(
+        20 * SessionSupervisor.IDLE_BATCHES_TO_SPEED_UP
+    ):
+        supervisor._adapt_advance_interval()
+    assert supervisor.advance_interval_us == supervisor.min_advance_interval_us
+    assert supervisor.min_advance_interval_us == base // 4
+
+
+def test_adaptive_one_deep_queue_never_pins_at_max(replay_bundle):
+    """A 1-deep queue must not degenerate (`maxsize // 2 == 0` would
+    make every batch look pressured): idle sessions still speed up."""
+    from repro.live.supervisor import SessionSupervisor
+
+    supervisor = SessionSupervisor(
+        _ScriptedSource([]),
+        adaptive_advance=True,
+        queue_batches=1,
+        backpressure="drop_oldest",
+    )
+    base = supervisor.advance_interval_us
+    for _ in range(4 * SessionSupervisor.IDLE_BATCHES_TO_SPEED_UP):
+        supervisor._adapt_advance_interval()
+    assert supervisor.advance_interval_us == supervisor.min_advance_interval_us
+    assert supervisor.advance_interval_us < base
+
+
+def test_fixed_interval_by_default(replay_bundle):
+    """Without opting in, the interval never moves (back-compat)."""
+    from repro.live.supervisor import SessionSupervisor
+
+    supervisor = SessionSupervisor(_ScriptedSource([]))
+    base = supervisor.advance_interval_us
+    supervisor.lag_events = 50
+    for _ in range(8):
+        supervisor._adapt_advance_interval()
+    assert supervisor.advance_interval_us == base
+
+
+# -- watch --follow trend view ---------------------------------------------------
+
+
+def _fake_snapshot(seq, windows, detected, chain_totals):
+    from repro.live.aggregator import FleetSnapshot
+
+    return FleetSnapshot(
+        seq=seq,
+        wall_s=float(seq),
+        n_sessions=1,
+        n_running=1,
+        n_done=0,
+        n_evicted=0,
+        n_failed=0,
+        total_minutes=seq / 60.0,
+        windows=windows,
+        detected_windows=detected,
+        lag_events=0,
+        degradation_events_per_min=0.0,
+        chain_totals=chain_totals,
+    )
+
+
+def test_snapshot_history_ring_is_bounded():
+    from repro.live.dashboard import SnapshotHistory
+
+    history = SnapshotHistory(maxlen=3)
+    for seq in range(5):
+        history.add(_fake_snapshot(seq, seq, 0, {}))
+    assert len(history) == 3
+    assert [s.seq for s in history] == [2, 3, 4]
+    assert history.latest.seq == 4
+    with pytest.raises(ValueError):
+        SnapshotHistory(maxlen=1)
+
+
+def test_render_trend_deltas_and_sparklines():
+    from repro.live.dashboard import SnapshotHistory, render_trend, sparkline
+
+    assert sparkline([]) == ""
+    assert sparkline([0.0, 0.0]) == "▁▁"
+    line = sparkline([0, 1, 2, 4])
+    assert len(line) == 4 and line[-1] == "█"
+
+    history = SnapshotHistory()
+    history.add(_fake_snapshot(1, 10, 2, {"a --> b": 1}))
+    assert "waiting" in render_trend(history)
+    history.add(_fake_snapshot(2, 14, 3, {"a --> b": 3, "c --> d": 1}))
+    history.add(_fake_snapshot(3, 20, 5, {"a --> b": 4, "c --> d": 1}))
+    text = render_trend(history)
+    assert "Trend (last 3 snapshots" in text
+    assert "+6 last" in text  # windows delta 14→20
+    assert "a --> b" in text and "(4 episodes)" in text
+    assert "c --> d" in text
+    assert any(ch in text for ch in "▁▂▃▄▅▆▇█")
+
+
+def test_fleet_snapshot_chain_totals_roundtrip(short_bundle):
+    """chain_totals ride snapshots (and their JSON round-trip), feeding
+    the trend view the raw counts rates cannot provide."""
+    from repro.live.aggregator import FleetSnapshot
+
+    service = LiveRcaService(
+        [ReplaySource(short_bundle, session_id="s0", profile="amarisoft")]
+    )
+    final = asyncio.run(service.run())
+    assert final.chain_totals == {
+        chain: count
+        for chain, count in sorted(
+            service.aggregator.fleet().fleet_chain_totals().items()
+        )
+    }
+    loaded = FleetSnapshot.from_json(final.to_json())
+    assert loaded.chain_totals == final.chain_totals
