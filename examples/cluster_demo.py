@@ -23,9 +23,9 @@ import json
 import sys
 import time
 
+from repro import api
 from repro.cluster import ClusterCoordinator, ClusterWorker
 from repro.fleet.aggregate import FleetAggregate
-from repro.fleet.executor import run_campaign
 from repro.fleet.report import render_fleet_report
 from repro.fleet.scenarios import get_preset
 
@@ -69,7 +69,9 @@ def main() -> int:
     print(f"campaign {args.preset}: {len(scenarios)} scenarios\n")
 
     t0 = time.time()
-    local = run_campaign(scenarios, workers=args.workers)
+    local = api.campaign(
+        scenarios, backend=api.ProcessPoolBackend(args.workers)
+    )
     print(f"local ({args.workers}-process pool): {time.time() - t0:.1f}s")
 
     t0 = time.time()

@@ -13,13 +13,13 @@ Usage:
 
 import sys
 
+from repro import api
 from repro.analysis.ascii import render_table
 from repro.fleet import (
     FleetAggregate,
     ImpairmentSpec,
     ScenarioMatrix,
     render_fleet_report,
-    run_campaign,
 )
 
 
@@ -44,7 +44,9 @@ def main() -> None:
         f"running {len(scenarios)} sessions "
         f"({duration_s:.0f}s each, {workers} workers) ..."
     )
-    outcomes = run_campaign(scenarios, workers=workers)
+    outcomes = api.campaign(
+        scenarios, backend=api.ProcessPoolBackend(workers)
+    )
     aggregate = FleetAggregate.from_outcomes(outcomes)
 
     profiles = aggregate.groups("profile")

@@ -16,7 +16,8 @@ import asyncio
 
 from repro.datasets.cells import AMARISOFT, TMOBILE_FDD
 from repro.datasets.runner import make_cellular_session
-from repro.live import LiveRcaService, ReplaySource
+from repro import api
+from repro.live import ReplaySource
 from repro.live.dashboard import render_snapshot
 from repro.phy.channel import FadeEvent
 
@@ -51,7 +52,7 @@ def main() -> None:
             f"{snapshot.degradation_events_per_min:.1f} degradations/min"
         )
 
-    service = LiveRcaService(
+    service = api.serve(
         sources, snapshot_every_s=0.25, on_snapshot=on_snapshot
     )
     final = asyncio.run(service.run())

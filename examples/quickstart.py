@@ -11,8 +11,9 @@ Usage:
 
 import sys
 
-from repro import DominoDetector, DominoStats
+from repro import api
 from repro.analysis.summarize import summarize_session
+from repro.core.stats import DominoStats
 from repro.datasets.cells import TMOBILE_FDD
 from repro.datasets.runner import run_cellular_session
 
@@ -40,8 +41,7 @@ def main() -> None:
     )
 
     print("\nRunning Domino ...")
-    detector = DominoDetector()
-    report = detector.analyze(bundle)
+    report = api.analyze(bundle)
     detected = report.windows_with_detections()
     print(
         f"  {report.n_windows} windows analysed, "

@@ -11,7 +11,7 @@ Usage:
     python examples/streaming_monitor.py
 """
 
-from repro.core.streaming import StreamingDomino
+from repro import api
 from repro.datasets.cells import TMOBILE_FDD
 from repro.datasets.runner import make_cellular_session
 
@@ -23,7 +23,7 @@ def main() -> None:
     result = session.run(duration_us)
     bundle = result.bundle
 
-    stream = StreamingDomino(gnb_log_available=False, chunk_us=10_000_000)
+    stream = api.open_stream(gnb_log_available=False, chunk_us=10_000_000)
     # Replay the session's telemetry in 5-second batches, as a collector
     # tailing live NR-Scope + WebRTC feeds would deliver it.
     batch_us = 5_000_000

@@ -2,33 +2,151 @@
 
 Automated, cross-layer root cause analysis of 5G video-conferencing
 quality degradation: a full simulation substrate (5G RAN, network paths,
-WebRTC + GCC) plus the Domino causal-chain detection tool.
+WebRTC + GCC) plus the Domino causal-chain detection tool, scaled out to
+fleet campaigns, an always-on live service, and multi-host clusters —
+all behind one facade.
 
-Quickstart::
+Quickstart (the public API lives in :mod:`repro.api`)::
 
-    from repro import DominoDetector, DominoStats
+    from repro import api
+    from repro.core.stats import DominoStats
     from repro.datasets import TMOBILE_FDD, run_cellular_session
 
     result = run_cellular_session(TMOBILE_FDD, duration_s=60, seed=1)
-    report = DominoDetector().analyze(result.bundle)
+    report = api.analyze(result.bundle)
     stats = DominoStats.from_report(report)
     print(stats.degradation_events_per_min())
+
+    # Many sessions, pluggable execution:
+    outcomes = api.campaign("smoke", backend=api.ProcessPoolBackend(8))
+
+Everything that crosses a process, host, or disk boundary serializes
+through the canonical versioned registry in :mod:`repro.schema`.
+Pre-2.0 imports (``repro.DominoDetector`` and friends) keep working but
+emit :class:`DeprecationWarning`s — see the README's deprecation table.
+
+All public names resolve lazily (PEP 562): ``import repro`` stays
+lightweight — the facade, the schema registry, and the simulation
+substrate behind them load on first attribute access.
 """
 
-from repro.core.detector import DetectorConfig, DominoDetector
-from repro.core.dsl import parse_chains
-from repro.core.stats import DominoStats
-from repro.telemetry.records import TelemetryBundle
-from repro.telemetry.timeline import Timeline
+import importlib as _importlib
+import warnings as _warnings
 
-__version__ = "1.0.0"
+from repro.errors import ReproError, SchemaError, SchemaVersionError
+
+__version__ = "2.0.0"
 
 __all__ = [
+    "ClusterBackend",
     "DetectorConfig",
-    "DominoDetector",
-    "DominoStats",
-    "TelemetryBundle",
-    "Timeline",
-    "parse_chains",
+    "DominoReport",
+    "ExecutionBackend",
+    "FleetSnapshot",
+    "ImpairmentSpec",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "ReproError",
+    "SCHEMA_VERSION",
+    "ScenarioMatrix",
+    "ScenarioSpec",
+    "SchemaError",
+    "SchemaVersionError",
+    "SessionOutcome",
+    "SessionSnapshot",
+    "WindowDetection",
     "__version__",
+    "analyze",
+    "api",
+    "campaign",
+    "open_stream",
+    "read_snapshot",
+    "schema",
+    "serve",
+    "watch",
 ]
+
+#: Public (2.0) surface → defining module (``None`` attr = the module
+#: itself).  Resolved lazily and cached in module globals, so the cost
+#: of the facade's import chain is paid on first use, not at
+#: ``import repro``.
+_PUBLIC_EXPORTS = {
+    "api": ("repro.api", None),
+    "schema": ("repro.schema", None),
+    "SCHEMA_VERSION": ("repro.schema", "SCHEMA_VERSION"),
+    "analyze": ("repro.api", "analyze"),
+    "campaign": ("repro.api", "campaign"),
+    "open_stream": ("repro.api", "open_stream"),
+    "read_snapshot": ("repro.api", "read_snapshot"),
+    "serve": ("repro.api", "serve"),
+    "watch": ("repro.api", "watch"),
+    "ExecutionBackend": ("repro.api", "ExecutionBackend"),
+    "InlineBackend": ("repro.api", "InlineBackend"),
+    "ProcessPoolBackend": ("repro.api", "ProcessPoolBackend"),
+    "ClusterBackend": ("repro.api", "ClusterBackend"),
+    "DetectorConfig": ("repro.core.detector", "DetectorConfig"),
+    "DominoReport": ("repro.core.detector", "DominoReport"),
+    "WindowDetection": ("repro.core.detector", "WindowDetection"),
+    "ScenarioMatrix": ("repro.fleet.scenarios", "ScenarioMatrix"),
+    "ScenarioSpec": ("repro.fleet.scenarios", "ScenarioSpec"),
+    "ImpairmentSpec": ("repro.fleet.scenarios", "ImpairmentSpec"),
+    "SessionOutcome": ("repro.fleet.executor", "SessionOutcome"),
+    "SessionSnapshot": ("repro.live.supervisor", "SessionSnapshot"),
+    "FleetSnapshot": ("repro.live.aggregator", "FleetSnapshot"),
+}
+
+#: Pre-2.0 top-level names → (defining module, attribute, replacement).
+#: Kept importable so existing scripts run, but each access warns.
+_LEGACY_EXPORTS = {
+    "DominoDetector": (
+        "repro.core.detector",
+        "DominoDetector",
+        "repro.api.analyze() (or repro.core.detector.DominoDetector)",
+    ),
+    "DominoStats": (
+        "repro.core.stats",
+        "DominoStats",
+        "repro.core.stats.DominoStats",
+    ),
+    "TelemetryBundle": (
+        "repro.telemetry.records",
+        "TelemetryBundle",
+        "repro.telemetry.records.TelemetryBundle",
+    ),
+    "Timeline": (
+        "repro.telemetry.timeline",
+        "Timeline",
+        "repro.telemetry.timeline.Timeline",
+    ),
+    "parse_chains": (
+        "repro.core.dsl",
+        "parse_chains",
+        "repro.core.dsl.parse_chains",
+    ),
+}
+
+
+def __getattr__(name: str):
+    """Resolve public names lazily; legacy names warn (PEP 562)."""
+    if name in _PUBLIC_EXPORTS:
+        module_name, attr = _PUBLIC_EXPORTS[name]
+        module = _importlib.import_module(module_name)
+        value = module if attr is None else getattr(module, attr)
+        globals()[name] = value  # cache: later accesses skip this hook
+        return value
+    if name in _LEGACY_EXPORTS:
+        module_name, attr, replacement = _LEGACY_EXPORTS[name]
+        _warnings.warn(
+            f"repro.{name} is deprecated since 2.0; use {replacement} "
+            f"instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_importlib.import_module(module_name), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(
+        set(__all__) | set(_LEGACY_EXPORTS) | set(globals())
+    )

@@ -1,0 +1,86 @@
+"""``repro.api`` — the one public surface for Domino RCA.
+
+Offline, streaming, campaign, and live analysis through a single
+coherent facade, all returning the same canonical result objects and
+all serialized through :mod:`repro.schema`:
+
+    import repro.api as api
+
+    report = api.analyze("trace.jsonl")                  # offline
+    stream = api.open_stream()                           # incremental
+    outcomes = api.campaign("smoke",
+                            backend=api.ProcessPoolBackend(8))
+    service = api.serve(sources, snapshot_path="snap.json")
+    snapshot = api.read_snapshot("snap.json")
+
+Execution is pluggable: :func:`campaign` takes any
+:class:`ExecutionBackend` (:class:`InlineBackend`,
+:class:`ProcessPoolBackend`, :class:`ClusterBackend`), replacing the
+old ``run_campaign(dispatch=...)`` string switch.  Legacy entry points
+keep working with ``DeprecationWarning``s — see the README's
+deprecation table.
+"""
+
+from repro.api.backends import (
+    ClusterBackend,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+)
+from repro.api.facade import (
+    CampaignLike,
+    TraceLike,
+    analyze,
+    campaign,
+    expand_campaign,
+    open_stream,
+    read_snapshot,
+    serve,
+    watch,
+)
+
+# The canonical result/config types every facade call traffics in,
+# re-exported so ``repro.api`` is self-sufficient for typical use.
+from repro.core.detector import (
+    DetectorConfig,
+    DominoReport,
+    WindowDetection,
+)
+from repro.core.streaming import StreamingDomino
+from repro.errors import ReproError
+from repro.fleet.executor import SessionOutcome
+from repro.fleet.scenarios import ImpairmentSpec, ScenarioMatrix, ScenarioSpec
+from repro.live.aggregator import FleetSnapshot
+from repro.live.service import LiveRcaService
+from repro.live.sources import ReplaySource, SimSource
+from repro.live.supervisor import SessionSnapshot
+
+__all__ = [
+    "CampaignLike",
+    "ClusterBackend",
+    "DetectorConfig",
+    "DominoReport",
+    "ExecutionBackend",
+    "FleetSnapshot",
+    "ImpairmentSpec",
+    "InlineBackend",
+    "LiveRcaService",
+    "ProcessPoolBackend",
+    "ReplaySource",
+    "ReproError",
+    "ScenarioMatrix",
+    "ScenarioSpec",
+    "SessionOutcome",
+    "SessionSnapshot",
+    "SimSource",
+    "StreamingDomino",
+    "TraceLike",
+    "WindowDetection",
+    "analyze",
+    "campaign",
+    "expand_campaign",
+    "open_stream",
+    "read_snapshot",
+    "serve",
+    "watch",
+]

@@ -1,0 +1,190 @@
+"""Pluggable campaign execution behind one :class:`ExecutionBackend` seam.
+
+Before the facade existed, choosing *where* a campaign runs meant a
+string switch (``run_campaign(dispatch="local"|"cluster")``) plus a
+``workers`` integer whose meaning changed with the switch.  The seam is
+now a protocol: :func:`repro.api.campaign` hands the expanded scenario
+list to whatever backend it is given, and each backend owns exactly one
+execution strategy.  New strategies (a journaled coordinator, a
+multi-campaign queue) are new classes, not new keyword arguments
+threaded through every caller.
+
+Every backend runs scenarios through
+:func:`repro.fleet.executor.run_scenario`, and scenarios are
+deterministic functions of their spec — so all backends produce
+byte-identical :class:`~repro.fleet.executor.SessionOutcome` lists, in
+scenario order, which the equivalence tests assert.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from typing import Callable, List, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.core.detector import DetectorConfig
+from repro.errors import ConfigError
+from repro.fleet.executor import SessionOutcome, run_scenario
+from repro.fleet.scenarios import ScenarioSpec
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Where a campaign's scenarios actually run.
+
+    Implementations must return outcomes in scenario order and raise
+    the first failing scenario's error (in scenario order) — the
+    contract that keeps every backend interchangeable and
+    byte-identical.
+    """
+
+    def run(
+        self,
+        scenarios: Sequence[ScenarioSpec],
+        *,
+        detector_config: Optional[DetectorConfig] = None,
+        trace_dir: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        fail_fast: bool = False,
+    ) -> List[SessionOutcome]:
+        """Run every scenario; return outcomes in scenario order."""
+        ...
+
+
+class InlineBackend:
+    """Run scenarios serially in this process.
+
+    The determinism/debugging backend: plain stack traces, trivially
+    pdb-able, and the reference everything else is compared against.
+    """
+
+    def run(
+        self,
+        scenarios: Sequence[ScenarioSpec],
+        *,
+        detector_config: Optional[DetectorConfig] = None,
+        trace_dir: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        fail_fast: bool = False,
+    ) -> List[SessionOutcome]:
+        # Serial execution is inherently fail-fast: the first error
+        # raises before any later scenario starts.
+        return [
+            run_scenario(spec, detector_config, trace_dir, cache_dir)
+            for spec in scenarios
+        ]
+
+
+class ProcessPoolBackend:
+    """Fan scenarios out over a local :class:`ProcessPoolExecutor`.
+
+    Args:
+        workers: pool size (>= 1).  One scenario (or ``workers=1``)
+            short-circuits to inline execution — same outcomes, no pool
+            startup cost.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigError("workers must be >= 1")
+        self.workers = workers
+
+    def run(
+        self,
+        scenarios: Sequence[ScenarioSpec],
+        *,
+        detector_config: Optional[DetectorConfig] = None,
+        trace_dir: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        fail_fast: bool = False,
+    ) -> List[SessionOutcome]:
+        if self.workers == 1 or len(scenarios) <= 1:
+            return InlineBackend().run(
+                scenarios,
+                detector_config=detector_config,
+                trace_dir=trace_dir,
+                cache_dir=cache_dir,
+                fail_fast=fail_fast,
+            )
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = [
+                pool.submit(
+                    run_scenario, spec, detector_config, trace_dir, cache_dir
+                )
+                for spec in scenarios
+            ]
+            if fail_fast:
+                done, _ = wait(futures, return_when=FIRST_EXCEPTION)
+                if any(future.exception() for future in done):
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    for future in futures:  # first failure in scenario order
+                        if not future.cancelled() and future.exception():
+                            raise future.exception()
+            return [future.result() for future in futures]
+
+
+class ClusterBackend:
+    """Serve the campaign to remote ``repro cluster worker`` peers.
+
+    Binds a one-shot :class:`~repro.cluster.coordinator.ClusterCoordinator`,
+    waits for *min_workers* peers, dispatches every scenario over TCP,
+    and returns outcomes in scenario order — byte-identical to local
+    backends because scenario seeds ride inside the specs.
+
+    Args:
+        host / port: coordinator bind address (``port=0`` = ephemeral).
+        min_workers: wait for this many workers before dispatching.
+        worker_wait_s: bound the worker wait (``None`` = forever).
+        on_listening: called with the bound ``(host, port)`` so callers
+            can advertise an ephemeral port to workers.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        min_workers: int = 1,
+        worker_wait_s: Optional[float] = None,
+        on_listening: Optional[Callable[[str, int], None]] = None,
+    ) -> None:
+        if min_workers < 0:
+            raise ConfigError("min_workers must be >= 0")
+        self.host = host
+        self.port = port
+        self.min_workers = min_workers
+        self.worker_wait_s = worker_wait_s
+        self.on_listening = on_listening
+
+    def run(
+        self,
+        scenarios: Sequence[ScenarioSpec],
+        *,
+        detector_config: Optional[DetectorConfig] = None,
+        trace_dir: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        fail_fast: bool = False,
+    ) -> List[SessionOutcome]:
+        # Imported lazily: the cluster subsystem pulls in asyncio server
+        # machinery that purely local campaigns never need.
+        from repro.cluster.coordinator import run_cluster_campaign
+
+        return run_cluster_campaign(
+            scenarios,
+            detector_config=detector_config,
+            trace_dir=trace_dir,
+            cache_dir=cache_dir,
+            fail_fast=fail_fast,
+            host=self.host,
+            port=self.port,
+            min_workers=self.min_workers,
+            worker_wait_s=self.worker_wait_s,
+            on_listening=self.on_listening,
+        )
+
+
+__all__ = [
+    "ClusterBackend",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ProcessPoolBackend",
+]

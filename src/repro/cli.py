@@ -27,17 +27,19 @@ import os
 import sys
 from typing import List, Optional
 
+from repro import api
 from repro.analysis.summarize import summarize_session
 from repro.core.chains import DEFAULT_CHAINS_TEXT
 from repro.core.codegen import generate_python_source
-from repro.core.detector import DetectorConfig, DominoDetector
+from repro.core.detector import DetectorConfig
 from repro.core.dsl import parse_chains
 from repro.core.report import render_frequency_table
 from repro.core.stats import DominoStats
 from repro.datasets.cells import CELL_PROFILES, get_profile
 from repro.datasets.runner import make_cellular_session, make_wired_session
+from repro.errors import ClusterError, SchemaError, TelemetryError
 from repro.fleet.aggregate import FleetAggregate
-from repro.fleet.executor import iter_outcomes, run_campaign, save_outcomes
+from repro.fleet.executor import iter_outcomes, save_outcomes
 from repro.fleet.report import render_fleet_report
 from repro.fleet.scenarios import PRESETS, get_preset
 from repro.telemetry.io import load_bundle, save_bundle
@@ -64,23 +66,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_detector(args: argparse.Namespace) -> DominoDetector:
+def _detector_config(args: argparse.Namespace) -> DetectorConfig:
     chains_text = DEFAULT_CHAINS_TEXT
     if getattr(args, "chains", None):
         with open(args.chains) as handle:
             chains_text = handle.read()
-    config = DetectorConfig(
+    return DetectorConfig(
         window_us=int(args.window * 1e6),
         step_us=int(args.step * 1e6),
         chains_text=chains_text,
     )
-    return DominoDetector(config)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    bundle = load_bundle(args.trace)
-    detector = _load_detector(args)
-    report = detector.analyze(bundle)
+    report = api.analyze(args.trace, _detector_config(args))
     detected = report.windows_with_detections()
     print(
         f"{report.n_windows} windows analysed, {len(detected)} with "
@@ -172,17 +171,22 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             flush=True,
         )
 
-    outcomes = run_campaign(
+    # The facade's backend seam replaces the old dispatch string switch.
+    if dispatch == "cluster":
+        backend = api.ClusterBackend(
+            args.bind,
+            args.port,
+            min_workers=args.min_workers,
+            on_listening=listening,
+        )
+    else:
+        backend = api.ProcessPoolBackend(args.workers)
+    outcomes = api.campaign(
         scenarios,
-        workers=args.workers,
+        backend=backend,
         trace_dir=args.trace_dir,
         cache_dir=cache_dir,
         fail_fast=args.fail_fast,
-        dispatch=dispatch,
-        cluster_host=args.bind,
-        cluster_port=args.port,
-        cluster_min_workers=args.min_workers,
-        on_listening=listening if dispatch == "cluster" else None,
     )
     if args.out:
         save_outcomes(outcomes, args.out)
@@ -199,13 +203,19 @@ def _cmd_fleet_report(args: argparse.Namespace) -> int:
     # short (killed worker, crashed run) leaves a partial trailing line
     # and a count shortfall — report what survived, loudly.
     stats: dict = {}
-    print(
-        render_fleet_report(
-            FleetAggregate(
-                iter_outcomes(args.outcomes, tolerant=True, stats=stats)
+    try:
+        print(
+            render_fleet_report(
+                FleetAggregate(
+                    iter_outcomes(args.outcomes, tolerant=True, stats=stats)
+                )
             )
         )
-    )
+    except TelemetryError as exc:
+        # Includes SchemaVersionError: a mismatched artifact reports
+        # "schema version X vs Y", never a traceback mid-decode.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     if stats.get("skipped_lines"):
         print(
             f"warning: skipped {stats['skipped_lines']} undecodable "
@@ -225,7 +235,6 @@ def _cmd_fleet_report(args: argparse.Namespace) -> int:
 def _cmd_live(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.live import LiveRcaService, ReplaySource, SimSource
     from repro.live.dashboard import render_snapshot
 
     specs = _live_specs(args)
@@ -240,7 +249,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
                 flush=True,
             )
             sources.append(
-                ReplaySource(
+                api.ReplaySource(
                     bundle,
                     session_id=spec.name,
                     speed=args.speed,
@@ -250,7 +259,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
             )
     else:
         sources = [
-            SimSource(spec, session_id=spec.name, speed=args.speed)
+            api.SimSource(spec, session_id=spec.name, speed=args.speed)
             for spec in specs
         ]
 
@@ -277,7 +286,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
                     source.session_id, source.profile, source.impairment
                 )
             sink = forwarder.sink
-        service = LiveRcaService(
+        service = api.serve(
             sources,
             backpressure=args.backpressure,
             queue_batches=args.queue_batches,
@@ -338,7 +347,6 @@ def _parse_address(value: str):
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
-    import json as json_module
     import time
 
     from repro.live.aggregator import FleetSnapshot
@@ -363,8 +371,6 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         # the fleet-wide dashboard with no shared filesystem.
         import asyncio
 
-        from repro.cluster import iter_snapshots
-
         host, port = args.connect
 
         async def _stream() -> None:
@@ -372,7 +378,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
 
             while True:
                 try:
-                    async for snapshot in iter_snapshots(host, port):
+                    async for snapshot in api.watch(host, port):
                         show(snapshot)
                         if not args.follow:
                             return
@@ -392,13 +398,25 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                 )
                 await aio.sleep(args.interval)
 
-        asyncio.run(_stream())
+        try:
+            asyncio.run(_stream())
+        except (SchemaError, ClusterError) as exc:
+            # An incompatible coordinator surfaces as a refused
+            # handshake (ClusterError carrying the coordinator's
+            # "schema/protocol version mismatch" reason), a malformed
+            # frame (ClusterProtocolError), or a mismatched snapshot
+            # stamp (SchemaVersionError).  None of these heal by
+            # retrying: report the reason cleanly and exit non-zero.
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         return 0
 
     while True:
         try:
-            with open(args.snapshot) as handle:
-                snapshot = FleetSnapshot.from_json(json_module.load(handle))
+            snapshot = api.read_snapshot(args.snapshot)
+        except SchemaError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         except FileNotFoundError:
             if args.follow:
                 # The service writes its first snapshot after one

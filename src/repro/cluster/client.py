@@ -21,10 +21,10 @@ coordinator as a ``watch`` peer and yield each pushed
 from __future__ import annotations
 
 import asyncio
-from typing import AsyncIterator, Dict, List, Optional, Sequence, Tuple
+from typing import AsyncIterator, Dict, Optional, Sequence, Tuple
 
 from repro.core.detector import WindowDetection
-from repro.errors import ClusterError
+from repro.errors import ClusterError, ClusterProtocolError
 from repro.live.aggregator import FleetSnapshot
 from repro.cluster import protocol
 from repro.cluster.protocol import (
@@ -32,11 +32,11 @@ from repro.cluster.protocol import (
     DETECTION,
     HEARTBEAT,
     HELLO,
-    PROTOCOL_VERSION,
     ROLE_LIVE,
     ROLE_WATCH,
     SNAPSHOT,
     check_hello,
+    hello_payload,
     read_frame,
     send_frame,
 )
@@ -75,11 +75,7 @@ class DetectionForwarder:
         """Connect and handshake as a live-plane peer."""
         reader, writer = await asyncio.open_connection(self.host, self.port)
         self._writer = writer
-        await send_frame(
-            writer,
-            HELLO,
-            {"version": PROTOCOL_VERSION, "role": ROLE_LIVE},
-        )
+        await send_frame(writer, HELLO, hello_payload(role=ROLE_LIVE))
         reply = await read_frame(reader)
         if reply is not None and reply.type == BYE:
             raise ClusterError(
@@ -213,11 +209,7 @@ async def iter_snapshots(
     """
     reader, writer = await asyncio.open_connection(host, port)
     try:
-        await send_frame(
-            writer,
-            HELLO,
-            {"version": PROTOCOL_VERSION, "role": ROLE_WATCH},
-        )
+        await send_frame(writer, HELLO, hello_payload(role=ROLE_WATCH))
         reply = await read_frame(reader)
         if reply is not None and reply.type == BYE:
             raise ClusterError(
@@ -230,7 +222,15 @@ async def iter_snapshots(
             if frame is None or frame.type == BYE:
                 return
             if frame.type == SNAPSHOT:
-                yield FleetSnapshot.from_json(frame.payload["snapshot"])
+                data = frame.payload.get("snapshot")
+                if not isinstance(data, dict):
+                    raise ClusterProtocolError(
+                        "SNAPSHOT frame carries no snapshot object"
+                    )
+                # Decodes through repro.schema: a coordinator writing a
+                # different schema version fails with a clear "schema
+                # version X vs Y" error, not a KeyError mid-decode.
+                yield FleetSnapshot.from_json(data)
     finally:
         writer.close()
         try:

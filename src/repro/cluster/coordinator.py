@@ -35,13 +35,12 @@ from __future__ import annotations
 
 import asyncio
 import itertools
-import json
-import os
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Set
 
 from repro.core.detector import DetectorConfig
-from repro.errors import ClusterError, ClusterProtocolError
+from repro.errors import ClusterError, ClusterProtocolError, ConfigError, SchemaError
+from repro.schema import save_snapshot
 from repro.fleet.aggregate import FleetAggregate
 from repro.fleet.executor import SessionOutcome
 from repro.fleet.scenarios import ScenarioSpec
@@ -55,7 +54,6 @@ from repro.cluster.protocol import (
     HEARTBEAT,
     HELLO,
     OUTCOME,
-    PROTOCOL_VERSION,
     ROLE_LIVE,
     ROLE_WATCH,
     ROLE_WORKER,
@@ -168,7 +166,7 @@ class ClusterCoordinator:
         on_snapshot: Optional[Callable[[FleetSnapshot], None]] = None,
     ) -> None:
         if live_backpressure not in ("block", "drop_oldest"):
-            raise ValueError(
+            raise ConfigError(
                 "live_backpressure must be 'block' or 'drop_oldest', "
                 f"not {live_backpressure!r}"
             )
@@ -353,11 +351,9 @@ class ClusterCoordinator:
             await send_frame(
                 writer,
                 HELLO,
-                {
-                    "version": PROTOCOL_VERSION,
-                    "server": "repro-cluster",
-                    "heartbeat_s": self.heartbeat_s,
-                },
+                protocol.hello_payload(
+                    server="repro-cluster", heartbeat_s=self.heartbeat_s
+                ),
             )
             role = hello["role"]
             if role == ROLE_WORKER:
@@ -528,7 +524,7 @@ class ClusterCoordinator:
             # the still-in-flight scenario gets requeued — not lost.
             try:
                 outcome = SessionOutcome.from_json(payload["outcome"])
-            except (KeyError, TypeError) as exc:
+            except (KeyError, SchemaError) as exc:
                 raise ClusterProtocolError(f"malformed OUTCOME frame: {exc}")
         worker.in_flight.discard(index)
         async with self._work_available:
@@ -758,10 +754,8 @@ class ClusterCoordinator:
                 continue
             snapshot = self.live_snapshot()
             if self.snapshot_path:
-                tmp = f"{self.snapshot_path}.tmp.{os.getpid()}"
-                with open(tmp, "w") as handle:
-                    json.dump(snapshot.to_json(), handle)
-                os.replace(tmp, self.snapshot_path)
+                # Canonical versioned artifact, atomic for `repro watch`.
+                save_snapshot(snapshot, self.snapshot_path)
             if self.on_snapshot is not None:
                 self.on_snapshot(snapshot)
             payload = {"snapshot": snapshot.to_json()}

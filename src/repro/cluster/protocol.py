@@ -25,27 +25,35 @@ Frame types (see the coordinator/worker/client modules for sequencing):
   :class:`~repro.live.aggregator.FleetSnapshot` rollup.
 * ``BYE`` — graceful close (with a reason), either direction.
 
-The module also owns the JSON codecs for the dataclasses that cross the
-wire (:class:`ScenarioSpec`, :class:`DetectorConfig`,
-:class:`WindowDetection`), so coordinator and worker cannot drift apart
-on serialization details.
+The dataclass payloads that cross the wire (:class:`ScenarioSpec`,
+:class:`DetectorConfig`, :class:`WindowDetection`) are encoded through
+the canonical :mod:`repro.schema` registry — the same serde the fleet
+JSONL and live snapshots use, so no peer can drift apart on
+serialization details.  The ``*_to_json`` / ``*_from_json`` names below
+are kept as thin compatibility wrappers that translate
+:class:`~repro.errors.SchemaError` into
+:class:`ClusterProtocolError` (a malformed payload is a protocol
+offence on this layer).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from dataclasses import asdict, dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.detector import DetectorConfig, WindowDetection
-from repro.core.events import EventConfig
-from repro.errors import ClusterProtocolError
-from repro.fleet.scenarios import ImpairmentSpec, ScenarioSpec
+from repro.errors import ClusterProtocolError, SchemaError
+from repro.fleet.scenarios import ScenarioSpec
+from repro import schema
 
 #: Bump on any incompatible frame/payload change.  Peers exchange it in
-#: HELLO and refuse to talk across versions.
-PROTOCOL_VERSION = 1
+#: HELLO and refuse to talk across versions.  v2: payloads are encoded
+#: by the canonical repro.schema registry and SNAPSHOT frames carry a
+#: schema stamp — pre-2.0 peers (whose decoders reject unknown fields)
+#: are refused at handshake instead of crashing on the first frame.
+PROTOCOL_VERSION = 2
 
 #: Length prefix size and the sanity cap on one frame's payload.  A
 #: detection batch for a long chunk is tens of KB; 32 MiB leaves room
@@ -157,12 +165,19 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[Frame]:
     return decode_frame(body)
 
 
+def hello_payload(**extra: object) -> dict:
+    """The versions every HELLO must announce, plus caller extras."""
+    payload = {"version": PROTOCOL_VERSION, "schema": schema.SCHEMA_VERSION}
+    payload.update(extra)
+    return payload
+
+
 def check_hello(frame: Optional[Frame], *, expect_role: bool) -> dict:
     """Validate a handshake frame; return its payload.
 
     Raises :class:`ClusterProtocolError` on a missing/foreign HELLO, a
-    version mismatch, or (``expect_role=True``, the server side) an
-    unknown role.
+    protocol or payload-schema version mismatch, or
+    (``expect_role=True``, the server side) an unknown role.
     """
     if frame is None or frame.type != HELLO:
         got = "EOF" if frame is None else frame.type
@@ -173,6 +188,19 @@ def check_hello(frame: Optional[Frame], *, expect_role: bool) -> dict:
             f"protocol version mismatch: peer speaks {version!r}, "
             f"this side speaks {PROTOCOL_VERSION}"
         )
+    # Refuse payload-schema mismatches at handshake, where the
+    # diagnosis is cheap — not at the first payload whose decode would
+    # otherwise fail weirdly.  A HELLO without a stamp is treated as
+    # schema 1 (the first stamped release), so a peer that omits it is
+    # still refused the moment this side's schema moves past 1.
+    schema_version = frame.payload.get("schema")
+    if schema_version is None:
+        schema_version = 1
+    if schema_version != schema.SCHEMA_VERSION:
+        raise ClusterProtocolError(
+            f"schema version mismatch: peer speaks schema "
+            f"{schema_version!r} vs {schema.SCHEMA_VERSION} on this side"
+        )
     if expect_role and frame.payload.get("role") not in ROLES:
         raise ClusterProtocolError(
             f"unknown peer role {frame.payload.get('role')!r}; "
@@ -181,68 +209,56 @@ def check_hello(frame: Optional[Frame], *, expect_role: bool) -> dict:
     return frame.payload
 
 
-# -- dataclass codecs ----------------------------------------------------------
+# -- dataclass codecs (canonical schema, protocol-flavoured errors) ------------
+
+
+def _frame_decode(decode: Callable, what: str) -> Callable:
+    """Wrap a schema decoder: malformed payloads are protocol offences."""
+
+    def wrapper(data):
+        try:
+            return decode(data)
+        except SchemaError as exc:
+            raise ClusterProtocolError(f"malformed {what}: {exc}")
+
+    wrapper.__name__ = decode.__name__
+    return wrapper
 
 
 def spec_to_json(spec: ScenarioSpec) -> dict:
-    """ScenarioSpec → JSON object (nested ImpairmentSpec included)."""
-    return asdict(spec)
+    """ScenarioSpec → canonical wire object (nested impairment included)."""
+    return schema.scenario_spec_to_wire(spec)
 
 
-def spec_from_json(data: dict) -> ScenarioSpec:
-    """Rebuild a ScenarioSpec (tuples restored from JSON lists)."""
-    try:
-        imp = dict(data["impairment"])
-        imp["rrc_releases_s"] = tuple(imp.get("rrc_releases_s", ()))
-        imp["ul_fades"] = tuple(tuple(f) for f in imp.get("ul_fades", ()))
-        imp["dl_bursts"] = tuple(tuple(b) for b in imp.get("dl_bursts", ()))
-        return ScenarioSpec(
-            name=data["name"],
-            profile=data["profile"],
-            seed=data["seed"],
-            duration_s=data["duration_s"],
-            impairment=ImpairmentSpec(**imp),
-        )
-    except (KeyError, TypeError) as exc:
-        raise ClusterProtocolError(f"malformed scenario spec: {exc}")
+#: Rebuild a ScenarioSpec (tuples restored from JSON lists).
+spec_from_json = _frame_decode(schema.scenario_spec_from_wire, "scenario spec")
 
 
 def detector_config_to_json(config: Optional[DetectorConfig]) -> Optional[dict]:
-    """DetectorConfig → JSON object (None passes through)."""
-    return None if config is None else asdict(config)
+    """DetectorConfig → canonical wire object (None passes through)."""
+    return schema.detector_config_to_wire(config)
 
 
-def detector_config_from_json(
-    data: Optional[dict],
-) -> Optional[DetectorConfig]:
-    if data is None:
-        return None
-    try:
-        fields = dict(data)
-        fields["events"] = EventConfig(**fields.get("events", {}))
-        return DetectorConfig(**fields)
-    except TypeError as exc:
-        raise ClusterProtocolError(f"malformed detector config: {exc}")
+detector_config_from_json = _frame_decode(
+    schema.detector_config_from_wire, "detector config"
+)
 
 
 def detections_to_json(detections: Sequence[WindowDetection]) -> List[dict]:
     """WindowDetections → JSON list (floats round-trip bit-exactly)."""
-    return [asdict(w) for w in detections]
+    return schema.detections_to_wire(detections)
 
 
-def detections_from_json(data: Sequence[dict]) -> List[WindowDetection]:
-    try:
-        return [WindowDetection(**w) for w in data]
-    except TypeError as exc:
-        raise ClusterProtocolError(f"malformed detection batch: {exc}")
+detections_from_json = _frame_decode(
+    schema.detections_from_wire, "detection batch"
+)
 
 
 def chains_to_json(chains: Sequence[Tuple[str, ...]]) -> List[List[str]]:
-    return [list(chain) for chain in chains]
+    return schema.chains_to_wire(chains)
 
 
-def chains_from_json(data: Sequence[Sequence[str]]) -> List[Tuple[str, ...]]:
-    return [tuple(chain) for chain in data]
+chains_from_json = _frame_decode(schema.chains_from_wire, "chain list")
 
 
 __all__ = [
@@ -271,6 +287,7 @@ __all__ = [
     "detector_config_from_json",
     "detector_config_to_json",
     "encode_frame",
+    "hello_payload",
     "read_frame",
     "send_frame",
     "spec_from_json",

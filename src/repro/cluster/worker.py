@@ -25,7 +25,7 @@ import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from typing import Optional, Set
 
-from repro.errors import ClusterError, ClusterProtocolError
+from repro.errors import ClusterError, ClusterProtocolError, ConfigError
 from repro.fleet.executor import run_scenario
 from repro.cluster import protocol
 from repro.cluster.protocol import (
@@ -34,9 +34,9 @@ from repro.cluster.protocol import (
     HEARTBEAT,
     HELLO,
     OUTCOME,
-    PROTOCOL_VERSION,
     ROLE_WORKER,
     check_hello,
+    hello_payload,
     read_frame,
     send_frame,
 )
@@ -75,7 +75,7 @@ class ClusterWorker:
         cache_dir: Optional[str] = None,
     ) -> None:
         if slots < 1:
-            raise ValueError("slots must be >= 1")
+            raise ConfigError("slots must be >= 1")
         self.host = host
         self.port = port
         self.slots = slots
@@ -113,12 +113,9 @@ class ClusterWorker:
         self._writer = writer
         await self._send(
             HELLO,
-            {
-                "version": PROTOCOL_VERSION,
-                "role": ROLE_WORKER,
-                "slots": self.slots,
-                "name": self.name,
-            },
+            hello_payload(
+                role=ROLE_WORKER, slots=self.slots, name=self.name
+            ),
         )
         reply = await read_frame(reader)
         if reply is not None and reply.type == BYE:

@@ -12,8 +12,13 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
 
 
-class ConfigError(ReproError):
-    """A configuration object is inconsistent or out of range."""
+class ConfigError(ReproError, ValueError):
+    """A configuration object is inconsistent or out of range.
+
+    Also a :class:`ValueError`: the facade unified argument validation
+    onto this class, and callers that predate :mod:`repro.api` caught
+    ``ValueError`` — both catch styles keep working.
+    """
 
 
 class SimulationError(ReproError):
@@ -52,6 +57,29 @@ class GraphError(ReproError):
 
 class TelemetryError(ReproError):
     """Telemetry records are malformed or cannot be aligned."""
+
+
+class SchemaError(ReproError):
+    """A wire object does not match the canonical :mod:`repro.schema`."""
+
+
+class SchemaVersionError(SchemaError, TelemetryError):
+    """An artifact or frame was written under a different schema version.
+
+    Also a :class:`TelemetryError` because versioned artifacts (fleet
+    outcome JSONL, snapshot files) historically raised that; one base
+    class keeps pre-facade ``except`` clauses working.
+    """
+
+    def __init__(self, found: object, supported: int, where: str) -> None:
+        self.found = found
+        self.supported = supported
+        self.where = where
+        super().__init__(
+            f"{where}: schema version {found!r} vs {supported} supported "
+            f"by this release — re-export the artifact with a matching "
+            f"version, or upgrade this side"
+        )
 
 
 class ClusterError(ReproError):

@@ -6,11 +6,12 @@ down to a compact :class:`SessionOutcome` instead of the full telemetry
 bundle, so a campaign of hundreds of sessions fits in memory and
 pickles cheaply across process boundaries.
 
-:func:`run_campaign` fans scenarios out over a
-:class:`~concurrent.futures.ProcessPoolExecutor` (``workers > 1``) or
-runs them in-process (``workers = 1``, the determinism/debugging path).
-Outcomes come back in scenario order regardless of completion order, so
-parallel and serial campaigns aggregate byte-identically.
+:func:`run_campaign` is the legacy campaign entry point; execution now
+lives behind the :class:`~repro.api.backends.ExecutionBackend` seam
+(inline / process pool / cluster) and this function simply maps its
+arguments onto a backend.  Outcomes come back in scenario order
+regardless of completion order, so every backend aggregates
+byte-identically.
 
 Scenarios are deterministic given their spec, so outcomes are cacheable:
 pass ``cache_dir`` and each (scenario fingerprint, detector-config hash)
@@ -26,14 +27,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+import warnings
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.analysis.summarize import summarize_session
 from repro.core.detector import DetectorConfig, DominoDetector
 from repro.core.stats import DominoStats
-from repro.errors import TelemetryError
+from repro.errors import ConfigError, SchemaError, TelemetryError
 from repro.fleet.scenarios import ScenarioSpec
 from repro.telemetry.io import save_bundle
 
@@ -64,11 +65,17 @@ class SessionOutcome:
     event_rates: Dict[str, float] = field(default_factory=dict)
 
     def to_json(self) -> dict:
-        return asdict(self)
+        # Canonical serde lives in repro.schema; the import is lazy
+        # because schema's registry imports this module's dataclass.
+        from repro.schema import session_outcome_to_wire
+
+        return session_outcome_to_wire(self)
 
     @classmethod
     def from_json(cls, data: dict) -> "SessionOutcome":
-        return cls(**data)
+        from repro.schema import session_outcome_from_wire
+
+        return session_outcome_from_wire(data)
 
 
 def _trace_path(trace_dir: str, scenario_name: str) -> str:
@@ -124,7 +131,7 @@ def _cache_load(path: str) -> Optional[SessionOutcome]:
     try:
         with open(path) as handle:
             return SessionOutcome.from_json(json.load(handle))
-    except (OSError, ValueError, TypeError):
+    except (OSError, ValueError, TypeError, SchemaError):
         return None  # miss, or corrupt/stale entry: just re-simulate
 
 
@@ -225,19 +232,16 @@ def run_campaign(
 ) -> List[SessionOutcome]:
     """Run every scenario; return outcomes in scenario order.
 
-    ``workers = 1`` stays in-process (deterministic stack traces, easy
-    pdb); ``workers > 1`` distributes over a process pool.  Each session
-    is seeded by its spec, so the outcome list is identical either way.
-
-    ``dispatch="cluster"`` serves the campaign over TCP instead: a
-    :class:`~repro.cluster.coordinator.ClusterCoordinator` binds
-    *cluster_host*:*cluster_port* (0 = ephemeral; *on_listening* is
-    called with the bound address), waits for *cluster_min_workers*
-    :class:`~repro.cluster.worker.ClusterWorker` peers, and dispatches
-    scenarios at them.  Scenarios are deterministic functions of their
-    spec (blake2b-derived seeds ride inside it), so cluster outcomes are
-    byte-identical to local execution; *workers* is ignored — each
-    remote worker brings its own slot count.
+    .. deprecated::
+        This is the legacy entry point; new code should use
+        :func:`repro.api.campaign` with an explicit
+        :class:`~repro.api.backends.ExecutionBackend`.  The behaviour is
+        unchanged — this function now just maps its arguments onto a
+        backend: ``workers`` → :class:`~repro.api.backends.InlineBackend`
+        / :class:`~repro.api.backends.ProcessPoolBackend`,
+        ``dispatch="cluster"`` →
+        :class:`~repro.api.backends.ClusterBackend` — so outcomes stay
+        byte-identical to every earlier release.
 
     *cache_dir* short-circuits scenarios whose outcome is already
     cached (see :func:`run_scenario`).  *fail_fast* cancels every
@@ -245,62 +249,64 @@ def run_campaign(
     the rest of the campaign finish first; the first error (in scenario
     order) propagates either way.
     """
+    warnings.warn(
+        "run_campaign() is deprecated; use repro.api.campaign(..., "
+        "backend=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if workers < 1:
-        raise ValueError("workers must be >= 1")
+        raise ConfigError("workers must be >= 1")
     if dispatch not in ("local", "cluster"):
-        raise ValueError(
+        raise ConfigError(
             f"dispatch must be 'local' or 'cluster', not {dispatch!r}"
         )
-    if dispatch == "cluster":
-        # Imported lazily: repro.cluster imports this module.
-        from repro.cluster.coordinator import run_cluster_campaign
+    # Imported lazily: the facade imports this module for run_scenario.
+    from repro.api.backends import ClusterBackend, ProcessPoolBackend
 
-        return run_cluster_campaign(
-            scenarios,
-            detector_config=detector_config,
-            trace_dir=trace_dir,
-            cache_dir=cache_dir,
-            fail_fast=fail_fast,
-            host=cluster_host,
-            port=cluster_port,
+    if dispatch == "cluster":
+        backend = ClusterBackend(
+            cluster_host,
+            cluster_port,
             min_workers=cluster_min_workers,
             worker_wait_s=cluster_worker_wait_s,
             on_listening=on_listening,
         )
-    if workers == 1 or len(scenarios) <= 1:
-        return [
-            run_scenario(spec, detector_config, trace_dir, cache_dir)
-            for spec in scenarios
-        ]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(
-                run_scenario, spec, detector_config, trace_dir, cache_dir
-            )
-            for spec in scenarios
-        ]
-        if fail_fast:
-            done, _ = wait(futures, return_when=FIRST_EXCEPTION)
-            if any(future.exception() for future in done):
-                pool.shutdown(wait=True, cancel_futures=True)
-                for future in futures:  # first failure in scenario order
-                    if not future.cancelled() and future.exception():
-                        raise future.exception()
-        return [future.result() for future in futures]
+    else:
+        backend = ProcessPoolBackend(workers)
+    return backend.run(
+        scenarios,
+        detector_config=detector_config,
+        trace_dir=trace_dir,
+        cache_dir=cache_dir,
+        fail_fast=fail_fast,
+    )
 
 
 # -- outcome persistence -------------------------------------------------------
+# Fleet outcome files are versioned by the canonical
+# repro.schema.SCHEMA_VERSION; the pre-2.0 OUTCOME_FORMAT_VERSION name
+# resolves to it via the module __getattr__ below (lazy: schema's
+# registry imports this module).
 
-OUTCOME_FORMAT_VERSION = 1
+
+def __getattr__(name: str):
+    if name == "OUTCOME_FORMAT_VERSION":
+        from repro.schema import SCHEMA_VERSION
+
+        return SCHEMA_VERSION
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def save_outcomes(outcomes: Sequence[SessionOutcome], path: str) -> None:
     """Write outcomes as JSONL: a header line, then one object each."""
+    from repro.schema import SCHEMA_VERSION
+
     with open(path, "w") as handle:
         json.dump(
             {
                 "type": "fleet_header",
-                "version": OUTCOME_FORMAT_VERSION,
+                "version": SCHEMA_VERSION,
                 "n_outcomes": len(outcomes),
             },
             handle,
@@ -338,6 +344,8 @@ def iter_outcomes(
     warn.  A missing/foreign header still raises either way (that is a
     wrong-file error, not truncation).
     """
+    from repro.schema import check_schema_version
+
     if stats is None:
         stats = {}
     stats.setdefault("skipped_lines", 0)
@@ -368,17 +376,23 @@ def iter_outcomes(
                     f"record {line[:60]!r}...)"
                 )
             if data.get("type") == "fleet_header":
-                if data.get("version") != OUTCOME_FORMAT_VERSION:
+                # Fleet headers have carried a version since format v1,
+                # so a version-less header is corruption, not an old
+                # writer; a mismatched one fails with a "schema version
+                # X vs Y" diagnostic, never a KeyError mid-decode.
+                if data.get("version") is None:
                     raise TelemetryError(
-                        f"{path}: unsupported outcome format version "
-                        f"{data.get('version')!r} (expected "
-                        f"{OUTCOME_FORMAT_VERSION})"
+                        f"{path}: fleet header carries no version "
+                        f"(corrupt header?)"
                     )
+                check_schema_version(
+                    data["version"], where=f"{path} (fleet header)"
+                )
                 expected = (expected or 0) + data.get("n_outcomes", 0)
                 continue
             try:
                 outcome = SessionOutcome.from_json(data)
-            except TypeError:
+            except SchemaError:
                 if tolerant:
                     stats["skipped_lines"] += 1
                     continue

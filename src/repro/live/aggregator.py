@@ -16,7 +16,7 @@ the equivalence tests assert.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.chains import CauseKind, ConsequenceKind
@@ -125,15 +125,18 @@ class FleetSnapshot:
     sessions: List[SessionSnapshot] = field(default_factory=list)
 
     def to_json(self) -> dict:
-        return asdict(self)
+        # Canonical serde lives in repro.schema; the import is lazy
+        # because schema's registry imports this module's dataclass.
+        # The wire dict carries a schema-version stamp for artifacts.
+        from repro.schema import fleet_snapshot_to_wire
+
+        return fleet_snapshot_to_wire(self)
 
     @classmethod
     def from_json(cls, data: dict) -> "FleetSnapshot":
-        sessions = [
-            SessionSnapshot.from_json(s) for s in data.pop("sessions", [])
-        ]
-        top = [tuple(pair) for pair in data.pop("top_chains", [])]
-        return cls(sessions=sessions, top_chains=top, **data)
+        from repro.schema import fleet_snapshot_from_wire
+
+        return fleet_snapshot_from_wire(data)
 
 
 class LiveAggregator:

@@ -19,10 +19,10 @@ from __future__ import annotations
 
 import asyncio
 import json
-import os
 from typing import Callable, List, Optional, Sequence
 
 from repro.core.detector import DetectorConfig, WindowDetection
+from repro.errors import ConfigError
 from repro.live.aggregator import FleetSnapshot, LiveAggregator
 from repro.live.sources import TelemetrySource
 from repro.live.supervisor import (
@@ -100,10 +100,10 @@ class LiveRcaService:
         adaptive_advance: bool = False,
     ) -> None:
         if not sources:
-            raise ValueError("need at least one telemetry source")
+            raise ConfigError("need at least one telemetry source")
         ids = [source.session_id for source in sources]
         if len(set(ids)) != len(ids):
-            raise ValueError("session ids must be unique")
+            raise ConfigError("session ids must be unique")
         self.aggregator = LiveAggregator()
         self.detection_sink = detection_sink
         self.supervisors: List[SessionSupervisor] = []
@@ -184,10 +184,11 @@ class LiveRcaService:
         return snapshot
 
     def _write_snapshot(self, snapshot: FleetSnapshot) -> None:
-        tmp = f"{self.snapshot_path}.tmp.{os.getpid()}"
-        with open(tmp, "w") as handle:
-            json.dump(snapshot.to_json(), handle)
-        os.replace(tmp, self.snapshot_path)  # watchers never see a tear
+        # Canonical versioned artifact (atomic write): what `repro
+        # watch` and api.read_snapshot read back, version-checked.
+        from repro.schema import save_snapshot
+
+        save_snapshot(snapshot, self.snapshot_path)
 
     # -- main loop --------------------------------------------------------------
 

@@ -26,11 +26,12 @@ detections exactly as it does in-process today.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from repro.core.detector import DetectorConfig, WindowDetection
 from repro.core.streaming import StreamingDomino
+from repro.errors import ConfigError
 from repro.live.sources import TelemetryBatch, TelemetrySource
 
 #: Supervisor lifecycle states, in order of appearance.
@@ -62,11 +63,17 @@ class SessionSnapshot:
     detected_windows: int
 
     def to_json(self) -> dict:
-        return asdict(self)
+        # Canonical serde lives in repro.schema; the import is lazy
+        # because schema's registry imports this module's dataclass.
+        from repro.schema import session_snapshot_to_wire
+
+        return session_snapshot_to_wire(self)
 
     @classmethod
     def from_json(cls, data: dict) -> "SessionSnapshot":
-        return cls(**data)
+        from repro.schema import session_snapshot_from_wire
+
+        return session_snapshot_from_wire(data)
 
 
 class SessionSupervisor:
@@ -119,7 +126,7 @@ class SessionSupervisor:
         on_detections: Optional[DetectionSink] = None,
     ) -> None:
         if backpressure not in ("block", "drop_oldest"):
-            raise ValueError(
+            raise ConfigError(
                 "backpressure must be 'block' or 'drop_oldest', "
                 f"not {backpressure!r}"
             )
