@@ -63,6 +63,20 @@ def main(argv):
         f"{row['per_window_cost_s'] * 1e3:.2f} ms/window "
         f"(informational; load-sensitive)"
     )
+    phases = results.get("phases_60s", {})
+    if phases:
+        # Span-derived per-phase breakdown (older BENCH files lack it).
+        total_s = sum(phases.values())
+        breakdown = ", ".join(
+            f"{name} {seconds * 1e3:.1f} ms"
+            f" ({100 * seconds / total_s:.0f}%)"
+            if total_s
+            else f"{name} {seconds * 1e3:.1f} ms"
+            for name, seconds in sorted(
+                phases.items(), key=lambda kv: -kv[1]
+            )
+        )
+        print(f"60s phase breakdown (informational): {breakdown}")
     if os.path.exists(baseline_path):
         with open(baseline_path) as handle:
             baseline = json.load(handle)

@@ -59,6 +59,7 @@ __all__ = [
     "analyze",
     "api",
     "campaign",
+    "obs",
     "open_stream",
     "read_snapshot",
     "schema",
@@ -72,6 +73,7 @@ __all__ = [
 #: ``import repro``.
 _PUBLIC_EXPORTS = {
     "api": ("repro.api", None),
+    "obs": ("repro.obs", None),
     "schema": ("repro.schema", None),
     "SCHEMA_VERSION": ("repro.schema", "SCHEMA_VERSION"),
     "analyze": ("repro.api", "analyze"),

@@ -44,6 +44,8 @@ from repro.fleet.scenarios import ScenarioMatrix, ScenarioSpec, get_preset
 from repro.live.aggregator import FleetSnapshot
 from repro.live.service import LiveRcaService
 from repro.live.sources import TelemetrySource
+from repro.obs.metrics import get_registry
+from repro.obs.spans import span
 from repro.telemetry.records import TelemetryBundle
 from repro.telemetry.timeline import Timeline
 from repro.api.backends import ExecutionBackend, InlineBackend
@@ -160,13 +162,32 @@ def campaign(
             f"backend must implement ExecutionBackend.run(), got "
             f"{type(chosen).__name__}"
         )
-    return chosen.run(
-        specs,
-        detector_config=detector_config,
-        trace_dir=trace_dir,
-        cache_dir=cache_dir,
-        fail_fast=fail_fast,
-    )
+    with span(
+        "fleet.campaign",
+        n_scenarios=len(specs),
+        backend=type(chosen).__name__,
+    ):
+        outcomes = chosen.run(
+            specs,
+            detector_config=detector_config,
+            trace_dir=trace_dir,
+            cache_dir=cache_dir,
+            fail_fast=fail_fast,
+        )
+    # Campaign totals are counted here, in the parent process, from the
+    # returned outcomes: ProcessPool / cluster workers have their own
+    # registries, so this is the one point every backend funnels through
+    # — the CI obs smoke asserts these against the outcome file.
+    registry = get_registry()
+    registry.counter(
+        "repro_scenarios_completed_total",
+        help="Campaign scenarios completed (counted at collection).",
+    ).inc(len(outcomes))
+    registry.counter(
+        "repro_windows_analyzed_total",
+        help="Detector windows across completed campaign scenarios.",
+    ).inc(sum(outcome.n_windows for outcome in outcomes))
+    return outcomes
 
 
 def serve(

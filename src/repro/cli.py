@@ -42,7 +42,10 @@ from repro.fleet.aggregate import FleetAggregate
 from repro.fleet.executor import iter_outcomes, save_outcomes
 from repro.fleet.report import render_fleet_report
 from repro.fleet.scenarios import PRESETS, get_preset
+from repro.obs.logs import get_logger, setup_logging
 from repro.telemetry.io import load_bundle, save_bundle
+
+logger = get_logger(__name__)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -214,20 +217,18 @@ def _cmd_fleet_report(args: argparse.Namespace) -> int:
     except TelemetryError as exc:
         # Includes SchemaVersionError: a mismatched artifact reports
         # "schema version X vs Y", never a traceback mid-decode.
-        print(f"error: {exc}", file=sys.stderr)
+        logger.error("%s", exc)
         return 1
     if stats.get("skipped_lines"):
-        print(
-            f"warning: skipped {stats['skipped_lines']} undecodable "
-            f"line(s) (truncated save?)",
-            file=sys.stderr,
+        logger.warning(
+            "skipped %d undecodable line(s) (truncated save?)",
+            stats["skipped_lines"],
         )
     if stats.get("missing_outcomes"):
-        print(
-            f"warning: file holds {stats['missing_outcomes']} fewer "
-            f"outcome(s) than its header promises — rollup covers the "
-            f"surviving sessions only",
-            file=sys.stderr,
+        logger.warning(
+            "file holds %d fewer outcome(s) than its header promises "
+            "— rollup covers the surviving sessions only",
+            stats["missing_outcomes"],
         )
     return 0
 
@@ -293,6 +294,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
             snapshot_every_s=args.snapshot_every,
             idle_timeout_s=args.idle_timeout,
             snapshot_path=args.snapshot,
+            metrics_path=getattr(args, "live_metrics_file", None),
             on_snapshot=progress if not args.quiet else None,
             detection_sink=sink,
             adaptive_advance=args.adaptive_advance,
@@ -407,7 +409,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             # frame (ClusterProtocolError), or a mismatched snapshot
             # stamp (SchemaVersionError).  None of these heal by
             # retrying: report the reason cleanly and exit non-zero.
-            print(f"error: {exc}", file=sys.stderr)
+            logger.error("%s", exc)
             return 1
         return 0
 
@@ -415,7 +417,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         try:
             snapshot = api.read_snapshot(args.snapshot)
         except SchemaError as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            logger.error("%s", exc)
             return 1
         except FileNotFoundError:
             if args.follow:
@@ -546,10 +548,47 @@ def _cmd_codegen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs import report_from_file
+
+    try:
+        print(report_from_file(args.events))
+    except (OSError, ValueError, SchemaError) as exc:
+        logger.error("%s: unreadable event log: %s", args.events, exc)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Domino: cross-layer 5G VCA root-cause analysis",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        dest="log_verbose",
+        help="more diagnostics on stderr (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        dest="log_quiet",
+        help="only errors on stderr",
+    )
+    parser.add_argument(
+        "--metrics-file",
+        default=None,
+        help="write a Prometheus-text metrics snapshot here when the "
+        "command finishes (long-running commands flush periodically)",
+    )
+    parser.add_argument(
+        "--events-file",
+        default=None,
+        help="append one versioned JSONL span event here per timed "
+        "pipeline stage (summarize with `repro obs report`)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -845,12 +884,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--connect-timeout", type=float, default=20.0, help="seconds"
     )
     worker.set_defaults(fn=_cmd_cluster_worker)
+
+    obs = sub.add_parser(
+        "obs", help="observability: summarize span-event traces"
+    )
+    osub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = osub.add_parser(
+        "report",
+        help="per-stage time breakdown of a JSONL span-event log "
+        "(written via --events-file)",
+    )
+    obs_report.add_argument("events", help="JSONL span-event log")
+    obs_report.set_defaults(fn=_cmd_obs_report)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro import obs
+
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    setup_logging(verbose=args.log_verbose, quiet=args.log_quiet)
+    sink = None
+    previous_sink = None
+    if args.events_file:
+        sink = obs.JsonlSink(args.events_file)
+        previous_sink = obs.set_sink(sink)
+    # Long-running service commands also flush periodically (the live
+    # service's metrics_path); every command flushes a final snapshot.
+    if args.metrics_file and getattr(args, "fn", None) is _cmd_live:
+        args.live_metrics_file = args.metrics_file
+    try:
+        return args.fn(args)
+    finally:
+        if sink is not None:
+            obs.set_sink(previous_sink)
+            sink.close()
+        if args.metrics_file:
+            obs.write_metrics_file(obs.get_registry(), args.metrics_file)
 
 
 if __name__ == "__main__":

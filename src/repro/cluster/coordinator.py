@@ -46,6 +46,9 @@ from repro.fleet.executor import SessionOutcome
 from repro.fleet.scenarios import ScenarioSpec
 from repro.live.aggregator import FleetSnapshot, LiveAggregator
 from repro.live.supervisor import RUNNING, SessionSnapshot
+from repro.obs.logs import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.spans import span
 from repro.cluster import protocol
 from repro.cluster.protocol import (
     BYE,
@@ -65,6 +68,8 @@ from repro.cluster.protocol import (
 
 #: on_progress(done, total, requeues) after every recorded outcome.
 ProgressCallback = Callable[[int, int, int], None]
+
+logger = get_logger(__name__)
 
 
 class _WorkerConn:
@@ -403,6 +408,10 @@ class ClusterCoordinator:
         )
         worker.last_seen = loop.time()
         self._workers[worker_id] = worker
+        get_registry().gauge(
+            "repro_cluster_workers",
+            help="Workers currently connected to the coordinator.",
+        ).set(len(self._workers))
         async with self._worker_joined:
             self._worker_joined.notify_all()
         dispatcher = asyncio.create_task(
@@ -450,19 +459,26 @@ class ClusterCoordinator:
             if campaign is None:
                 continue
             spec = campaign.scenarios[index]
-            await worker.send(
-                DISPATCH,
-                {
-                    "campaign": campaign.epoch,
-                    "index": index,
-                    "spec": protocol.spec_to_json(spec),
-                    "detector_config": protocol.detector_config_to_json(
-                        self.detector_config
-                    ),
-                    "trace_dir": campaign.trace_dir,
-                    "cache_dir": campaign.cache_dir,
-                },
-            )
+            with span(
+                "cluster.dispatch", scenario=spec.name, worker=worker.name
+            ):
+                await worker.send(
+                    DISPATCH,
+                    {
+                        "campaign": campaign.epoch,
+                        "index": index,
+                        "spec": protocol.spec_to_json(spec),
+                        "detector_config": protocol.detector_config_to_json(
+                            self.detector_config
+                        ),
+                        "trace_dir": campaign.trace_dir,
+                        "cache_dir": campaign.cache_dir,
+                    },
+                )
+            get_registry().counter(
+                "repro_cluster_dispatches_total",
+                help="Scenario dispatches pushed to cluster workers.",
+            ).inc()
 
     def _claim_ready(self, worker: _WorkerConn) -> bool:
         """O(1) pre-check; exclusion filtering is _claim's job.
@@ -563,6 +579,12 @@ class ClusterCoordinator:
         """Unregister a worker; requeue whatever it was running."""
         worker.closed = True
         self._workers.pop(worker.worker_id, None)
+        registry = get_registry()
+        registry.gauge(
+            "repro_cluster_workers",
+            help="Workers currently connected to the coordinator.",
+        ).set(len(self._workers))
+        requeued_here = 0
         campaign = self._campaign
         async with self._work_available:
             if campaign is not None and worker.in_flight:
@@ -578,8 +600,19 @@ class ClusterCoordinator:
                     campaign.requeued.add(index)
                     campaign.requeues += 1
                     self.requeues += 1
+                    requeued_here += 1
             worker.in_flight.clear()
             self._work_available.notify_all()
+        if requeued_here:
+            registry.counter(
+                "repro_cluster_requeues_total",
+                help="Scenarios requeued after losing their worker.",
+            ).inc(requeued_here)
+            logger.warning(
+                "worker %r dropped with %d scenario(s) in flight; requeued",
+                worker.name,
+                requeued_here,
+            )
 
     async def _watchdog(self) -> None:
         """Heartbeat workers; declare silent ones dead."""
@@ -587,10 +620,21 @@ class ClusterCoordinator:
         while True:
             await asyncio.sleep(self.heartbeat_s)
             now = loop.time()
+            heartbeats = get_registry().counter(
+                "repro_cluster_heartbeats_total",
+                help="Heartbeat frames sent to cluster workers.",
+            )
             for worker in list(self._workers.values()):
                 if now - worker.last_seen > self.worker_timeout_s:
                     # Abort the transport: the serve loop's read fails,
                     # which funnels into _drop_worker and the requeue.
+                    logger.warning(
+                        "worker %r silent for %.1fs (timeout %.1fs); "
+                        "declaring it dead",
+                        worker.name,
+                        now - worker.last_seen,
+                        self.worker_timeout_s,
+                    )
                     worker.writer.transport.abort()
                     continue
                 # Bounded send: a wedged peer whose socket buffer is
@@ -601,12 +645,18 @@ class ClusterCoordinator:
                         worker.send(HEARTBEAT, {"t": now}),
                         timeout=self.heartbeat_s,
                     )
+                    heartbeats.inc()
                 except (
                     asyncio.TimeoutError,
                     ConnectionError,
                     ClusterProtocolError,
                     OSError,
                 ):
+                    logger.warning(
+                        "heartbeat to worker %r failed; aborting its "
+                        "connection",
+                        worker.name,
+                    )
                     worker.writer.transport.abort()
 
     # -- live plane: remote supervisors and watchers ----------------------------
@@ -635,9 +685,14 @@ class ClusterCoordinator:
                         break
                     except asyncio.QueueFull:
                         dropped = self._live_queue.get_nowait()
-                        self.lag_events += len(
-                            dropped.get("detections", ())
-                        )
+                        shed = len(dropped.get("detections", ()))
+                        self.lag_events += shed
+                        get_registry().counter(
+                            "repro_live_lag_records_total",
+                            help=(
+                                "Records shed by drop_oldest backpressure."
+                            ),
+                        ).inc(shed)
 
     async def _fold_live(self) -> None:
         """Single consumer folding live-plane frames into the rollups."""
@@ -742,6 +797,12 @@ class ClusterCoordinator:
             cause_rates=fleet.fleet_cause_rates(),
             consequence_rates=fleet.fleet_consequence_rates(),
             chain_totals=fleet.fleet_chain_totals(),
+            health={
+                "workers_alive": float(len(self._workers)),
+                "requeues": float(self.requeues),
+                "live_queue_depth": float(self._live_queue.qsize()),
+                "lag_records": float(self.lag_events),
+            },
             sessions=sessions,
         )
 

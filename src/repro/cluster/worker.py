@@ -27,6 +27,9 @@ from typing import Optional, Set
 
 from repro.errors import ClusterError, ClusterProtocolError, ConfigError
 from repro.fleet.executor import run_scenario
+from repro.obs.logs import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.spans import span
 from repro.cluster import protocol
 from repro.cluster.protocol import (
     BYE,
@@ -40,6 +43,8 @@ from repro.cluster.protocol import (
     read_frame,
     send_frame,
 )
+
+logger = get_logger(__name__)
 
 
 class ClusterWorker:
@@ -210,21 +215,38 @@ class ClusterWorker:
                 payload.get("detector_config")
             )
             loop = asyncio.get_running_loop()
-            outcome = await loop.run_in_executor(
-                self._pool,
-                functools.partial(
-                    run_scenario,
-                    spec,
-                    config,
-                    self.trace_dir or payload.get("trace_dir"),
-                    self.cache_dir or payload.get("cache_dir"),
-                ),
-            )
+            with span("cluster.scenario", scenario=spec.name):
+                outcome = await loop.run_in_executor(
+                    self._pool,
+                    functools.partial(
+                        run_scenario,
+                        spec,
+                        config,
+                        self.trace_dir or payload.get("trace_dir"),
+                        self.cache_dir or payload.get("cache_dir"),
+                    ),
+                )
         except asyncio.CancelledError:
             raise
         except BaseException as exc:
             # Report instead of dying: one bad scenario (or a broken
             # pool process) must not cost the worker its other slots.
+            spec_payload = payload.get("spec")
+            scenario_name = (
+                spec_payload.get("name", index)
+                if isinstance(spec_payload, dict)
+                else index
+            )
+            logger.warning(
+                "scenario %r failed on this worker: %s: %s",
+                scenario_name,
+                type(exc).__name__,
+                exc,
+            )
+            get_registry().counter(
+                "repro_cluster_scenario_errors_total",
+                help="Dispatched scenarios that raised on this worker.",
+            ).inc()
             try:
                 await self._send(
                     OUTCOME,

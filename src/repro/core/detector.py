@@ -22,6 +22,8 @@ from repro.core.features import (
 )
 from repro.core.graph import CausalGraph
 from repro.core.trace import evaluate_chains
+from repro.obs.metrics import get_registry
+from repro.obs.spans import span
 from repro.telemetry.records import TelemetryBundle
 from repro.telemetry.timeline import Timeline
 
@@ -137,21 +139,32 @@ class DominoDetector:
         extractor = (
             self.batch_extractor if self.config.use_batch else self.extractor
         )
+        # extract_all instead of the extract generator so feature
+        # extraction and the backward trace get distinct spans (the
+        # batch engine's extract is iter(extract_all) anyway, so the
+        # windows — and therefore the detections — are unchanged).
+        with span("detect.features", session=session_name):
+            feature_windows = extractor.extract_all(timeline)
         windows: List[WindowDetection] = []
-        for feature_window in extractor.extract(timeline):
-            consequences, causes, chain_ids = self._trace(
-                feature_window.features
-            )
-            windows.append(
-                WindowDetection(
-                    start_us=feature_window.start_us,
-                    end_us=feature_window.end_us,
-                    features=feature_window.features,
-                    consequences=sorted(consequences),
-                    causes=sorted(causes),
-                    chain_ids=sorted(chain_ids),
+        with span("detect.trace", session=session_name):
+            for feature_window in feature_windows:
+                consequences, causes, chain_ids = self._trace(
+                    feature_window.features
                 )
-            )
+                windows.append(
+                    WindowDetection(
+                        start_us=feature_window.start_us,
+                        end_us=feature_window.end_us,
+                        features=feature_window.features,
+                        consequences=sorted(consequences),
+                        causes=sorted(causes),
+                        chain_ids=sorted(chain_ids),
+                    )
+                )
+        get_registry().counter(
+            "repro_windows_detected_total",
+            help="Sliding windows evaluated by the detector (this process).",
+        ).inc(len(windows))
         return DominoReport(
             session_name=session_name,
             duration_us=duration_us or timeline.n_bins * timeline.dt_us,

@@ -36,9 +36,14 @@ from repro.core.detector import DetectorConfig, DominoDetector
 from repro.core.stats import DominoStats
 from repro.errors import ConfigError, SchemaError, TelemetryError
 from repro.fleet.scenarios import ScenarioSpec
+from repro.obs.logs import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.spans import span
 from repro.telemetry.io import save_bundle
 
 CHAIN_SEPARATOR = " --> "
+
+logger = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -164,56 +169,61 @@ def run_scenario(
         cache_path = _cache_path(cache_dir, spec, detector_config)
         cached = _cache_load(cache_path)
         if cached is not None:
+            get_registry().counter(
+                "repro_fleet_cache_hits_total",
+                help="Scenario outcomes served from the outcome cache.",
+            ).inc()
             return cached
-    session = spec.build_session()
-    result = session.run(spec.duration_us)
-    bundle = result.bundle
-    if trace_dir is not None:
-        os.makedirs(trace_dir, exist_ok=True)
-        save_bundle(bundle, _trace_path(trace_dir, spec.name))
-    detector = DominoDetector(detector_config)
-    report = detector.analyze(bundle)
-    stats = DominoStats.from_report(report)
-    summary = summarize_session(bundle)
-    qoe = {
-        "ul_delay_p50_ms": summary.ul_delay.median,
-        "ul_delay_p99_ms": summary.ul_delay.percentile(99),
-        "dl_delay_p50_ms": summary.dl_delay.median,
-        "dl_delay_p99_ms": summary.dl_delay.percentile(99),
-        "ul_target_bitrate_p50_bps": summary.ul_target_bitrate.median,
-        "dl_target_bitrate_p50_bps": summary.dl_target_bitrate.median,
-        "ul_freeze_fraction": summary.ul_freeze_fraction,
-        "dl_freeze_fraction": summary.dl_freeze_fraction,
-        "ul_concealed_fraction": summary.ul_concealed_fraction,
-        "dl_concealed_fraction": summary.dl_concealed_fraction,
-    }
-    outcome = SessionOutcome(
-        scenario=spec.name,
-        profile=spec.profile,
-        impairment=spec.impairment.name,
-        seed=spec.seed,
-        duration_s=spec.duration_s,
-        n_windows=report.n_windows,
-        n_detected_windows=len(report.windows_with_detections()),
-        degradation_events_per_min=stats.degradation_events_per_min(),
-        chain_counts={
-            CHAIN_SEPARATOR.join(chain): count
-            for chain, count in sorted(stats.chain_episode_counts().items())
-        },
-        cause_counts={
-            kind.value: count
-            for kind, count in stats.cause_episode_counts().items()
-        },
-        consequence_counts={
-            kind.value: count
-            for kind, count in stats.consequence_episode_counts().items()
-        },
-        qoe=qoe,
-        event_rates=bundle.event_rates_per_minute(),
-    )
-    if cache_path is not None:
-        _cache_store(cache_path, outcome)
-    return outcome
+    with span("fleet.scenario", scenario=spec.name):
+        session = spec.build_session()
+        result = session.run(spec.duration_us)
+        bundle = result.bundle
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
+            save_bundle(bundle, _trace_path(trace_dir, spec.name))
+        detector = DominoDetector(detector_config)
+        report = detector.analyze(bundle)
+        stats = DominoStats.from_report(report)
+        summary = summarize_session(bundle)
+        qoe = {
+            "ul_delay_p50_ms": summary.ul_delay.median,
+            "ul_delay_p99_ms": summary.ul_delay.percentile(99),
+            "dl_delay_p50_ms": summary.dl_delay.median,
+            "dl_delay_p99_ms": summary.dl_delay.percentile(99),
+            "ul_target_bitrate_p50_bps": summary.ul_target_bitrate.median,
+            "dl_target_bitrate_p50_bps": summary.dl_target_bitrate.median,
+            "ul_freeze_fraction": summary.ul_freeze_fraction,
+            "dl_freeze_fraction": summary.dl_freeze_fraction,
+            "ul_concealed_fraction": summary.ul_concealed_fraction,
+            "dl_concealed_fraction": summary.dl_concealed_fraction,
+        }
+        outcome = SessionOutcome(
+            scenario=spec.name,
+            profile=spec.profile,
+            impairment=spec.impairment.name,
+            seed=spec.seed,
+            duration_s=spec.duration_s,
+            n_windows=report.n_windows,
+            n_detected_windows=len(report.windows_with_detections()),
+            degradation_events_per_min=stats.degradation_events_per_min(),
+            chain_counts={
+                CHAIN_SEPARATOR.join(chain): count
+                for chain, count in sorted(stats.chain_episode_counts().items())
+            },
+            cause_counts={
+                kind.value: count
+                for kind, count in stats.cause_episode_counts().items()
+            },
+            consequence_counts={
+                kind.value: count
+                for kind, count in stats.consequence_episode_counts().items()
+            },
+            qoe=qoe,
+            event_rates=bundle.event_rates_per_minute(),
+        )
+        if cache_path is not None:
+            _cache_store(cache_path, outcome)
+        return outcome
 
 
 def run_campaign(
@@ -407,10 +417,33 @@ def iter_outcomes(
             f"{path}: missing fleet header (not a fleet outcomes file, "
             f"or its head was lost?)"
         )
+    if yielded != expected and tolerant:
+        stats["missing_outcomes"] = max(expected - yielded, 0)
+    if tolerant:
+        # Surface silent data loss at the read site itself, not just in
+        # the callers that happen to print `stats`: every tolerant read
+        # counts its skips fleet-wide and warns once per file.
+        skipped = stats["skipped_lines"]
+        missing = stats["missing_outcomes"]
+        if skipped or missing:
+            registry = get_registry()
+            registry.counter(
+                "repro_fleet_skipped_lines_total",
+                help="Undecodable outcome lines skipped by tolerant reads.",
+            ).inc(skipped)
+            registry.counter(
+                "repro_fleet_missing_outcomes_total",
+                help="Outcomes promised by fleet headers but absent.",
+            ).inc(missing)
+            logger.warning(
+                "%s: tolerant read skipped %d undecodable line(s), "
+                "%d outcome(s) promised by the header are missing",
+                path,
+                skipped,
+                missing,
+            )
+        return
     if yielded != expected:
-        if tolerant:
-            stats["missing_outcomes"] = max(expected - yielded, 0)
-            return
         raise TelemetryError(
             f"{path}: header promises {expected} outcomes but file "
             f"holds {yielded} (truncated save?)"

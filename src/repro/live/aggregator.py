@@ -122,6 +122,11 @@ class FleetSnapshot:
     #: consecutive snapshots difference into per-interval deltas (the
     #: `repro watch --follow` trend view).
     chain_totals: Dict[str, int] = field(default_factory=dict)
+    #: pipeline-health metrics piggybacked on the snapshot (sessions
+    #: lagging, queue depths, worker liveness, advance p50/p99 ms, ...)
+    #: so `repro watch` renders a fleet-health pane from the same frame.
+    #: Defaulted: pre-obs snapshots decode with an empty pane.
+    health: Dict[str, float] = field(default_factory=dict)
     sessions: List[SessionSnapshot] = field(default_factory=list)
 
     def to_json(self) -> dict:

@@ -152,6 +152,22 @@ def render_snapshot(
             )
         )
 
+    if snapshot.health:
+        # Pipeline health piggybacked on the snapshot by the producer
+        # (LiveRcaService._health, or the cluster coordinator's worker/
+        # queue gauges) — pre-obs snapshots simply have no pane.
+        sections.append(
+            "Fleet health\n"
+            + render_table(
+                ["metric", "value"],
+                [
+                    [name, f"{value:.2f}"]
+                    for name, value in sorted(snapshot.health.items())
+                ],
+                width=14,
+            )
+        )
+
     rows = []
     for session in snapshot.sessions[:max_sessions]:
         rows.append(

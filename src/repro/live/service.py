@@ -32,6 +32,8 @@ from repro.live.supervisor import (
     RUNNING,
     SessionSupervisor,
 )
+from repro.obs.metrics import get_registry, write_metrics_file
+from repro.obs.spans import span_quantile_s
 
 
 def canonical_detections(detections: Sequence[WindowDetection]) -> str:
@@ -74,6 +76,9 @@ class LiveRcaService:
             progress (None = never evict).
         snapshot_path: write each snapshot there as JSON (atomically),
             for `repro watch`.
+        metrics_path: flush a Prometheus-text snapshot of the process
+            metrics registry there (atomically) on every fleet
+            snapshot — the `--metrics-file` exposition path.
         on_snapshot: callback invoked with each periodic snapshot.
         detection_sink: extra sink invoked with every detection batch
             *in addition to* the local aggregator — the hook a
@@ -95,6 +100,7 @@ class LiveRcaService:
         snapshot_every_s: float = 0.5,
         idle_timeout_s: Optional[float] = None,
         snapshot_path: Optional[str] = None,
+        metrics_path: Optional[str] = None,
         on_snapshot: Optional[Callable[[FleetSnapshot], None]] = None,
         detection_sink=None,
         adaptive_advance: bool = False,
@@ -125,6 +131,7 @@ class LiveRcaService:
         self.snapshot_every_s = snapshot_every_s
         self.idle_timeout_s = idle_timeout_s
         self.snapshot_path = snapshot_path
+        self.metrics_path = metrics_path
         self.on_snapshot = on_snapshot
         self._seq = 0
         self._started_at: Optional[float] = None
@@ -175,13 +182,40 @@ class LiveRcaService:
             cause_rates=fleet.fleet_cause_rates(),
             consequence_rates=fleet.fleet_consequence_rates(),
             chain_totals=fleet.fleet_chain_totals(),
+            health=self._health(sessions),
             sessions=sessions,
         )
         if self.snapshot_path:
             self._write_snapshot(snapshot)
+        if self.metrics_path:
+            write_metrics_file(get_registry(), self.metrics_path)
         if self.on_snapshot is not None:
             self.on_snapshot(snapshot)
         return snapshot
+
+    @staticmethod
+    def _health(sessions) -> dict:
+        """Pipeline-health metrics piggybacked on every snapshot.
+
+        The `repro watch` fleet-health pane renders exactly this dict,
+        so anything added here shows up on every watcher for free.
+        """
+        depths = [s.queue_depth for s in sessions]
+        health = {
+            "sessions_lagging": float(
+                sum(1 for s in sessions if s.lag_events)
+            ),
+            "lag_records": float(sum(s.lag_events for s in sessions)),
+            "queue_depth_max": float(max(depths, default=0)),
+            "queue_depth_mean": (
+                float(sum(depths)) / len(depths) if depths else 0.0
+            ),
+        }
+        for label, q in (("p50", 0.50), ("p99", 0.99)):
+            quantile = span_quantile_s("live.advance", q)
+            if quantile is not None:
+                health[f"advance_{label}_ms"] = quantile * 1e3
+        return health
 
     def _write_snapshot(self, snapshot: FleetSnapshot) -> None:
         # Canonical versioned artifact (atomic write): what `repro

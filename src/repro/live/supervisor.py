@@ -33,6 +33,8 @@ from repro.core.detector import DetectorConfig, WindowDetection
 from repro.core.streaming import StreamingDomino
 from repro.errors import ConfigError
 from repro.live.sources import TelemetryBatch, TelemetrySource
+from repro.obs.metrics import get_registry
+from repro.obs.spans import span
 
 #: Supervisor lifecycle states, in order of appearance.
 RUNNING, DONE, EVICTED, FAILED = "running", "done", "evicted", "failed"
@@ -192,6 +194,10 @@ class SessionSupervisor:
                 dropped = self._queue.get_nowait()
                 if dropped is not None:
                     self.lag_events += len(dropped.records)
+                    get_registry().counter(
+                        "repro_live_lag_records_total",
+                        help="Records shed by drop_oldest backpressure.",
+                    ).inc(len(dropped.records))
             # Yield so the consumer can run between forced drops.
             await asyncio.sleep(0)
 
@@ -211,8 +217,13 @@ class SessionSupervisor:
                 # windows they would have completed must still emit.
                 self._flush(self._feed_watermark_us)
                 break
-            for record in batch.records:
-                self.stream.feed(record)
+            with span(
+                "live.drain",
+                session=self.session_id,
+                n_records=len(batch.records),
+            ):
+                for record in batch.records:
+                    self.stream.feed(record)
             self.watermark_us = max(self.watermark_us, batch.watermark_us)
             self.last_progress_at = loop.time()
             self._adapt_advance_interval()
@@ -262,7 +273,8 @@ class SessionSupervisor:
 
     def _flush(self, watermark_us: int) -> None:
         """Advance the stream and hand completed windows downstream."""
-        detections = self.stream.advance(watermark_us)
+        with span("live.advance", session=self.session_id):
+            detections = self.stream.advance(watermark_us)
         self._last_advance_us = max(self._last_advance_us, watermark_us)
         self.watermark_us = max(self.watermark_us, watermark_us)
         if detections:

@@ -1,0 +1,82 @@
+"""repro.obs — zero-dependency observability for the RCA pipeline.
+
+Three layers, all process-local and always importable:
+
+- **Metrics** (:mod:`repro.obs.metrics`): counters, gauges, and
+  fixed-bucket histograms in a :class:`MetricsRegistry`, rendered as
+  Prometheus text via ``render_prom()``.
+- **Spans** (:mod:`repro.obs.spans`): ``span(name, **attrs)`` timing
+  contexts on the hot path, feeding the ``repro_span_seconds``
+  histogram and — when a sink is installed — a versioned JSONL event
+  trace.
+- **Reports** (:mod:`repro.obs.report`): ``repro obs report`` turns a
+  trace file into a per-stage time breakdown.
+
+The package deliberately imports nothing outside the stdlib at module
+level (events/metrics/spans/logs are leaves), so any subsystem can
+instrument itself without creating an import cycle.
+"""
+
+from repro.obs.events import ObsEvent, iter_events
+from repro.obs.logs import get_logger, setup_logging
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    parse_prom,
+    write_metrics_file,
+)
+from repro.obs.report import (
+    StageSummary,
+    render_obs_report,
+    report_from_file,
+    summarize_events,
+)
+from repro.obs.spans import (
+    SPAN_HISTOGRAM,
+    EventSink,
+    JsonlSink,
+    ListSink,
+    current_attrs,
+    disable,
+    enable,
+    get_sink,
+    is_enabled,
+    set_sink,
+    span,
+    span_quantile_s,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "SPAN_HISTOGRAM",
+    "Counter",
+    "EventSink",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "ListSink",
+    "MetricsRegistry",
+    "ObsEvent",
+    "StageSummary",
+    "current_attrs",
+    "disable",
+    "enable",
+    "get_logger",
+    "get_registry",
+    "get_sink",
+    "is_enabled",
+    "iter_events",
+    "parse_prom",
+    "render_obs_report",
+    "report_from_file",
+    "set_sink",
+    "setup_logging",
+    "span",
+    "span_quantile_s",
+    "summarize_events",
+    "write_metrics_file",
+]

@@ -1,0 +1,67 @@
+"""Structured span events and the JSONL trace file they land in.
+
+An :class:`ObsEvent` is the durable record a closed span emits: the
+span's dotted name, its full ancestry path, wall-clock start, duration,
+and the merged attribute bag (own attributes layered over ancestors').
+Events are serialized through the :mod:`repro.schema` wire codec so
+trace files carry the same ``"schema"`` version stamp as every other
+artifact in the repo and stay readable across format evolution.
+
+This module stays a leaf on purpose: ``repro.schema.wire`` imports it
+to register the codec, so it must not import schema (or anything above
+it) at module level.  Serialization helpers lazy-import schema inside
+the call, the same pattern ``fleet.executor.SessionOutcome`` uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator
+
+
+@dataclass
+class ObsEvent:
+    """One completed span occurrence.
+
+    ``path`` is the ``/``-joined ancestry including the span itself
+    (e.g. ``fleet.scenario/detect.features``), which lets a report
+    group self-time without re-deriving nesting from timestamps.
+    """
+
+    name: str
+    path: str
+    ts_s: float
+    duration_s: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Versioned wire form (lazy schema import to avoid a cycle)."""
+        from repro.schema import obs_event_to_wire
+
+        return obs_event_to_wire(self)
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "ObsEvent":
+        from repro.schema import obs_event_from_wire
+
+        return obs_event_from_wire(payload)
+
+
+def iter_events(path: str) -> Iterator[ObsEvent]:
+    """Stream ObsEvents out of a JSONL trace file.
+
+    Blank lines are skipped; malformed lines raise, because a trace
+    file is written by one process with atomic line appends and damage
+    means something is actually wrong.
+    """
+    import json
+
+    with open(path, "r", encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            yield ObsEvent.from_json(json.loads(line))
+
+
+__all__ = ["ObsEvent", "iter_events"]

@@ -1,0 +1,72 @@
+"""Logging setup for the ``repro`` namespace.
+
+Every module logs through ``get_logger(__name__)`` which parents under
+the ``repro`` logger; ``setup_logging`` wires a single stderr handler
+onto that parent so CLI output (stdout) never interleaves with
+diagnostics.  Idempotent: repeated calls reconfigure the level instead
+of stacking handlers, so tests and in-process CLI reruns stay clean.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+_ROOT_NAME = "repro"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATEFMT = "%H:%M:%S"
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Logger under the ``repro`` namespace.
+
+    Accepts a module ``__name__`` (already repro-prefixed) or a short
+    suffix like ``"fleet"``; bare None returns the namespace root.
+    """
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def setup_logging(
+    verbose: int = 0, quiet: bool = False, stream=None
+) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` logger.
+
+    ``quiet`` wins over ``verbose``: ERROR only.  Otherwise WARNING by
+    default, INFO at ``-v``, DEBUG at ``-vv``.
+    """
+    if quiet:
+        level = logging.ERROR
+    elif verbose >= 2:
+        level = logging.DEBUG
+    elif verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    root.propagate = False
+
+    handler = None
+    for existing in root.handlers:
+        if getattr(existing, _HANDLER_FLAG, False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+        setattr(handler, _HANDLER_FLAG, True)
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setLevel(level)
+    return root
+
+
+__all__ = ["get_logger", "setup_logging"]

@@ -1,0 +1,102 @@
+"""Post-hoc summarization of a JSONL span-event trace.
+
+``repro obs report trace.jsonl`` turns a raw event stream into the
+per-stage time breakdown an operator actually wants: where the wall
+time went, stage by stage, with tail latencies.  Works on any file a
+:class:`~repro.obs.spans.JsonlSink` wrote, regardless of which
+subsystem produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.obs.events import ObsEvent, iter_events
+
+
+@dataclass
+class StageSummary:
+    """Aggregate of every event sharing one span name."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    durations: List[float] = field(default_factory=list)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        if not self.durations:
+            return 0.0
+        ordered = sorted(self.durations)
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]
+
+
+def summarize_events(
+    events: Iterable[ObsEvent],
+) -> Dict[str, StageSummary]:
+    """Group events by span name; exact quantiles from raw durations."""
+    stages: Dict[str, StageSummary] = {}
+    for event in events:
+        stage = stages.get(event.name)
+        if stage is None:
+            stage = stages[event.name] = StageSummary(event.name)
+        stage.count += 1
+        stage.total_s += event.duration_s
+        stage.durations.append(event.duration_s)
+    return stages
+
+
+def render_obs_report(stages: Dict[str, StageSummary]) -> str:
+    """Render stage summaries as the standard repro ASCII table."""
+    from repro.analysis.ascii import render_table
+
+    if not stages:
+        return "(no events)"
+    ordered = sorted(
+        stages.values(), key=lambda s: s.total_s, reverse=True
+    )
+    grand_total = sum(s.total_s for s in ordered)
+    rows = []
+    for stage in ordered:
+        share = (
+            100.0 * stage.total_s / grand_total if grand_total else 0.0
+        )
+        rows.append(
+            [
+                stage.name,
+                stage.count,
+                stage.total_s * 1e3,
+                share,
+                stage.mean_s * 1e3,
+                stage.quantile(0.50) * 1e3,
+                stage.quantile(0.99) * 1e3,
+            ]
+        )
+    header = (
+        f"obs report: {sum(s.count for s in ordered)} events, "
+        f"{grand_total * 1e3:.1f} ms total span time"
+    )
+    table = render_table(
+        ["stage", "n", "total-ms", "%", "mean-ms", "p50-ms", "p99-ms"],
+        rows,
+        width=10,
+    )
+    return header + "\n" + table
+
+
+def report_from_file(path: str) -> str:
+    """One-call convenience: JSONL trace path in, rendered report out."""
+    return render_obs_report(summarize_events(iter_events(path)))
+
+
+__all__ = [
+    "StageSummary",
+    "render_obs_report",
+    "report_from_file",
+    "summarize_events",
+]

@@ -46,6 +46,7 @@ from repro.fleet.executor import SessionOutcome
 from repro.fleet.scenarios import ImpairmentSpec, ScenarioSpec
 from repro.live.aggregator import FleetSnapshot
 from repro.live.supervisor import SessionSnapshot
+from repro.obs.events import ObsEvent
 
 #: Bump on any incompatible change to a canonical wire form.  Checked
 #: wherever a versioned artifact or frame is decoded.
@@ -360,6 +361,13 @@ _FLEET_SNAPSHOT = WireCodec(
     stamped=True,  # snapshot files / SNAPSHOT frames are artifacts
 )
 
+_OBS_EVENT = WireCodec(
+    "obs_event",
+    ObsEvent,
+    _dataclass_fields(ObsEvent),
+    stamped=True,  # trace files are artifacts: each line carries the stamp
+)
+
 _DOMINO_REPORT = WireCodec(
     "domino_report",
     DominoReport,
@@ -396,6 +404,7 @@ WIRE_CODECS: Dict[str, WireCodec] = {
         _SESSION_OUTCOME,
         _SESSION_SNAPSHOT,
         _FLEET_SNAPSHOT,
+        _OBS_EVENT,
         _DOMINO_REPORT,
     )
 }
@@ -530,6 +539,16 @@ def fleet_snapshot_from_wire(data: Any) -> FleetSnapshot:
     return _FLEET_SNAPSHOT.from_wire(data)
 
 
+def obs_event_to_wire(event: ObsEvent) -> dict:
+    """ObsEvent → stamped wire dict (trace lines are artifacts)."""
+    return _OBS_EVENT.to_wire(event)
+
+
+def obs_event_from_wire(data: Any) -> ObsEvent:
+    """Decode a trace line, schema stamp validated."""
+    return _OBS_EVENT.from_wire(data)
+
+
 def domino_report_to_wire(report: DominoReport) -> dict:
     return _DOMINO_REPORT.to_wire(report)
 
@@ -596,6 +615,8 @@ __all__ = [
     "kind_of",
     "load_snapshot",
     "loads",
+    "obs_event_from_wire",
+    "obs_event_to_wire",
     "save_snapshot",
     "scenario_spec_from_wire",
     "scenario_spec_to_wire",

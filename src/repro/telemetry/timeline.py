@@ -34,6 +34,8 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.errors import TelemetryError
+from repro.obs.metrics import get_registry
+from repro.obs.spans import span
 from repro.telemetry.records import (
     GnbLogKind,
     StreamKind,
@@ -95,11 +97,21 @@ class Timeline:
         if dt_us <= 0:
             raise TelemetryError("dt_us must be positive")
         n_bins = max(1, math.ceil(bundle.duration_us / dt_us))
-        timeline = cls(dt_us=dt_us, n_bins=n_bins)
-        timeline._ingest_webrtc(bundle)
-        timeline._ingest_packets(bundle)
-        timeline._ingest_dci(bundle)
-        timeline._ingest_gnb_log(bundle)
+        with span("ingest.from_bundle", n_bins=n_bins):
+            timeline = cls(dt_us=dt_us, n_bins=n_bins)
+            timeline._ingest_webrtc(bundle)
+            timeline._ingest_packets(bundle)
+            timeline._ingest_dci(bundle)
+            timeline._ingest_gnb_log(bundle)
+        registry = get_registry()
+        registry.counter(
+            "repro_bundles_ingested_total",
+            help="Telemetry bundles resampled into timelines.",
+        ).inc()
+        registry.counter(
+            "repro_bins_ingested_total",
+            help="Uniform timeline bins produced by ingest.",
+        ).inc(n_bins)
         return timeline
 
     # -- construction helpers -------------------------------------------------

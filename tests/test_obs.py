@@ -1,0 +1,310 @@
+"""repro.obs: registry semantics, spans, event serde, and exposition.
+
+Covers the observability contract the rest of the repo leans on:
+counters/gauges/histograms behave like their Prometheus namesakes,
+nested spans merge ancestor attributes, events round-trip through the
+canonical schema codec, ``render_prom`` emits parseable exposition
+text, and a disabled sink keeps spans cheap enough to leave on
+everywhere.
+"""
+
+import json
+import math
+import time
+
+import pytest
+
+from repro import schema
+from repro.errors import SchemaError
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    JsonlSink,
+    ListSink,
+    MetricsRegistry,
+    ObsEvent,
+    current_attrs,
+    disable,
+    enable,
+    get_registry,
+    is_enabled,
+    iter_events,
+    parse_prom,
+    report_from_file,
+    set_sink,
+    span,
+    summarize_events,
+    write_metrics_file,
+)
+from repro.obs.report import render_obs_report
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Each test sees an enabled obs layer with no sink installed."""
+    previous = set_sink(None)
+    enable()
+    get_registry().reset()
+    yield
+    set_sink(previous)
+    enable()
+    get_registry().reset()
+
+
+# -- registry semantics ----------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_accumulates_per_label_set(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", help="Requests.")
+        counter.inc()
+        counter.inc(2, route="a")
+        counter.inc(3, route="a")
+        assert counter.value() == 1
+        assert counter.value(route="a") == 5
+        assert counter.total() == 6
+
+    def test_counter_rejects_negative_increment(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.gauge("g") is registry.gauge("g")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError):
+            registry.gauge("thing")
+
+    def test_gauge_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("workers")
+        gauge.set(4)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 3
+
+    def test_histogram_buckets_and_quantiles(self):
+        histogram = MetricsRegistry().histogram(
+            "latency_seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.count() == 4
+        assert histogram.sum() == pytest.approx(5.6)
+        # p50 falls in the first bucket, p99 in the (1, 10] bucket.
+        assert histogram.quantile(0.5) <= 0.1
+        assert 1.0 < histogram.quantile(0.99) <= 10.0
+
+    def test_histogram_rejects_empty_buckets(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=())
+
+    def test_reset_drops_all_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(7)
+        registry.reset()
+        assert registry.render_prom() == ""
+        assert registry.counter("c").total() == 0
+
+
+# -- spans -----------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_nested_spans_merge_ancestor_attrs(self):
+        sink = ListSink()
+        set_sink(sink)
+        with span("outer", a=1):
+            with span("inner", b=2):
+                assert current_attrs() == {"a": 1, "b": 2}
+        names = [(e.name, e.path) for e in sink.events]
+        assert names == [("inner", "outer/inner"), ("outer", "outer")]
+        inner, outer = sink.events
+        assert inner.attrs == {"a": 1, "b": 2}
+        assert outer.attrs == {"a": 1}
+
+    def test_inner_attr_wins_on_collision(self):
+        sink = ListSink()
+        set_sink(sink)
+        with span("outer", k="outer"):
+            with span("inner", k="inner"):
+                assert current_attrs()["k"] == "inner"
+        assert sink.events[0].attrs["k"] == "inner"
+
+    def test_span_records_histogram_sample(self):
+        with span("work"):
+            pass
+        histogram = get_registry().histogram("repro_span_seconds")
+        assert histogram.count(span="work") == 1
+
+    def test_span_tags_error_type_on_exception(self):
+        sink = ListSink()
+        set_sink(sink)
+        with pytest.raises(KeyError):
+            with span("doomed"):
+                raise KeyError("boom")
+        assert sink.events[0].attrs["error"] == "KeyError"
+
+    def test_disabled_spans_emit_nothing(self):
+        sink = ListSink()
+        set_sink(sink)
+        disable()
+        assert not is_enabled()
+        with span("silent", x=1):
+            assert current_attrs() == {}
+        assert sink.events == []
+        assert get_registry().render_prom() == ""
+
+    def test_disabled_sink_overhead_is_small(self):
+        """Spans without a sink must be cheap enough to stay always-on.
+
+        Smoke-level bound (CI machines are noisy): instrumented loop
+        stays within 10x of the bare loop — the real <2% bar for full
+        pipeline runs is asserted by tools/obs_smoke.py.
+        """
+
+        def bare():
+            total = 0
+            for i in range(2000):
+                total += i
+            return total
+
+        def instrumented():
+            total = 0
+            for i in range(2000):
+                with span("hot"):
+                    total += i
+            return total
+
+        bare()
+        instrumented()  # warm up
+        t0 = time.perf_counter()
+        bare()
+        bare_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        instrumented()
+        instrumented_s = time.perf_counter() - t0
+        assert instrumented_s < max(bare_s * 10, 0.05)
+
+
+# -- events: JSONL round-trip through the schema codec ---------------------------
+
+
+class TestEvents:
+    def test_event_round_trips_through_schema_codec(self):
+        event = ObsEvent(
+            name="detect.trace",
+            path="fleet.scenario/detect.trace",
+            ts_s=123.5,
+            duration_s=0.004,
+            attrs={"scenario": "smoke-0", "n": 3},
+        )
+        wire = json.loads(json.dumps(event.to_json()))
+        assert wire["schema"] == schema.SCHEMA_VERSION
+        assert ObsEvent.from_json(wire) == event
+
+    def test_jsonl_sink_round_trip(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        sink = JsonlSink(path)
+        set_sink(sink)
+        with span("outer", run="r1"):
+            with span("inner"):
+                pass
+        set_sink(None)
+        sink.close()
+        events = list(iter_events(path))
+        assert [e.name for e in events] == ["inner", "outer"]
+        assert events[0].path == "outer/inner"
+        assert events[0].attrs == {"run": "r1"}
+
+    def test_iter_events_rejects_garbage(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises((SchemaError, ValueError)):
+            list(iter_events(str(path)))
+
+    def test_report_summarizes_per_stage(self, tmp_path):
+        events = [
+            ObsEvent("a", "a", 0.0, 0.2, {}),
+            ObsEvent("a", "a", 0.0, 0.4, {}),
+            ObsEvent("b", "b", 0.0, 0.1, {}),
+        ]
+        stages = summarize_events(events)
+        assert stages["a"].count == 2
+        assert stages["a"].total_s == pytest.approx(0.6)
+        assert stages["a"].mean_s == pytest.approx(0.3)
+        text = render_obs_report(stages)
+        assert "a" in text and "b" in text
+
+        path = str(tmp_path / "events.jsonl")
+        with open(path, "w") as handle:
+            for event in events:
+                handle.write(json.dumps(event.to_json()) + "\n")
+        assert "a" in report_from_file(path)
+
+
+# -- Prometheus exposition -------------------------------------------------------
+
+GOLDEN_PROM = """\
+# HELP repro_scenarios_completed_total Scenarios done.
+# TYPE repro_scenarios_completed_total counter
+repro_scenarios_completed_total 5
+# HELP repro_span_seconds Span durations.
+# TYPE repro_span_seconds histogram
+repro_span_seconds_bucket{span="detect",le="0.1"} 2
+repro_span_seconds_bucket{span="detect",le="1"} 3
+repro_span_seconds_bucket{span="detect",le="+Inf"} 3
+repro_span_seconds_sum{span="detect"} 0.6
+repro_span_seconds_count{span="detect"} 3
+# HELP repro_workers Workers alive.
+# TYPE repro_workers gauge
+repro_workers{role="sim"} 2
+"""
+
+
+class TestExposition:
+    def test_render_prom_matches_golden(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_scenarios_completed_total", help="Scenarios done."
+        ).inc(5)
+        histogram = registry.histogram(
+            "repro_span_seconds",
+            help="Span durations.",
+            buckets=(0.1, 1.0),
+        )
+        for value in (0.05, 0.05, 0.5):
+            histogram.observe(value, span="detect")
+        registry.gauge("repro_workers", help="Workers alive.").set(
+            2, role="sim"
+        )
+        assert registry.render_prom() == GOLDEN_PROM
+
+    def test_parse_prom_inverts_render(self):
+        parsed = parse_prom(GOLDEN_PROM)
+        assert parsed["repro_scenarios_completed_total"] == 5
+        assert parsed['repro_workers{role="sim"}'] == 2
+        assert parsed[
+            'repro_span_seconds_bucket{span="detect",le="+Inf"}'
+        ] == 3
+        assert parsed['repro_span_seconds_sum{span="detect"}'] == (
+            pytest.approx(0.6)
+        )
+
+    def test_write_metrics_file_atomic_snapshot(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        path = str(tmp_path / "metrics.prom")
+        write_metrics_file(registry, path)
+        parsed = parse_prom(open(path).read())
+        assert parsed["c"] == 3
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert all(
+            not math.isinf(bound) for bound in DEFAULT_BUCKETS
+        )  # +Inf is implicit

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""CI gate for the observability layer (exit 1 on any failure).
+
+Three end-to-end assertions nothing unit-sized can cover:
+
+1. **Exposition is truthful.** A short fleet campaign run through the
+   real CLI with ``--metrics-file`` must leave a Prometheus snapshot
+   whose ``repro_scenarios_completed_total`` and
+   ``repro_windows_analyzed_total`` equal the counts recovered from
+   the campaign's own outcomes file.
+2. **Instrumentation is inert.** Detections from the same trace must
+   be byte-identical (via ``canonical_detections``) with obs fully
+   disabled vs. enabled with a JSONL event sink attached — and the
+   event file must parse back through the schema codec.
+3. **Always-on is affordable.** With spans enabled but no sink
+   installed, a full analyze pass must stay within 2% (plus a small
+   absolute epsilon for timer noise) of a run with obs disabled —
+   min-of-N, interleaved, so machine noise hits both arms equally.
+
+Run from the repository root: ``PYTHONPATH=src python
+tools/obs_smoke.py``.
+"""
+
+import sys
+import tempfile
+import time
+
+from repro import api, obs
+from repro.cli import main as cli_main
+from repro.datasets import TMOBILE_FDD, run_cellular_session
+from repro.fleet.executor import load_outcomes
+from repro.live.service import canonical_detections
+
+#: Relative overhead allowed for enabled-but-sinkless instrumentation.
+OVERHEAD_LIMIT = 1.02
+
+#: Absolute slack (seconds) so timer jitter cannot fail a fast run.
+OVERHEAD_EPSILON_S = 0.005
+
+#: Interleaved timing rounds per arm; min-of-N defeats one-off stalls.
+TIMING_ROUNDS = 9
+
+
+def check_exposition(tmp: str) -> list:
+    metrics_path = f"{tmp}/metrics.prom"
+    outcomes_path = f"{tmp}/outcomes.jsonl"
+    obs.get_registry().reset()
+    status = cli_main(
+        [
+            "--metrics-file",
+            metrics_path,
+            "fleet",
+            "--preset",
+            "smoke",
+            "--workers",
+            "2",
+            "--no-cache",
+            "--out",
+            outcomes_path,
+        ]
+    )
+    if status != 0:
+        return [f"fleet smoke campaign exited {status}"]
+    outcomes = load_outcomes(outcomes_path)
+    with open(metrics_path) as fh:
+        parsed = obs.parse_prom(fh.read())
+    failures = []
+    got_scenarios = parsed.get("repro_scenarios_completed_total")
+    if got_scenarios != float(len(outcomes)):
+        failures.append(
+            f"repro_scenarios_completed_total={got_scenarios} but the "
+            f"outcomes file holds {len(outcomes)} outcomes"
+        )
+    want_windows = float(sum(o.n_windows for o in outcomes))
+    got_windows = parsed.get("repro_windows_analyzed_total")
+    if got_windows != want_windows:
+        failures.append(
+            f"repro_windows_analyzed_total={got_windows} but outcomes "
+            f"sum to {want_windows} windows"
+        )
+    return failures
+
+
+def check_byte_identity(bundle, tmp: str) -> list:
+    events_path = f"{tmp}/events.jsonl"
+    obs.disable()
+    try:
+        baseline = canonical_detections(api.analyze(bundle).windows)
+    finally:
+        obs.enable()
+    sink = obs.JsonlSink(events_path)
+    previous = obs.set_sink(sink)
+    try:
+        instrumented = canonical_detections(api.analyze(bundle).windows)
+    finally:
+        obs.set_sink(previous)
+        sink.close()
+    failures = []
+    if instrumented != baseline:
+        failures.append(
+            "detections differ with instrumentation on vs off"
+        )
+    events = list(obs.iter_events(events_path))
+    if not events:
+        failures.append("instrumented analyze emitted no span events")
+    return failures
+
+
+def check_overhead(bundle) -> list:
+    obs.set_sink(None)
+
+    def once_enabled() -> float:
+        obs.enable()
+        start = time.perf_counter()
+        api.analyze(bundle)
+        return time.perf_counter() - start
+
+    def once_disabled() -> float:
+        obs.disable()
+        try:
+            start = time.perf_counter()
+            api.analyze(bundle)
+            return time.perf_counter() - start
+        finally:
+            obs.enable()
+
+    once_enabled(), once_disabled()  # warm both paths
+    enabled_s = disabled_s = float("inf")
+    for _ in range(TIMING_ROUNDS):
+        enabled_s = min(enabled_s, once_enabled())
+        disabled_s = min(disabled_s, once_disabled())
+    budget_s = disabled_s * OVERHEAD_LIMIT + OVERHEAD_EPSILON_S
+    print(
+        f"overhead: enabled {enabled_s * 1e3:.1f} ms vs disabled "
+        f"{disabled_s * 1e3:.1f} ms (budget {budget_s * 1e3:.1f} ms)"
+    )
+    if enabled_s > budget_s:
+        return [
+            f"sinkless instrumentation costs {enabled_s * 1e3:.1f} ms "
+            f"vs {disabled_s * 1e3:.1f} ms disabled — over the "
+            f"{OVERHEAD_LIMIT:.0%}+{OVERHEAD_EPSILON_S * 1e3:.0f} ms "
+            f"budget"
+        ]
+    return []
+
+
+def main() -> int:
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        failures += check_exposition(tmp)
+        bundle = run_cellular_session(
+            TMOBILE_FDD, duration_s=30, seed=7
+        ).bundle
+        failures += check_byte_identity(bundle, tmp)
+        failures += check_overhead(bundle)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("obs smoke: exposition, byte-identity, and overhead all OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
