@@ -15,8 +15,9 @@ all serialized through :mod:`repro.schema`:
 
 Execution is pluggable: :func:`campaign` takes any
 :class:`ExecutionBackend` (:class:`InlineBackend`,
-:class:`ProcessPoolBackend`, :class:`ClusterBackend`), replacing the
-old ``run_campaign(dispatch=...)`` string switch.  Legacy entry points
+:class:`ProcessPoolBackend`, :class:`ClusterBackend`,
+:class:`JournaledClusterBackend`), replacing the old
+``run_campaign(dispatch=...)`` string switch.  Legacy entry points
 keep working with ``DeprecationWarning``s — see the README's
 deprecation table.
 """
@@ -25,6 +26,7 @@ from repro.api.backends import (
     ClusterBackend,
     ExecutionBackend,
     InlineBackend,
+    JournaledClusterBackend,
     ProcessPoolBackend,
 )
 from repro.api.facade import (
@@ -64,6 +66,7 @@ __all__ = [
     "FleetSnapshot",
     "ImpairmentSpec",
     "InlineBackend",
+    "JournaledClusterBackend",
     "LiveRcaService",
     "ProcessPoolBackend",
     "ReplaySource",

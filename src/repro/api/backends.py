@@ -182,9 +182,88 @@ class ClusterBackend:
         )
 
 
+class JournaledClusterBackend:
+    """A :class:`ClusterBackend` with a write-ahead campaign journal.
+
+    Same dispatch model and byte-identical outcomes, plus durability:
+    every campaign transition is journaled to *journal_path* before it
+    takes effect, so a coordinator killed mid-campaign resumes on the
+    next :meth:`run` — replaying settled outcomes from the journal and
+    dispatching only the unsettled remainder.  The resumed result is
+    byte-identical to an uninterrupted run, and no settled scenario is
+    executed twice.
+
+    Args:
+        journal_path: the write-ahead journal file (created on first
+            use; replayed when it exists).
+        host / port / min_workers / worker_wait_s / on_listening: as
+            for :class:`ClusterBackend`.
+        campaign_id: explicit campaign id; defaults to the
+            deterministic digest of the scenario specs + detector
+            config, which is what matches a rerun against the journal.
+        auth_token: require this token from every connecting peer.
+        ssl_context: serve the listener over TLS (see
+            :func:`repro.cluster.protocol.server_ssl_context`).
+    """
+
+    def __init__(
+        self,
+        journal_path: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        min_workers: int = 1,
+        worker_wait_s: Optional[float] = None,
+        on_listening: Optional[Callable[[str, int], None]] = None,
+        campaign_id: Optional[str] = None,
+        auth_token: Optional[str] = None,
+        ssl_context: Optional[object] = None,
+    ) -> None:
+        if min_workers < 0:
+            raise ConfigError("min_workers must be >= 0")
+        self.journal_path = journal_path
+        self.host = host
+        self.port = port
+        self.min_workers = min_workers
+        self.worker_wait_s = worker_wait_s
+        self.on_listening = on_listening
+        self.campaign_id = campaign_id
+        self.auth_token = auth_token
+        self.ssl_context = ssl_context
+
+    def run(
+        self,
+        scenarios: Sequence[ScenarioSpec],
+        *,
+        detector_config: Optional[DetectorConfig] = None,
+        trace_dir: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        fail_fast: bool = False,
+    ) -> List[SessionOutcome]:
+        from repro.cluster.coordinator import run_cluster_campaign
+
+        return run_cluster_campaign(
+            scenarios,
+            detector_config=detector_config,
+            trace_dir=trace_dir,
+            cache_dir=cache_dir,
+            fail_fast=fail_fast,
+            host=self.host,
+            port=self.port,
+            min_workers=self.min_workers,
+            worker_wait_s=self.worker_wait_s,
+            on_listening=self.on_listening,
+            journal_path=self.journal_path,
+            campaign_id=self.campaign_id,
+            auth_token=self.auth_token,
+            ssl_context=self.ssl_context,
+        )
+
+
 __all__ = [
     "ClusterBackend",
     "ExecutionBackend",
     "InlineBackend",
+    "JournaledClusterBackend",
     "ProcessPoolBackend",
 ]

@@ -214,7 +214,13 @@ def read_snapshot(path: Union[str, "os.PathLike[str]"]) -> FleetSnapshot:
     return schema.load_snapshot(os.fspath(path))
 
 
-async def watch(host: str, port: int) -> AsyncIterator[FleetSnapshot]:
+async def watch(
+    host: str,
+    port: int,
+    *,
+    auth_token: Optional[str] = None,
+    ssl_context: Optional[object] = None,
+) -> AsyncIterator[FleetSnapshot]:
     """Stream fleet snapshots from a cluster coordinator.
 
     The ``repro watch --connect`` engine: subscribe as a ``watch`` peer
@@ -229,7 +235,9 @@ async def watch(host: str, port: int) -> AsyncIterator[FleetSnapshot]:
     """
     from repro.cluster.client import iter_snapshots
 
-    async for snapshot in iter_snapshots(host, port):
+    async for snapshot in iter_snapshots(
+        host, port, auth_token=auth_token, ssl_context=ssl_context
+    ):
         yield snapshot
 
 

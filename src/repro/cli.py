@@ -175,7 +175,16 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         )
 
     # The facade's backend seam replaces the old dispatch string switch.
-    if dispatch == "cluster":
+    if dispatch == "cluster" and args.journal:
+        backend = api.JournaledClusterBackend(
+            args.journal,
+            args.bind,
+            args.port,
+            min_workers=args.min_workers,
+            on_listening=listening,
+            auth_token=_cluster_token(args),
+        )
+    elif dispatch == "cluster":
         backend = api.ClusterBackend(
             args.bind,
             args.port,
@@ -280,7 +289,15 @@ def _cmd_live(args: argparse.Namespace) -> int:
             from repro.cluster import DetectionForwarder
 
             host, port = args.forward
-            forwarder = DetectionForwarder(host, port)
+            # Reconnect on by default: a service that outlives its
+            # coordinator should resume forwarding when it returns.
+            forwarder = DetectionForwarder(
+                host,
+                port,
+                auth_token=_cluster_token(args),
+                ssl_context=_client_ssl(args),
+                reconnect=True,
+            )
             await forwarder.start()
             for source in sources:
                 forwarder.register(
@@ -348,6 +365,24 @@ def _parse_address(value: str):
     return host, int(port)
 
 
+def _cluster_token(args: argparse.Namespace) -> Optional[str]:
+    """--auth-token flag, falling back to $REPRO_CLUSTER_TOKEN."""
+    return (
+        getattr(args, "auth_token", None)
+        or os.environ.get("REPRO_CLUSTER_TOKEN")
+        or None
+    )
+
+
+def _client_ssl(args: argparse.Namespace):
+    """TLS client context from --tls / --tls-ca (None = plaintext)."""
+    if getattr(args, "tls_ca", None) or getattr(args, "tls", False):
+        from repro.cluster.protocol import client_ssl_context
+
+        return client_ssl_context(getattr(args, "tls_ca", None))
+    return None
+
+
 def _cmd_watch(args: argparse.Namespace) -> int:
     import time
 
@@ -380,7 +415,12 @@ def _cmd_watch(args: argparse.Namespace) -> int:
 
             while True:
                 try:
-                    async for snapshot in api.watch(host, port):
+                    async for snapshot in api.watch(
+                        host,
+                        port,
+                        auth_token=_cluster_token(args),
+                        ssl_context=_client_ssl(args),
+                    ):
                         show(snapshot)
                         if not args.follow:
                             return
@@ -445,6 +485,15 @@ def _cmd_cluster_coordinator(args: argparse.Namespace) -> int:
     from repro.cluster import ClusterCoordinator
     from repro.fleet.executor import save_outcomes as save
 
+    if bool(args.tls_cert) != bool(args.tls_key):
+        logger.error("--tls-cert and --tls-key must be given together")
+        return 2
+    ssl_context = None
+    if args.tls_cert:
+        from repro.cluster.protocol import server_ssl_context
+
+        ssl_context = server_ssl_context(args.tls_cert, args.tls_key)
+
     async def _serve() -> int:
         coordinator = ClusterCoordinator(
             args.bind,
@@ -454,6 +503,9 @@ def _cmd_cluster_coordinator(args: argparse.Namespace) -> int:
             live_backpressure=args.backpressure,
             snapshot_path=args.snapshot,
             snapshot_every_s=args.snapshot_every,
+            journal_path=args.journal,
+            auth_token=_cluster_token(args),
+            ssl_context=ssl_context,
         )
         await coordinator.start()
         print(
@@ -465,21 +517,27 @@ def _cmd_cluster_coordinator(args: argparse.Namespace) -> int:
         )
         try:
             if args.preset is None:
-                # Live plane only: fold remote supervisors' detections
-                # (repro live --forward) and serve `repro watch`.
-                print("serving live plane (Ctrl-C to stop)", flush=True)
+                # Standing mode: serve the live plane and the campaign
+                # queue (repro cluster queue|status|cancel).  With a
+                # journal, campaigns interrupted by a previous crash
+                # pick themselves back up first.
+                if args.journal:
+                    for cid in await coordinator.resume_pending_campaigns():
+                        print(
+                            f"resuming campaign {cid} from journal",
+                            flush=True,
+                        )
+                print(
+                    "serving live plane and campaign queue "
+                    "(Ctrl-C to stop)",
+                    flush=True,
+                )
                 while True:
                     await asyncio.sleep(3600)
             matrix = get_preset(args.preset)
             if args.base_seed is not None:
                 matrix = matrix.with_base_seed(args.base_seed)
             scenarios = matrix.expand()
-            print(
-                f"campaign {matrix.name}: {len(scenarios)} scenarios; "
-                f"waiting for {args.min_workers} worker(s)",
-                flush=True,
-            )
-            await coordinator.wait_for_workers(args.min_workers)
 
             def progress(done: int, total: int, requeues: int) -> None:
                 print(
@@ -488,13 +546,28 @@ def _cmd_cluster_coordinator(args: argparse.Namespace) -> int:
                     flush=True,
                 )
 
-            outcomes = await coordinator.run_campaign(
+            # Submit before waiting for workers: with a journal whose
+            # records already settle every scenario, the campaign
+            # finishes right here and no worker is needed at all.
+            cid = await coordinator.submit_campaign(
                 scenarios,
                 trace_dir=args.trace_dir,
                 cache_dir=None if args.no_cache else args.cache_dir,
                 fail_fast=args.fail_fast,
                 on_progress=progress,
             )
+            print(
+                f"campaign {matrix.name} ({cid}): "
+                f"{len(scenarios)} scenarios",
+                flush=True,
+            )
+            if not coordinator.campaign_finished(cid):
+                print(
+                    f"waiting for {args.min_workers} worker(s)",
+                    flush=True,
+                )
+                await coordinator.wait_for_workers(args.min_workers)
+            outcomes = await coordinator.wait_campaign(cid)
             if args.out:
                 save(outcomes, args.out)
                 print(f"wrote {args.out}: {len(outcomes)} outcomes")
@@ -515,6 +588,7 @@ def _cmd_cluster_coordinator(args: argparse.Namespace) -> int:
 
 def _cmd_cluster_worker(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from repro.cluster import ClusterWorker
 
@@ -527,17 +601,156 @@ def _cmd_cluster_worker(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         trace_dir=args.trace_dir,
         connect_timeout_s=args.connect_timeout,
+        auth_token=_cluster_token(args),
+        ssl_context=_client_ssl(args),
+        reconnect=args.reconnect,
+        reconnect_timeout_s=args.reconnect_timeout,
     )
     print(
         f"worker connecting to {host}:{port} ({args.slots} slot(s))",
         flush=True,
     )
+
+    async def _run() -> None:
+        # Graceful drain on SIGTERM/SIGINT: finish in-flight
+        # scenarios, deliver their outcomes, BYE, exit 0.
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, worker.request_stop)
+            except (NotImplementedError, RuntimeError):
+                break  # platform without loop signal handlers
+        await worker.run()
+
     try:
-        asyncio.run(worker.run())
+        asyncio.run(_run())
     except KeyboardInterrupt:
         pass
     print(f"worker done: ran {worker.scenarios_run} scenario(s)")
     return 0
+
+
+def _control_client(args: argparse.Namespace):
+    from repro.cluster import CoordinatorControl
+
+    host, port = args.connect
+    return CoordinatorControl(
+        host,
+        port,
+        auth_token=_cluster_token(args),
+        ssl_context=_client_ssl(args),
+    )
+
+
+def _cmd_cluster_queue(args: argparse.Namespace) -> int:
+    import asyncio
+
+    matrix = get_preset(args.preset)
+    if args.base_seed is not None:
+        matrix = matrix.with_base_seed(args.base_seed)
+    scenarios = matrix.expand()
+
+    async def _go() -> int:
+        async with _control_client(args) as control:
+            cid = await control.submit(
+                scenarios,
+                campaign_id=args.campaign_id,
+                trace_dir=args.trace_dir,
+                cache_dir=None if args.no_cache else args.cache_dir,
+                fail_fast=args.fail_fast,
+            )
+            print(
+                f"queued campaign {cid}: {len(scenarios)} scenario(s)",
+                flush=True,
+            )
+            if not args.wait:
+                return 0
+            last_done = -1
+            while True:
+                entries = {
+                    entry["campaign_id"]: entry
+                    for entry in await control.status()
+                }
+                entry = entries.get(cid)
+                if entry is None or entry["state"] != "active":
+                    break
+                if entry["done"] != last_done:
+                    last_done = entry["done"]
+                    print(
+                        f"[{entry['done']}/{entry['total']}] outcomes "
+                        f"collected",
+                        flush=True,
+                    )
+                await asyncio.sleep(args.interval)
+            result = await control.fetch(cid)
+            outcomes = result["outcomes"]
+            for index, message in sorted(result["errors"].items()):
+                logger.error("scenario %s failed: %s", index, message)
+            if args.out:
+                save_outcomes(outcomes, args.out)
+                print(f"wrote {args.out}: {len(outcomes)} outcomes")
+            print()
+            print(
+                render_fleet_report(FleetAggregate.from_outcomes(outcomes))
+            )
+            return 0 if result["state"] == "completed" else 1
+
+    try:
+        return asyncio.run(_go())
+    except (ClusterError, OSError) as exc:
+        logger.error("%s", exc)
+        return 1
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    import asyncio
+
+    async def _go() -> int:
+        async with _control_client(args) as control:
+            entries = await control.status()
+        if not entries:
+            print("queue is empty")
+            return 0
+        for entry in entries:
+            line = (
+                f"{entry['campaign_id']}  {entry['state']:<9}  "
+                f"{entry['done']}/{entry['total']}"
+            )
+            if entry.get("errors"):
+                line += f"  errors={entry['errors']}"
+            if entry.get("requeues"):
+                line += f"  requeues={entry['requeues']}"
+            print(line)
+        return 0
+
+    try:
+        return asyncio.run(_go())
+    except (ClusterError, OSError) as exc:
+        logger.error("%s", exc)
+        return 1
+
+
+def _cmd_cluster_cancel(args: argparse.Namespace) -> int:
+    import asyncio
+
+    async def _go() -> int:
+        async with _control_client(args) as control:
+            cancelled = await control.cancel(args.campaign_id)
+        if cancelled:
+            print(f"cancelled campaign {args.campaign_id}")
+            return 0
+        print(
+            f"campaign {args.campaign_id} is not active "
+            f"(unknown or already finished)",
+            file=sys.stderr,
+        )
+        return 1
+
+    try:
+        return asyncio.run(_go())
+    except (ClusterError, OSError) as exc:
+        logger.error("%s", exc)
+        return 1
 
 
 def _cmd_codegen(args: argparse.Namespace) -> int:
@@ -557,6 +770,28 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
         logger.error("%s: unreadable event log: %s", args.events, exc)
         return 1
     return 0
+
+
+def _add_cluster_client_args(parser: argparse.ArgumentParser) -> None:
+    """Auth/TLS options shared by every cluster-connecting command."""
+    parser.add_argument(
+        "--auth-token",
+        default=None,
+        help="shared cluster auth token presented at handshake "
+        "(default: $REPRO_CLUSTER_TOKEN)",
+    )
+    parser.add_argument(
+        "--tls",
+        action="store_true",
+        help="connect over TLS using the system trust store",
+    )
+    parser.add_argument(
+        "--tls-ca",
+        default=None,
+        metavar="PEM",
+        help="connect over TLS, trusting exactly this CA / self-signed "
+        "coordinator certificate",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -679,6 +914,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="wait for this many workers before dispatching",
     )
+    fleet.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="write-ahead campaign journal (dispatch=cluster): an "
+        "interrupted campaign resumes from its settled outcomes on "
+        "the next run instead of starting over",
+    )
     fleet.set_defaults(fn=_cmd_fleet)
 
     fleet_report = sub.add_parser(
@@ -760,6 +1003,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="autotune each session's advance interval: back off "
         "under sustained lag, speed up when idle",
     )
+    _add_cluster_client_args(live)
     live.set_defaults(fn=_cmd_live)
 
     watch = sub.add_parser(
@@ -785,6 +1029,7 @@ def build_parser() -> argparse.ArgumentParser:
         "recent snapshots",
     )
     watch.add_argument("--interval", type=float, default=1.0)
+    _add_cluster_client_args(watch)
     watch.set_defaults(fn=_cmd_watch)
 
     cluster = sub.add_parser(
@@ -851,6 +1096,32 @@ def build_parser() -> argparse.ArgumentParser:
     coordinator.add_argument(
         "--snapshot-every", type=float, default=1.0, help="seconds"
     )
+    coordinator.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="write-ahead campaign journal: replayed on start so "
+        "campaigns interrupted by a crash resume from their settled "
+        "outcomes",
+    )
+    coordinator.add_argument(
+        "--auth-token",
+        default=None,
+        help="require this token from every connecting peer "
+        "(default: $REPRO_CLUSTER_TOKEN)",
+    )
+    coordinator.add_argument(
+        "--tls-cert",
+        default=None,
+        metavar="PEM",
+        help="serve TLS with this certificate (requires --tls-key)",
+    )
+    coordinator.add_argument(
+        "--tls-key",
+        default=None,
+        metavar="PEM",
+        help="private key for --tls-cert",
+    )
     coordinator.set_defaults(fn=_cmd_cluster_coordinator)
 
     worker = csub.add_parser(
@@ -883,7 +1154,99 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--connect-timeout", type=float, default=20.0, help="seconds"
     )
+    worker.add_argument(
+        "--reconnect",
+        action="store_true",
+        help="redial a lost coordinator (jittered exponential "
+        "backoff) instead of exiting",
+    )
+    worker.add_argument(
+        "--reconnect-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up redialing after this long per outage "
+        "(default: keep trying until stopped)",
+    )
+    _add_cluster_client_args(worker)
     worker.set_defaults(fn=_cmd_cluster_worker)
+
+    queue = csub.add_parser(
+        "queue",
+        help="submit a campaign preset to a standing coordinator's "
+        "queue",
+    )
+    queue.add_argument(
+        "--connect",
+        required=True,
+        type=_parse_address,
+        metavar="HOST:PORT",
+        help="coordinator address",
+    )
+    queue.add_argument(
+        "--preset", default="smoke", choices=sorted(PRESETS)
+    )
+    queue.add_argument("--base-seed", type=int, default=None)
+    queue.add_argument(
+        "--campaign-id",
+        default=None,
+        help="explicit campaign id (default: deterministic digest of "
+        "the scenarios)",
+    )
+    queue.add_argument(
+        "--trace-dir",
+        help="ask workers to export telemetry shards (worker-local "
+        "path)",
+    )
+    queue.add_argument(
+        "--cache-dir",
+        default=".fleet-cache",
+        help="ask workers to cache outcomes (worker-local path)",
+    )
+    queue.add_argument("--no-cache", action="store_true")
+    queue.add_argument("--fail-fast", action="store_true")
+    queue.add_argument(
+        "--wait",
+        action="store_true",
+        help="stay connected until the campaign finishes, then fetch "
+        "and report its outcomes",
+    )
+    queue.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="progress poll interval with --wait (seconds)",
+    )
+    queue.add_argument(
+        "--out", help="write fetched outcomes JSONL here (--wait only)"
+    )
+    _add_cluster_client_args(queue)
+    queue.set_defaults(fn=_cmd_cluster_queue)
+
+    status = csub.add_parser(
+        "status", help="show a coordinator's campaign queue"
+    )
+    status.add_argument(
+        "--connect",
+        required=True,
+        type=_parse_address,
+        metavar="HOST:PORT",
+    )
+    _add_cluster_client_args(status)
+    status.set_defaults(fn=_cmd_cluster_status)
+
+    cancel = csub.add_parser(
+        "cancel", help="cancel an active campaign on a coordinator"
+    )
+    cancel.add_argument("campaign_id")
+    cancel.add_argument(
+        "--connect",
+        required=True,
+        type=_parse_address,
+        metavar="HOST:PORT",
+    )
+    _add_cluster_client_args(cancel)
+    cancel.set_defaults(fn=_cmd_cluster_cancel)
 
     obs = sub.add_parser(
         "obs", help="observability: summarize span-event traces"

@@ -1,4 +1,4 @@
-"""Client-side cluster helpers: forward detections, watch snapshots.
+"""Client-side cluster helpers: forward detections, watch, control.
 
 :class:`DetectionForwarder` bridges the local live service to a remote
 coordinator's live plane.  Its :meth:`sink` matches the
@@ -10,36 +10,96 @@ fleet-wide dashboard spanning hosts.  The sink never blocks the
 detector loop: frames go onto a bounded queue drained by a background
 sender, and when the queue is full the oldest frame is shed and its
 records counted in :attr:`lag_events` — the same drop-oldest semantics
-the live service's own backpressure uses.
+the live service's own backpressure uses.  With ``reconnect=True`` a
+dropped link is redialed with jittered exponential backoff and the
+in-hand frame resent, so a coordinator restart costs at most the
+frames shed while the queue backed up.
 
 :func:`iter_snapshots` is the other direction: subscribe to a
 coordinator as a ``watch`` peer and yield each pushed
 :class:`~repro.live.aggregator.FleetSnapshot` (``repro watch
 --connect``).
+
+:class:`CoordinatorControl` is the queue-management client behind
+``repro cluster queue|status|cancel``: a ``control``-role peer that
+submits campaigns, inspects the queue, cancels campaigns, and fetches
+finished outcomes over simple request/ACK exchanges.
+
+All three present the coordinator's auth token at HELLO when given one
+and dial TLS when given an :class:`ssl.SSLContext` (see
+:func:`~repro.cluster.protocol.client_ssl_context`).
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import AsyncIterator, Dict, Optional, Sequence, Tuple
+import itertools
+import random
+import ssl as ssl_module
+from typing import (
+    AsyncIterator,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.core.detector import WindowDetection
+from repro.core.detector import DetectorConfig, WindowDetection
 from repro.errors import ClusterError, ClusterProtocolError
+from repro.fleet.executor import SessionOutcome
+from repro.fleet.scenarios import ScenarioSpec
 from repro.live.aggregator import FleetSnapshot
+from repro.obs.logs import get_logger
+from repro.obs.metrics import get_registry
 from repro.cluster import protocol
 from repro.cluster.protocol import (
+    ACK,
     BYE,
+    CANCEL,
     DETECTION,
+    FETCH,
     HEARTBEAT,
     HELLO,
+    ROLE_CONTROL,
     ROLE_LIVE,
     ROLE_WATCH,
     SNAPSHOT,
+    STATUS,
+    SUBMIT,
     check_hello,
     hello_payload,
     read_frame,
     send_frame,
 )
+
+logger = get_logger(__name__)
+
+
+def _hello_extra(auth_token: Optional[str]) -> dict:
+    return {} if auth_token is None else {"token": auth_token}
+
+
+async def _handshake(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    role: str,
+    auth_token: Optional[str],
+    **extra: object,
+) -> dict:
+    """HELLO as *role*; return the coordinator's HELLO payload."""
+    await send_frame(
+        writer,
+        HELLO,
+        hello_payload(role=role, **_hello_extra(auth_token), **extra),
+    )
+    reply = await read_frame(reader)
+    if reply is not None and reply.type == BYE:
+        raise ClusterError(
+            f"coordinator refused handshake: "
+            f"{reply.payload.get('reason', 'no reason given')}"
+        )
+    return check_hello(reply, expect_role=False)
 
 
 class DetectionForwarder:
@@ -50,6 +110,14 @@ class DetectionForwarder:
         queue_frames: bound of the outgoing frame queue; a slow or
             distant coordinator sheds oldest frames past this depth.
         heartbeat_s: keepalive interval while idle.
+        drain_timeout_s: how long :meth:`close` waits for the sender to
+            flush queued frames before dropping them (with a logged
+            count).
+        auth_token: presented at HELLO when the coordinator requires one.
+        ssl_context: dial the coordinator over TLS.
+        reconnect: redial a dropped link (jittered exponential backoff
+            from ``retry_s`` up to ``reconnect_max_s``) instead of
+            silently stopping to forward.
     """
 
     def __init__(
@@ -59,33 +127,46 @@ class DetectionForwarder:
         *,
         queue_frames: int = 256,
         heartbeat_s: float = 2.0,
+        drain_timeout_s: float = 10.0,
+        auth_token: Optional[str] = None,
+        ssl_context: Optional[ssl_module.SSLContext] = None,
+        reconnect: bool = False,
+        retry_s: float = 0.2,
+        reconnect_max_s: float = 30.0,
     ) -> None:
         self.host = host
         self.port = port
         self.heartbeat_s = heartbeat_s
-        #: Detection records shed because the send queue was full.
+        self.drain_timeout_s = drain_timeout_s
+        self.auth_token = auth_token
+        self.ssl_context = ssl_context
+        self.reconnect = reconnect
+        self.retry_s = retry_s
+        self.reconnect_max_s = reconnect_max_s
+        #: Detection records shed because the send queue was full (or
+        #: dropped undelivered at close).
         self.lag_events = 0
         self._meta: Dict[str, Tuple[str, str]] = {}
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_frames)
         self._writer: Optional[asyncio.StreamWriter] = None
+        self._send_lock = asyncio.Lock()
         self._sender: Optional[asyncio.Task] = None
         self._heartbeat: Optional[asyncio.Task] = None
+        self._closing = False
 
-    async def start(self) -> "DetectionForwarder":
-        """Connect and handshake as a live-plane peer."""
-        reader, writer = await asyncio.open_connection(self.host, self.port)
+    async def _dial(self) -> None:
+        reader, writer = await asyncio.open_connection(
+            self.host, self.port, ssl=self.ssl_context
+        )
         self._writer = writer
-        await send_frame(writer, HELLO, hello_payload(role=ROLE_LIVE))
-        reply = await read_frame(reader)
-        if reply is not None and reply.type == BYE:
-            raise ClusterError(
-                f"coordinator refused handshake: "
-                f"{reply.payload.get('reason', 'no reason given')}"
-            )
-        hello = check_hello(reply, expect_role=False)
+        hello = await _handshake(reader, writer, ROLE_LIVE, self.auth_token)
         advertised = hello.get("heartbeat_s")
         if isinstance(advertised, (int, float)) and advertised > 0:
             self.heartbeat_s = min(self.heartbeat_s, float(advertised))
+
+    async def start(self) -> "DetectionForwarder":
+        """Connect and handshake as a live-plane peer."""
+        await self._dial()
         self._sender = asyncio.create_task(self._send_loop())
         self._heartbeat = asyncio.create_task(self._heartbeat_loop())
         return self
@@ -128,36 +209,86 @@ class DetectionForwarder:
                     return
                 self.lag_events += len(dropped.get("detections", ()))
 
+    async def _send_frame_locked(self, frame_type: str, payload: dict) -> None:
+        # Sender and heartbeat share the socket; the lock keeps their
+        # frames from interleaving mid-write.
+        async with self._send_lock:
+            await send_frame(self._writer, frame_type, payload)
+
     async def _send_loop(self) -> None:
         while True:
             payload = await self._queue.get()
             if payload is None:
                 return
+            while True:
+                try:
+                    await self._send_frame_locked(DETECTION, payload)
+                    break
+                except ClusterProtocolError:
+                    # Unsendable frame (e.g. a batch over
+                    # MAX_FRAME_BYTES): shed it — redialing would just
+                    # fail on the same frame forever.
+                    self.lag_events += len(payload.get("detections", ()))
+                    logger.warning(
+                        "shedding one unsendable detection frame "
+                        "(%d record(s))",
+                        len(payload.get("detections", ())),
+                    )
+                    break
+                except Exception:
+                    # Coordinator gone.  Without reconnect, forwarding
+                    # stops; the local service keeps running and sheds
+                    # into lag_events.
+                    if not self.reconnect or self._closing:
+                        return
+                    if not await self._redial():
+                        return
+
+    async def _redial(self) -> bool:
+        """Backoff-redial until connected, closing, or cancelled."""
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        delay = self.retry_s
+        while not self._closing:
             try:
-                await send_frame(self._writer, DETECTION, payload)
-            except Exception:
-                # Coordinator gone, or an unsendable frame (e.g. a
-                # batch over MAX_FRAME_BYTES): forwarding stops, the
-                # local service keeps running and sheds into lag_events.
-                return
+                await self._dial()
+            except (OSError, ClusterError, ClusterProtocolError):
+                await asyncio.sleep(delay * random.uniform(0.5, 1.5))
+                delay = min(delay * 2.0, self.reconnect_max_s)
+                continue
+            get_registry().counter(
+                "repro_forwarder_reconnects_total",
+                help="Times a detection forwarder redialed its coordinator.",
+            ).inc()
+            logger.info(
+                "forwarder reconnected to %s:%d", self.host, self.port
+            )
+            return True
+        return False
 
     async def _heartbeat_loop(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
             await asyncio.sleep(self.heartbeat_s)
             try:
-                await send_frame(self._writer, HEARTBEAT, {"t": loop.time()})
-            except (ConnectionError, OSError):
-                return
+                await self._send_frame_locked(HEARTBEAT, {"t": loop.time()})
+            except (ConnectionError, ClusterError, OSError):
+                if not self.reconnect:
+                    return
+                # The sender owns redialing; keep ticking so keepalives
+                # resume on the fresh link.
+                continue
 
     async def close(self) -> None:
         """Flush queued frames, say BYE, and disconnect.
 
-        Never blocks indefinitely: if the coordinator died (the sender
-        already returned) or is wedged mid-send, the sentinel is
-        shed-put rather than awaited and the sender is cancelled after
-        a bounded drain.
+        Never blocks indefinitely: the sender gets ``drain_timeout_s``
+        to flush, after which whatever is still queued is dropped with
+        a logged count (and folded into :attr:`lag_events`) rather than
+        silently discarded.
         """
+        self._closing = True
         if self._sender is not None:
             if not self._sender.done():
                 try:
@@ -173,9 +304,27 @@ class DetectionForwarder:
                         )
                     self._queue.put_nowait(None)
             try:
-                await asyncio.wait_for(self._sender, timeout=10.0)
+                await asyncio.wait_for(
+                    self._sender, timeout=self.drain_timeout_s
+                )
             except (asyncio.TimeoutError, asyncio.CancelledError):
-                pass  # wait_for cancelled the wedged sender
+                # wait_for cancelled the wedged sender; count what it
+                # never delivered instead of pretending it drained.
+                frames = 0
+                records = 0
+                while not self._queue.empty():
+                    item = self._queue.get_nowait()
+                    if item is not None:
+                        frames += 1
+                        records += len(item.get("detections", ()))
+                self.lag_events += records
+                logger.warning(
+                    "forwarder drain timed out after %.1fs; dropping %d "
+                    "queued frame(s) (%d detection record(s))",
+                    self.drain_timeout_s,
+                    frames,
+                    records,
+                )
             except Exception:
                 pass  # the sender's stored failure; close() stays quiet
             self._sender = None
@@ -200,23 +349,22 @@ class DetectionForwarder:
 
 
 async def iter_snapshots(
-    host: str, port: int
+    host: str,
+    port: int,
+    *,
+    auth_token: Optional[str] = None,
+    ssl_context: Optional[ssl_module.SSLContext] = None,
 ) -> AsyncIterator[FleetSnapshot]:
     """Subscribe to a coordinator's snapshot stream (``watch`` role).
 
     Yields each pushed fleet snapshot until the coordinator closes the
     connection.
     """
-    reader, writer = await asyncio.open_connection(host, port)
+    reader, writer = await asyncio.open_connection(
+        host, port, ssl=ssl_context
+    )
     try:
-        await send_frame(writer, HELLO, hello_payload(role=ROLE_WATCH))
-        reply = await read_frame(reader)
-        if reply is not None and reply.type == BYE:
-            raise ClusterError(
-                f"coordinator refused handshake: "
-                f"{reply.payload.get('reason', 'no reason given')}"
-            )
-        check_hello(reply, expect_role=False)
+        await _handshake(reader, writer, ROLE_WATCH, auth_token)
         while True:
             frame = await read_frame(reader)
             if frame is None or frame.type == BYE:
@@ -239,4 +387,146 @@ async def iter_snapshots(
             pass
 
 
-__all__ = ["DetectionForwarder", "iter_snapshots"]
+class CoordinatorControl:
+    """Queue-management client: submit / status / cancel / fetch.
+
+    Async context manager::
+
+        async with CoordinatorControl(host, port) as control:
+            cid = await control.submit(scenarios)
+            print(await control.status())
+
+    Every request carries a client-side ``req`` id echoed in the ACK,
+    so replies can never be mis-paired even with heartbeats interleaved.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        auth_token: Optional[str] = None,
+        ssl_context: Optional[ssl_module.SSLContext] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.auth_token = auth_token
+        self.ssl_context = ssl_context
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._req_ids = itertools.count(1)
+
+    async def start(self) -> "CoordinatorControl":
+        reader, writer = await asyncio.open_connection(
+            self.host, self.port, ssl=self.ssl_context
+        )
+        self._reader = reader
+        self._writer = writer
+        await _handshake(reader, writer, ROLE_CONTROL, self.auth_token)
+        return self
+
+    async def __aenter__(self) -> "CoordinatorControl":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def _call(self, frame_type: str, payload: dict) -> dict:
+        if self._writer is None or self._reader is None:
+            raise ClusterError("control client is not connected")
+        req = next(self._req_ids)
+        await send_frame(
+            self._writer, frame_type, dict(payload, req=req)
+        )
+        while True:
+            frame = await read_frame(self._reader)
+            if frame is None or frame.type == BYE:
+                raise ClusterError(
+                    "coordinator closed the control connection"
+                )
+            if frame.type == HEARTBEAT:
+                continue
+            if frame.type != ACK:
+                raise ClusterProtocolError(
+                    f"unexpected {frame.type} frame on control connection"
+                )
+            if frame.payload.get("req") != req:
+                continue  # stale reply from an interrupted exchange
+            if not frame.payload.get("ok", False):
+                raise ClusterError(
+                    str(frame.payload.get("error", "request refused"))
+                )
+            return frame.payload
+
+    async def submit(
+        self,
+        scenarios: Sequence[ScenarioSpec],
+        *,
+        campaign_id: Optional[str] = None,
+        trace_dir: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        fail_fast: bool = False,
+        detector_config: Optional[DetectorConfig] = None,
+    ) -> str:
+        """Queue a campaign; return its id without waiting for it."""
+        reply = await self._call(
+            SUBMIT,
+            {
+                "scenarios": [
+                    protocol.spec_to_json(spec) for spec in scenarios
+                ],
+                "campaign_id": campaign_id,
+                "trace_dir": trace_dir,
+                "cache_dir": cache_dir,
+                "fail_fast": fail_fast,
+                "detector_config": protocol.detector_config_to_json(
+                    detector_config
+                ),
+            },
+        )
+        return str(reply["campaign_id"])
+
+    async def status(self) -> List[dict]:
+        """The coordinator's queue: active campaigns, then history."""
+        reply = await self._call(STATUS, {})
+        queue = reply.get("queue", [])
+        return list(queue) if isinstance(queue, list) else []
+
+    async def cancel(self, campaign_id: str) -> bool:
+        """Cancel an active campaign; False if it was not active."""
+        reply = await self._call(CANCEL, {"campaign_id": campaign_id})
+        return bool(reply.get("cancelled"))
+
+    async def fetch(self, campaign_id: str) -> dict:
+        """Fetch a finished campaign's results.
+
+        Returns ``{"state", "outcomes" (decoded SessionOutcomes),
+        "errors" (index → message)}``; raises :class:`ClusterError`
+        while the campaign is still running or when it is unknown.
+        """
+        reply = await self._call(FETCH, {"campaign_id": campaign_id})
+        return {
+            "state": reply.get("state", "completed"),
+            "outcomes": [
+                SessionOutcome.from_json(data)
+                for data in reply.get("outcomes", ())
+            ],
+            "errors": dict(reply.get("errors", {})),
+        }
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                await send_frame(self._writer, BYE, {"reason": "done"})
+            except (ConnectionError, OSError):
+                pass
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+        self._reader = None
+
+
+__all__ = ["CoordinatorControl", "DetectionForwarder", "iter_snapshots"]

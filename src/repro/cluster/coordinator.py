@@ -1,18 +1,23 @@
-"""The cluster coordinator: one listener, two planes.
+"""The cluster coordinator: one listener, three planes, a durable queue.
 
 :class:`ClusterCoordinator` is the central analysis plane of a
-multi-host deployment.  A single asyncio TCP listener serves both kinds
-of peer the protocol knows:
+multi-host deployment.  A single asyncio TCP listener (optionally TLS,
+optionally auth-token gated at HELLO) serves every kind of peer the
+protocol knows:
 
 * **batch plane** — :class:`~repro.cluster.worker.ClusterWorker` peers
-  announce slots; the coordinator pushes queued
-  :class:`~repro.fleet.scenarios.ScenarioSpec` dispatches at them and
-  folds the returned :class:`~repro.fleet.executor.SessionOutcome`
-  records into an incremental
-  :class:`~repro.fleet.aggregate.FleetAggregate`.  Outcomes are indexed
-  by scenario position, so the finished campaign is returned in
-  scenario order and — because every scenario is a deterministic
-  function of its spec — byte-identical to local execution.
+  announce slots; the coordinator round-robins queued
+  :class:`~repro.fleet.scenarios.ScenarioSpec` dispatches across every
+  *active campaign* at them and folds the returned
+  :class:`~repro.fleet.executor.SessionOutcome` records into
+  per-campaign state.  Outcomes are indexed by scenario position, so a
+  finished campaign is returned in scenario order and — because every
+  scenario is a deterministic function of its spec — byte-identical to
+  local execution.
+* **control plane** — ``control``-role peers
+  (:class:`~repro.cluster.client.CoordinatorControl`, the CLI's
+  ``repro cluster queue|status|cancel``) submit campaigns into the
+  queue, inspect it, cancel campaigns, and fetch finished outcomes.
 * **live plane** — remote supervisors (via
   :class:`~repro.cluster.client.DetectionForwarder`) stream
   ``(session_id, detections, chains, watermark)`` frames that fold into
@@ -20,23 +25,46 @@ of peer the protocol knows:
   :class:`~repro.live.aggregator.FleetSnapshot` rollups are written for
   ``repro watch`` and pushed to ``watch``-role connections.
 
+Durability: with a ``journal_path``, every campaign transition is
+written ahead to a :class:`~repro.cluster.journal.CampaignJournal`
+(CAMPAIGN_OPEN before the campaign is queued, OUTCOME_SETTLED before an
+outcome is recorded in memory, CAMPAIGN_CLOSED when it finishes).  A
+restarted coordinator replays the journal on :meth:`start`; a campaign
+resubmitted under its journaled id (or revived wholesale via
+:meth:`resume_pending_campaigns`) preloads its settled outcomes and
+dispatches only the unsettled remainder — the completed campaign is
+byte-identical to an uninterrupted run because the settled outcomes
+*are* the originals, replayed from disk.  A journal write failure
+(disk full, permission flip) logs an error and degrades the
+coordinator to in-memory operation rather than killing the planes.
+
 Fault model: a worker that disconnects or stops heartbeating has its
-in-flight scenarios requeued (front of the queue, excluding the dead
-worker), so a killed worker costs latency, never outcomes.  A worker
-that later turns out merely slow can still deliver; duplicate outcomes
-are idempotent because outcomes are deterministic.  Live-plane ingest
-runs behind a bounded queue with the live service's backpressure
-semantics: ``block`` pauses the socket reader (TCP backpressure all the
-way to the remote supervisor), ``drop_oldest`` sheds the oldest batch
-and counts its records as lag.
+in-flight scenarios requeued (front of their campaign's queue,
+excluding the dead worker), so a killed worker costs latency, never
+outcomes.  A worker that later turns out merely slow can still
+deliver; duplicate outcomes are idempotent because outcomes are
+deterministic.  Live-plane ingest runs behind a bounded queue with the
+live service's backpressure semantics: ``block`` pauses the socket
+reader (TCP backpressure all the way to the remote supervisor),
+``drop_oldest`` sheds the oldest batch and counts its records as lag.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import ssl as ssl_module
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Set
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.detector import DetectorConfig
 from repro.errors import ClusterError, ClusterProtocolError, ConfigError, SchemaError
@@ -50,17 +78,24 @@ from repro.obs.logs import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.spans import span
 from repro.cluster import protocol
+from repro.cluster.journal import CampaignJournal, ReplayedCampaign, campaign_id_for
 from repro.cluster.protocol import (
+    ACK,
     BYE,
+    CANCEL,
     DETECTION,
     DISPATCH,
+    FETCH,
     HEARTBEAT,
     HELLO,
     OUTCOME,
+    ROLE_CONTROL,
     ROLE_LIVE,
     ROLE_WATCH,
     ROLE_WORKER,
     SNAPSHOT,
+    STATUS,
+    SUBMIT,
     check_hello,
     read_frame,
     send_frame,
@@ -68,6 +103,9 @@ from repro.cluster.protocol import (
 
 #: on_progress(done, total, requeues) after every recorded outcome.
 ProgressCallback = Callable[[int, int, int], None]
+
+#: Finished campaigns kept around for STATUS/FETCH before being forgotten.
+_HISTORY_LIMIT = 32
 
 logger = get_logger(__name__)
 
@@ -86,7 +124,8 @@ class _WorkerConn:
         self.name = name
         self.slots = max(1, slots)
         self.writer = writer
-        self.in_flight: Set[int] = set()
+        #: (campaign_id, scenario index) pairs currently on this worker.
+        self.in_flight: Set[Tuple[str, int]] = set()
         self.last_seen = 0.0
         self.closed = False
         self.send_lock = asyncio.Lock()
@@ -97,24 +136,29 @@ class _WorkerConn:
 
 
 class _Campaign:
-    """One in-progress distributed campaign."""
+    """One queued/in-progress distributed campaign."""
 
     def __init__(
         self,
+        campaign_id: str,
         scenarios: Sequence[ScenarioSpec],
         trace_dir: Optional[str],
         cache_dir: Optional[str],
         fail_fast: bool,
-        epoch: int,
+        detector_config: Optional[DetectorConfig],
+        on_progress: Optional[ProgressCallback],
     ) -> None:
-        #: Monotonic campaign id; DISPATCH/OUTCOME frames echo it so a
-        #: late outcome from a previous campaign can never be recorded
-        #: into the current one at the same index.
-        self.epoch = epoch
+        #: Journal key and DISPATCH/OUTCOME correlation id; a late
+        #: outcome from another campaign can never be recorded into this
+        #: one at the same index because ids never collide across
+        #: campaigns.
+        self.campaign_id = campaign_id
         self.scenarios = list(scenarios)
         self.trace_dir = trace_dir
         self.cache_dir = cache_dir
         self.fail_fast = fail_fast
+        self.detector_config = detector_config
+        self.on_progress = on_progress
         self.pending: Deque[int] = deque(range(len(self.scenarios)))
         #: scenario index → worker ids it must not be dispatched to
         #: (workers that died while running it).
@@ -129,20 +173,60 @@ class _Campaign:
         self.requeued: Set[int] = set()
         self.n_done = 0
         self.requeues = 0
+        self.cancelled = False
+        self.close_reason: Optional[str] = None
         self.done = asyncio.Event()
 
     def settled(self, index: int) -> bool:
         return self.outcomes[index] is not None or index in self.errors
 
+    def preload(self, replayed: ReplayedCampaign) -> int:
+        """Adopt a journal replay's settled records; queue the rest."""
+        for index, outcome in replayed.settled.items():
+            if (
+                isinstance(index, int)
+                and 0 <= index < len(self.scenarios)
+                and not self.settled(index)
+            ):
+                self.outcomes[index] = outcome
+                self.n_done += 1
+        for index, error in replayed.errors.items():
+            if (
+                isinstance(index, int)
+                and 0 <= index < len(self.scenarios)
+                and not self.settled(index)
+            ):
+                self.errors[index] = str(error)
+                self.n_done += 1
+        self.pending = deque(
+            index
+            for index in range(len(self.scenarios))
+            if not self.settled(index)
+        )
+        if self.fail_fast and self.errors:
+            self.pending.clear()
+        return self.n_done
+
+    def finished_state(self) -> Optional[str]:
+        """``None`` while work remains, else the terminal state name."""
+        if self.cancelled:
+            return "cancelled"
+        if self.fail_fast and self.errors:
+            return "failed"
+        if self.n_done >= len(self.scenarios):
+            return "failed" if self.errors else "completed"
+        return None
+
 
 class ClusterCoordinator:
-    """Serve workers and live supervisors; aggregate centrally.
+    """Serve workers, control clients, and live supervisors.
 
     Args:
         host / port: listen address (``port=0`` binds an ephemeral port,
             readable from :attr:`port` after :meth:`start`).
         detector_config: Domino configuration shipped with every
-            dispatch so all workers analyze identically.
+            dispatch (campaigns may override per submission) so all
+            workers analyze identically.
         heartbeat_s: keepalive interval advertised to peers.
         worker_timeout_s: declare a worker dead after this long without
             any frame (default ``5 × heartbeat_s``) and requeue its
@@ -154,6 +238,12 @@ class ClusterCoordinator:
             (atomically) for ``repro watch``.
         snapshot_every_s: snapshot/watch push interval.
         on_snapshot: callback invoked with each periodic snapshot.
+        journal_path: write-ahead campaign journal file; replayed on
+            :meth:`start` so interrupted campaigns can resume.
+        auth_token: when set, every HELLO must carry a matching
+            ``token`` field or the peer is refused with BYE.
+        ssl_context: serve TLS on the listener (see
+            :func:`~repro.cluster.protocol.server_ssl_context`).
     """
 
     def __init__(
@@ -169,6 +259,9 @@ class ClusterCoordinator:
         snapshot_path: Optional[str] = None,
         snapshot_every_s: float = 1.0,
         on_snapshot: Optional[Callable[[FleetSnapshot], None]] = None,
+        journal_path: Optional[str] = None,
+        auth_token: Optional[str] = None,
+        ssl_context: Optional[ssl_module.SSLContext] = None,
     ) -> None:
         if live_backpressure not in ("block", "drop_oldest"):
             raise ConfigError(
@@ -188,6 +281,9 @@ class ClusterCoordinator:
         self.snapshot_path = snapshot_path
         self.snapshot_every_s = snapshot_every_s
         self.on_snapshot = on_snapshot
+        self.journal_path = journal_path
+        self.auth_token = auth_token
+        self.ssl_context = ssl_context
 
         #: Central rollups: batch campaign outcomes and live detections.
         self.batch_aggregate = FleetAggregate()
@@ -201,9 +297,18 @@ class ClusterCoordinator:
         self._worker_ids = itertools.count()
         self._worker_joined = asyncio.Condition()
         self._work_available = asyncio.Condition()
-        self._campaign: Optional[_Campaign] = None
-        self._campaign_epochs = 0
-        self._on_progress: Optional[ProgressCallback] = None
+        #: Active campaigns by id, plus the round-robin dispatch order.
+        self._campaigns: Dict[str, _Campaign] = {}
+        self._rotation: Deque[str] = deque()
+        #: Finished campaigns kept for STATUS/FETCH (insertion order,
+        #: trimmed to _HISTORY_LIMIT).
+        self._history: Dict[str, _Campaign] = {}
+        #: Every campaign id this coordinator has ever seen (including
+        #: journal-replayed ones): a straggler OUTCOME for one of these
+        #: is ignored, one for a truly unknown id is a protocol offence.
+        self._known_ids: Set[str] = set()
+        self._journal: Optional[CampaignJournal] = None
+        self._replayed: Dict[str, ReplayedCampaign] = {}
         self._live_queue: asyncio.Queue = asyncio.Queue(
             maxsize=live_queue_frames
         )
@@ -222,9 +327,28 @@ class ClusterCoordinator:
     # -- lifecycle --------------------------------------------------------------
 
     async def start(self) -> "ClusterCoordinator":
-        """Bind the listener and start background tasks."""
+        """Replay the journal (if any), bind, start background tasks."""
+        if self.journal_path is not None:
+            self._journal = CampaignJournal(self.journal_path)
+            replayed = self._journal.replay()
+            for campaign_id, campaign in replayed.items():
+                self._known_ids.add(campaign_id)
+                if not campaign.closed:
+                    # Interrupted mid-campaign: resumable.
+                    self._replayed[campaign_id] = campaign
+            if self._replayed:
+                logger.info(
+                    "journal %s: %d interrupted campaign(s) ready to "
+                    "resume (%s)",
+                    self.journal_path,
+                    len(self._replayed),
+                    ", ".join(sorted(self._replayed)),
+                )
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection,
+            self.host,
+            self.port,
+            ssl=self.ssl_context,
         )
         self.port = self._server.sockets[0].getsockname()[1]
         loop = asyncio.get_running_loop()
@@ -239,7 +363,12 @@ class ClusterCoordinator:
         return self
 
     async def close(self) -> None:
-        """Stop serving: close the listener and every connection."""
+        """Stop serving: close the listener and every connection.
+
+        Unfinished campaigns are *not* closed in the journal — a close
+        with work outstanding is indistinguishable from a crash on
+        replay, which is exactly what makes them resumable.
+        """
         for task in self._tasks:
             task.cancel()
         if self._server is not None:
@@ -251,6 +380,8 @@ class ClusterCoordinator:
             *self._tasks, *self._conn_tasks, return_exceptions=True
         )
         self._tasks = []
+        if self._journal is not None:
+            self._journal.close()
 
     @property
     def n_workers(self) -> int:
@@ -273,7 +404,131 @@ class ClusterCoordinator:
 
         await asyncio.wait_for(_wait(), timeout_s)
 
+    # -- journal plumbing -------------------------------------------------------
+
+    def _journal_op(self, op: str, *args: object, **kwargs: object) -> None:
+        """Best-effort journal write: a failing disk degrades, not kills."""
+        if self._journal is None:
+            return
+        try:
+            getattr(self._journal, op)(*args, **kwargs)
+        except OSError as exc:
+            logger.error(
+                "campaign journal write failed (%s: %s); disabling the "
+                "journal — coordinator continues in memory only",
+                op,
+                exc,
+            )
+            try:
+                self._journal.close()
+            except OSError:
+                pass
+            self._journal = None
+
     # -- campaign API (batch plane) ---------------------------------------------
+
+    async def submit_campaign(
+        self,
+        scenarios: Sequence[ScenarioSpec],
+        *,
+        campaign_id: Optional[str] = None,
+        trace_dir: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        fail_fast: bool = False,
+        detector_config: Optional[DetectorConfig] = None,
+        on_progress: Optional[ProgressCallback] = None,
+    ) -> str:
+        """Queue a campaign; return its id immediately.
+
+        The id defaults to the deterministic digest of the scenario
+        specs + detector config (:func:`campaign_id_for`), which is
+        what lets a restarted coordinator match a resubmission against
+        its journal and resume from the settled records instead of
+        re-running them.  An id colliding with an *active* campaign
+        gets a ``-N`` suffix (or raises, when the id was explicit).
+        """
+        config = (
+            detector_config
+            if detector_config is not None
+            else self.detector_config
+        )
+        base = campaign_id or campaign_id_for(scenarios, config)
+        cid = base
+        suffix = 1
+        while cid in self._campaigns:
+            if campaign_id is not None:
+                raise ClusterError(
+                    f"campaign {campaign_id!r} is already queued"
+                )
+            suffix += 1
+            cid = f"{base}-{suffix}"
+        campaign = _Campaign(
+            cid,
+            scenarios,
+            trace_dir,
+            cache_dir,
+            fail_fast,
+            config,
+            on_progress,
+        )
+        replayed = self._replayed.pop(cid, None)
+        if replayed is not None:
+            preloaded = campaign.preload(replayed)
+            logger.info(
+                "campaign %s resumed from journal: %d/%d scenario(s) "
+                "already settled",
+                cid,
+                preloaded,
+                len(campaign.scenarios),
+            )
+        else:
+            self._journal_op(
+                "open_campaign",
+                cid,
+                campaign.scenarios,
+                detector_config=config,
+                trace_dir=trace_dir,
+                cache_dir=cache_dir,
+                fail_fast=fail_fast,
+            )
+        self._known_ids.add(cid)
+        self._campaigns[cid] = campaign
+        self._rotation.append(cid)
+        get_registry().gauge(
+            "repro_campaigns_active",
+            help="Campaigns currently queued or dispatching.",
+        ).set(len(self._campaigns))
+        state = campaign.finished_state()
+        if state is not None:
+            # Nothing left to dispatch (empty submission, or the
+            # journal already holds every outcome).
+            await self._finalize(campaign, state)
+        else:
+            async with self._work_available:
+                self._work_available.notify_all()
+        return cid
+
+    async def wait_campaign(self, campaign_id: str) -> List[SessionOutcome]:
+        """Await a campaign; return its outcomes in scenario order.
+
+        Raises :class:`ClusterError` carrying the first failing
+        scenario's error (in scenario order), or on cancellation.
+        """
+        campaign = self._campaigns.get(campaign_id) or self._history.get(
+            campaign_id
+        )
+        if campaign is None:
+            raise ClusterError(f"unknown campaign {campaign_id!r}")
+        await campaign.done.wait()
+        if campaign.cancelled:
+            raise ClusterError(f"campaign {campaign_id!r} was cancelled")
+        if campaign.errors:
+            index = min(campaign.errors)
+            raise ClusterError(
+                f"scenario {campaign.scenarios[index].name!r} failed: "
+                f"{campaign.errors[index]}"
+            )
+        return [outcome for outcome in campaign.outcomes if outcome]
 
     async def run_campaign(
         self,
@@ -283,54 +538,131 @@ class ClusterCoordinator:
         cache_dir: Optional[str] = None,
         fail_fast: bool = False,
         on_progress: Optional[ProgressCallback] = None,
+        campaign_id: Optional[str] = None,
     ) -> List[SessionOutcome]:
-        """Dispatch *scenarios* to connected workers; gather outcomes.
+        """Submit *scenarios* and wait for their outcomes.
 
         Returns outcomes in scenario order (byte-identical to a local
-        :func:`~repro.fleet.executor.run_campaign`).  Raises
-        :class:`ClusterError` carrying the first failing scenario's
-        error (in scenario order); ``fail_fast`` stops dispatching new
-        scenarios at the first failure instead of finishing the rest.
-        Dispatch waits for workers — a campaign submitted before any
-        worker connects simply idles until one joins.
+        :func:`~repro.fleet.executor.run_campaign`).  Concurrent calls
+        interleave fairly: the dispatcher round-robins across every
+        active campaign.  Dispatch waits for workers — a campaign
+        submitted before any worker connects simply idles until one
+        joins.
         """
-        if self._campaign is not None:
-            raise ClusterError("a campaign is already running")
         if not scenarios:
             return []
-        self._campaign_epochs += 1
-        campaign = _Campaign(
-            scenarios, trace_dir, cache_dir, fail_fast,
-            epoch=self._campaign_epochs,
+        cid = await self.submit_campaign(
+            scenarios,
+            campaign_id=campaign_id,
+            trace_dir=trace_dir,
+            cache_dir=cache_dir,
+            fail_fast=fail_fast,
+            on_progress=on_progress,
         )
-        self._campaign = campaign
-        self._on_progress = on_progress
-        self.batch_aggregate = FleetAggregate()  # rollup of THIS campaign
-        async with self._work_available:
-            self._work_available.notify_all()
-        try:
-            await campaign.done.wait()
-        finally:
-            self._campaign = None
-            self._on_progress = None
-            # Scenarios still on workers belong to the finished epoch
-            # (fail_fast, or a duplicate settled first); their OUTCOME
-            # frames will be ignored by the epoch check, so free the
-            # slots now for the next campaign.
-            async with self._work_available:
-                for worker in self._workers.values():
-                    worker.in_flight.clear()
-                self._work_available.notify_all()
-        if campaign.errors:
-            index = min(campaign.errors)
-            raise ClusterError(
-                f"scenario {campaign.scenarios[index].name!r} failed: "
-                f"{campaign.errors[index]}"
+        return await self.wait_campaign(cid)
+
+    async def cancel_campaign(self, campaign_id: str) -> bool:
+        """Cancel an active campaign; ``False`` if it is not active."""
+        campaign = self._campaigns.get(campaign_id)
+        if campaign is None:
+            return False
+        campaign.cancelled = True
+        campaign.pending.clear()
+        await self._finalize(campaign, "cancelled")
+        logger.info("campaign %s cancelled", campaign_id)
+        return True
+
+    async def resume_pending_campaigns(self) -> List[str]:
+        """Requeue every journal-replayed campaign that never closed.
+
+        The standing-coordinator entry point (``repro cluster
+        coordinator --journal ...``): after a crash, the restarted
+        process picks its interrupted campaigns back up without any
+        client resubmitting them.
+        """
+        resumed = []
+        for cid in sorted(self._replayed):
+            replayed = self._replayed[cid]
+            await self.submit_campaign(
+                replayed.scenarios,
+                campaign_id=cid,
+                trace_dir=replayed.trace_dir,
+                cache_dir=replayed.cache_dir,
+                fail_fast=replayed.fail_fast,
+                detector_config=replayed.detector_config,
             )
+            resumed.append(cid)
+        return resumed
+
+    def campaign_finished(self, campaign_id: str) -> bool:
+        """True once a campaign has reached a terminal state."""
+        campaign = self._campaigns.get(campaign_id) or self._history.get(
+            campaign_id
+        )
+        return campaign is not None and campaign.done.is_set()
+
+    def queue_status(self) -> List[dict]:
+        """Queue introspection: active campaigns first, then history."""
+        entries = []
+        for cid in list(self._rotation):
+            campaign = self._campaigns.get(cid)
+            if campaign is not None:
+                entries.append(self._status_entry(campaign, "active"))
+        for campaign in self._history.values():
+            entries.append(
+                self._status_entry(
+                    campaign, campaign.close_reason or "completed"
+                )
+            )
+        return entries
+
+    @staticmethod
+    def _status_entry(campaign: _Campaign, state: str) -> dict:
+        return {
+            "campaign_id": campaign.campaign_id,
+            "state": state,
+            "total": len(campaign.scenarios),
+            "done": campaign.n_done,
+            "errors": len(campaign.errors),
+            "requeues": campaign.requeues,
+        }
+
+    async def _finalize(self, campaign: _Campaign, reason: str) -> None:
+        """Move a campaign out of the active queue; wake its waiters."""
+        if campaign.done.is_set():
+            return
+        campaign.close_reason = reason
+        self._journal_op("close_campaign", campaign.campaign_id, reason)
+        self._campaigns.pop(campaign.campaign_id, None)
+        try:
+            self._rotation.remove(campaign.campaign_id)
+        except ValueError:
+            pass
+        self._history[campaign.campaign_id] = campaign
+        while len(self._history) > _HISTORY_LIMIT:
+            self._history.pop(next(iter(self._history)))
+        get_registry().gauge(
+            "repro_campaigns_active",
+            help="Campaigns currently queued or dispatching.",
+        ).set(len(self._campaigns))
+        # Scenarios still on workers belong to the finished campaign
+        # (fail_fast, cancel, or a duplicate settled first); their
+        # OUTCOME frames will be ignored as stragglers, so free the
+        # slots now for the remaining campaigns.
+        async with self._work_available:
+            for worker in self._workers.values():
+                worker.in_flight = {
+                    item
+                    for item in worker.in_flight
+                    if item[0] != campaign.campaign_id
+                }
+            self._work_available.notify_all()
+        # The batch rollup covers the most recently finished campaign.
+        self.batch_aggregate = FleetAggregate()
         for outcome in campaign.outcomes:
             if outcome is not None:
                 self.batch_aggregate.update(outcome)
-        return [outcome for outcome in campaign.outcomes if outcome]
+        campaign.done.set()
 
     # -- connection handling ----------------------------------------------------
 
@@ -353,6 +685,22 @@ class ClusterCoordinator:
                 except (ConnectionError, ClusterProtocolError):
                     pass
                 return
+            if not protocol.auth_ok(self.auth_token, hello.get("token")):
+                get_registry().counter(
+                    "repro_cluster_auth_failures_total",
+                    help="Peers refused for a missing or wrong auth token.",
+                ).inc()
+                logger.warning(
+                    "refused %s peer: auth token missing or wrong",
+                    hello.get("role"),
+                )
+                try:
+                    await send_frame(
+                        writer, BYE, {"reason": "auth token rejected"}
+                    )
+                except (ConnectionError, ClusterProtocolError):
+                    pass
+                return
             await send_frame(
                 writer,
                 HELLO,
@@ -363,6 +711,8 @@ class ClusterCoordinator:
             role = hello["role"]
             if role == ROLE_WORKER:
                 await self._serve_worker(reader, writer, hello)
+            elif role == ROLE_CONTROL:
+                await self._serve_control(reader, writer)
             elif role == ROLE_LIVE:
                 await self._serve_live(reader, writer)
             elif role == ROLE_WATCH:
@@ -443,21 +793,19 @@ class ClusterCoordinator:
         """Push queued scenarios at one worker while it has free slots."""
         while True:
             async with self._work_available:
-                index = None
-                while index is None:
+                claimed = None
+                while claimed is None:
                     if worker.closed:
                         return
                     if self._claim_ready(worker):
-                        index = self._claim(worker)
-                        if index is not None:
+                        claimed = self._claim(worker)
+                        if claimed is not None:
                             break
                     # No claimable work (idle, slots full, or every
                     # pending scenario excludes this worker): block
                     # until the next state change rather than re-spin.
                     await self._work_available.wait()
-                campaign = self._campaign
-            if campaign is None:
-                continue
+            campaign, index = claimed
             spec = campaign.scenarios[index]
             with span(
                 "cluster.dispatch", scenario=spec.name, worker=worker.name
@@ -465,11 +813,11 @@ class ClusterCoordinator:
                 await worker.send(
                     DISPATCH,
                     {
-                        "campaign": campaign.epoch,
+                        "campaign": campaign.campaign_id,
                         "index": index,
                         "spec": protocol.spec_to_json(spec),
                         "detector_config": protocol.detector_config_to_json(
-                            self.detector_config
+                            campaign.detector_config
                         ),
                         "trace_dir": campaign.trace_dir,
                         "cache_dir": campaign.cache_dir,
@@ -481,56 +829,64 @@ class ClusterCoordinator:
             ).inc()
 
     def _claim_ready(self, worker: _WorkerConn) -> bool:
-        """O(1) pre-check; exclusion filtering is _claim's job.
+        """Cheap pre-check; exclusion filtering is _claim's job.
 
-        Kept constant-time deliberately: every recorded outcome wakes
-        every dispatcher, so scanning the pending deque here would be
+        Kept near-constant-time deliberately (active campaigns are few;
+        their pending deques are not scanned): every recorded outcome
+        wakes every dispatcher, so scanning pending here would be
         O(workers x scenarios) per outcome.  The rare false positive
         (all pending scenarios exclude this worker) just makes _claim
         return None and the dispatcher block again.
         """
-        campaign = self._campaign
-        return (
-            campaign is not None
-            and len(worker.in_flight) < worker.slots
-            and bool(campaign.pending)
+        return len(worker.in_flight) < worker.slots and any(
+            campaign.pending for campaign in self._campaigns.values()
         )
 
-    def _claim(self, worker: _WorkerConn) -> Optional[int]:
-        """Pop the first pending scenario this worker may run."""
-        campaign = self._campaign
-        if campaign is None:
-            return None
-        for _ in range(len(campaign.pending)):
-            index = campaign.pending.popleft()
-            if worker.worker_id in campaign.excluded.get(index, ()):
-                campaign.pending.append(index)
+    def _claim(
+        self, worker: _WorkerConn
+    ) -> Optional[Tuple[_Campaign, int]]:
+        """Claim the next scenario, round-robining across campaigns.
+
+        The rotation deque advances one campaign per successful claim,
+        so two queued campaigns each get every other free slot — fair
+        dispatch regardless of submission order or size.
+        """
+        for _ in range(len(self._rotation)):
+            cid = self._rotation[0]
+            self._rotation.rotate(-1)
+            campaign = self._campaigns.get(cid)
+            if campaign is None or not campaign.pending:
                 continue
-            worker.in_flight.add(index)
-            return index
+            for _ in range(len(campaign.pending)):
+                index = campaign.pending.popleft()
+                if worker.worker_id in campaign.excluded.get(index, ()):
+                    campaign.pending.append(index)
+                    continue
+                worker.in_flight.add((cid, index))
+                return campaign, index
         return None
 
     async def _record_outcome(
         self, worker: _WorkerConn, payload: dict
     ) -> None:
-        campaign = self._campaign
         index = payload.get("index")
-        frame_epoch = payload.get("campaign")
+        cid = payload.get("campaign")
+        campaign = self._campaigns.get(cid)
         if campaign is None:
-            return  # no campaign running; a stale straggler
-        if frame_epoch != campaign.epoch:
-            if isinstance(frame_epoch, int) and 0 < frame_epoch < campaign.epoch:
-                # A leftover from a previous campaign (fail_fast
-                # abandon, or a duplicate settled first): its index may
-                # collide with the current campaign's numbering, so
-                # touch nothing.
+            if cid in self._known_ids:
+                # A straggler for a campaign that already finished
+                # (fail_fast abandon, cancel, or a requeued duplicate
+                # settled first): free the slot, touch nothing else.
+                worker.in_flight.discard((cid, index))
+                async with self._work_available:
+                    self._work_available.notify_all()
                 return
-            # Not a known past campaign: the worker is confused, and
-            # silently ignoring would wedge its in-flight scenario.
-            # Raising drops the worker and requeues that scenario.
+            # Not a campaign this coordinator has ever queued: the
+            # worker is confused, and silently ignoring would wedge its
+            # in-flight scenario.  Raising drops the worker and
+            # requeues that scenario.
             raise ClusterProtocolError(
-                f"OUTCOME for unknown campaign {frame_epoch!r} "
-                f"(current epoch {campaign.epoch})"
+                f"OUTCOME for unknown campaign {cid!r}"
             )
         error = payload.get("error")
         outcome = None
@@ -542,7 +898,7 @@ class ClusterCoordinator:
                 outcome = SessionOutcome.from_json(payload["outcome"])
             except (KeyError, SchemaError) as exc:
                 raise ClusterProtocolError(f"malformed OUTCOME frame: {exc}")
-        worker.in_flight.discard(index)
+        worker.in_flight.discard((cid, index))
         async with self._work_available:
             self._work_available.notify_all()  # a slot freed up
         if (
@@ -551,6 +907,13 @@ class ClusterCoordinator:
             or campaign.settled(index)
         ):
             return  # late duplicate from a worker we declared dead
+        # Write-ahead: the journal records the settle before memory
+        # does, so a crash between the two re-settles identically on
+        # replay instead of losing the outcome.
+        if error is not None:
+            self._journal_op("settle", cid, index, error=str(error))
+        else:
+            self._journal_op("settle", cid, index, outcome=outcome)
         # Only a requeued index can have a duplicate copy sitting in
         # pending (outcomes are deterministic, so whichever worker
         # answered first settles it); gating on the set keeps outcome
@@ -564,16 +927,16 @@ class ClusterCoordinator:
             campaign.errors[index] = str(error)
             if campaign.fail_fast:
                 campaign.pending.clear()
-                campaign.done.set()
         else:
             campaign.outcomes[index] = outcome
         campaign.n_done += 1
-        if self._on_progress is not None:
-            self._on_progress(
+        if campaign.on_progress is not None:
+            campaign.on_progress(
                 campaign.n_done, len(campaign.scenarios), campaign.requeues
             )
-        if campaign.n_done == len(campaign.scenarios):
-            campaign.done.set()
+        state = campaign.finished_state()
+        if state is not None:
+            await self._finalize(campaign, state)
 
     async def _drop_worker(self, worker: _WorkerConn) -> None:
         """Unregister a worker; requeue whatever it was running."""
@@ -585,12 +948,17 @@ class ClusterCoordinator:
             help="Workers currently connected to the coordinator.",
         ).set(len(self._workers))
         requeued_here = 0
-        campaign = self._campaign
         async with self._work_available:
-            if campaign is not None and worker.in_flight:
+            by_campaign: Dict[str, List[int]] = {}
+            for cid, index in worker.in_flight:
+                by_campaign.setdefault(cid, []).append(index)
+            for cid, indices in by_campaign.items():
+                campaign = self._campaigns.get(cid)
+                if campaign is None:
+                    continue
                 # Front of the queue: a crashed worker's scenarios are
                 # the oldest work in flight, finish them first.
-                for index in sorted(worker.in_flight, reverse=True):
+                for index in sorted(indices, reverse=True):
                     if campaign.settled(index):
                         continue
                     campaign.excluded.setdefault(index, set()).add(
@@ -658,6 +1026,89 @@ class ClusterCoordinator:
                         worker.name,
                     )
                     worker.writer.transport.abort()
+
+    # -- control plane: queue management ----------------------------------------
+
+    async def _serve_control(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer SUBMIT/STATUS/CANCEL/FETCH requests with ACKs."""
+        while True:
+            frame = await read_frame(reader)
+            if frame is None or frame.type == BYE:
+                return
+            if frame.type == HEARTBEAT:
+                continue
+            payload = frame.payload
+            reply: dict
+            try:
+                if frame.type == SUBMIT:
+                    scenarios = [
+                        protocol.spec_from_json(spec)
+                        for spec in payload.get("scenarios", ())
+                    ]
+                    if not scenarios:
+                        raise ClusterError(
+                            "SUBMIT carries no scenarios"
+                        )
+                    cid = await self.submit_campaign(
+                        scenarios,
+                        campaign_id=payload.get("campaign_id"),
+                        trace_dir=payload.get("trace_dir"),
+                        cache_dir=payload.get("cache_dir"),
+                        fail_fast=bool(payload.get("fail_fast", False)),
+                        detector_config=protocol.detector_config_from_json(
+                            payload.get("detector_config")
+                        ),
+                    )
+                    reply = {"ok": True, "campaign_id": cid}
+                elif frame.type == STATUS:
+                    reply = {"ok": True, "queue": self.queue_status()}
+                elif frame.type == CANCEL:
+                    cid = payload.get("campaign_id")
+                    cancelled = await self.cancel_campaign(cid)
+                    reply = {"ok": True, "cancelled": cancelled}
+                elif frame.type == FETCH:
+                    reply = self._fetch_reply(payload.get("campaign_id"))
+                else:
+                    raise ClusterProtocolError(
+                        f"unexpected {frame.type} frame from control client"
+                    )
+            except ClusterError as exc:
+                reply = {"ok": False, "error": str(exc)}
+            reply["req"] = payload.get("req")
+            await send_frame(writer, ACK, reply)
+
+    def _fetch_reply(self, campaign_id: object) -> dict:
+        campaign = self._campaigns.get(campaign_id) or self._history.get(
+            campaign_id
+        )
+        if campaign is None:
+            return {
+                "ok": False,
+                "error": f"unknown campaign {campaign_id!r}",
+            }
+        if not campaign.done.is_set():
+            return {
+                "ok": False,
+                "error": (
+                    f"campaign {campaign_id!r} is still running "
+                    f"({campaign.n_done}/{len(campaign.scenarios)})"
+                ),
+            }
+        return {
+            "ok": True,
+            "state": campaign.close_reason or "completed",
+            "outcomes": [
+                outcome.to_json()
+                for outcome in campaign.outcomes
+                if outcome is not None
+            ],
+            "errors": {
+                str(index): error
+                for index, error in campaign.errors.items()
+            },
+        }
 
     # -- live plane: remote supervisors and watchers ----------------------------
 
@@ -802,6 +1253,12 @@ class ClusterCoordinator:
                 "requeues": float(self.requeues),
                 "live_queue_depth": float(self._live_queue.qsize()),
                 "lag_records": float(self.lag_events),
+                "campaigns_active": float(len(self._campaigns)),
+                "journal_records": float(
+                    self._journal.records_total
+                    if self._journal is not None
+                    else 0
+                ),
             },
             sessions=sessions,
         )
@@ -852,37 +1309,54 @@ def run_cluster_campaign(
     worker_wait_s: Optional[float] = None,
     on_listening: Optional[Callable[[str, int], None]] = None,
     on_progress: Optional[ProgressCallback] = None,
+    journal_path: Optional[str] = None,
+    campaign_id: Optional[str] = None,
+    auth_token: Optional[str] = None,
+    ssl_context: Optional[ssl_module.SSLContext] = None,
 ) -> List[SessionOutcome]:
     """Synchronous one-shot coordinator: serve one campaign, then stop.
 
     This is the engine behind
-    ``run_campaign(..., dispatch="cluster")``: bind, wait for
-    *min_workers* :class:`~repro.cluster.worker.ClusterWorker` peers
-    (forever by default; *worker_wait_s* bounds it), dispatch every
-    scenario, and return outcomes in scenario order.  *on_listening*
-    fires with the bound ``(host, port)`` so callers can advertise an
-    ephemeral port to workers.
+    ``run_campaign(..., dispatch="cluster")`` and the journaled
+    backend: bind, submit the campaign (resuming from *journal_path*'s
+    settled records when they exist), wait for *min_workers*
+    :class:`~repro.cluster.worker.ClusterWorker` peers unless the
+    journal already settled everything, dispatch the remainder, and
+    return outcomes in scenario order.  *on_listening* fires with the
+    bound ``(host, port)`` so callers can advertise an ephemeral port
+    to workers.
     """
 
     async def _run() -> List[SessionOutcome]:
         coordinator = ClusterCoordinator(
-            host, port, detector_config=detector_config
+            host,
+            port,
+            detector_config=detector_config,
+            journal_path=journal_path,
+            auth_token=auth_token,
+            ssl_context=ssl_context,
         )
         await coordinator.start()
         try:
             if on_listening is not None:
                 on_listening(coordinator.host, coordinator.port)
-            if min_workers > 0:
-                await coordinator.wait_for_workers(
-                    min_workers, timeout_s=worker_wait_s
-                )
-            return await coordinator.run_campaign(
+            if not scenarios:
+                return []
+            cid = await coordinator.submit_campaign(
                 scenarios,
+                campaign_id=campaign_id,
                 trace_dir=trace_dir,
                 cache_dir=cache_dir,
                 fail_fast=fail_fast,
                 on_progress=on_progress,
             )
+            # A journal that already settled every scenario needs no
+            # workers at all; don't block waiting for them.
+            if not coordinator.campaign_finished(cid) and min_workers > 0:
+                await coordinator.wait_for_workers(
+                    min_workers, timeout_s=worker_wait_s
+                )
+            return await coordinator.wait_campaign(cid)
         finally:
             await coordinator.close()
 

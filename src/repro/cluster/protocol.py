@@ -23,7 +23,18 @@ Frame types (see the coordinator/worker/client modules for sequencing):
   window detections ``(session_id, detections, chains, watermark_us)``.
 * ``SNAPSHOT`` — coordinator → watch clients: a periodic
   :class:`~repro.live.aggregator.FleetSnapshot` rollup.
+* ``SUBMIT`` / ``STATUS`` / ``CANCEL`` / ``FETCH`` — control plane
+  (role ``control``): queue a campaign, inspect the queue, cancel a
+  campaign, fetch a finished campaign's outcomes.  Each carries a
+  client-chosen ``req`` id.
+* ``ACK`` — coordinator → control client: the one reply to a control
+  request, echoing its ``req`` id with ``{"ok": ...}``.
 * ``BYE`` — graceful close (with a reason), either direction.
+
+A coordinator started with an auth token requires every HELLO to carry
+a matching ``token`` field (checked in constant time via
+:func:`auth_ok`); with a TLS context (:func:`server_ssl_context` /
+:func:`client_ssl_context`) the whole link is encrypted.
 
 The dataclass payloads that cross the wire (:class:`ScenarioSpec`,
 :class:`DetectorConfig`, :class:`WindowDetection`) are encoded through
@@ -39,7 +50,9 @@ offence on this layer).
 from __future__ import annotations
 
 import asyncio
+import hmac
 import json
+import ssl
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -53,7 +66,11 @@ from repro import schema
 #: by the canonical repro.schema registry and SNAPSHOT frames carry a
 #: schema stamp — pre-2.0 peers (whose decoders reject unknown fields)
 #: are refused at handshake instead of crashing on the first frame.
-PROTOCOL_VERSION = 2
+#: v3: DISPATCH/OUTCOME frames carry string campaign ids (the journal's
+#: key) instead of integer epochs, and the control plane (SUBMIT /
+#: STATUS / CANCEL / FETCH / ACK, role ``control``) exists — a v2 peer
+#: would silently mis-key outcomes, so it is refused at handshake.
+PROTOCOL_VERSION = 3
 
 #: Length prefix size and the sanity cap on one frame's payload.  A
 #: detection batch for a long chunk is tens of KB; 32 MiB leaves room
@@ -70,16 +87,38 @@ OUTCOME = "OUTCOME"
 DETECTION = "DETECTION"
 SNAPSHOT = "SNAPSHOT"
 BYE = "BYE"
+# Control plane (role ``control``): queue management over the same
+# listener.  Every request carries a client-chosen ``req`` id; the
+# coordinator answers with one ACK echoing it.
+SUBMIT = "SUBMIT"
+STATUS = "STATUS"
+CANCEL = "CANCEL"
+FETCH = "FETCH"
+ACK = "ACK"
 
 FRAME_TYPES = frozenset(
-    (HELLO, HEARTBEAT, DISPATCH, OUTCOME, DETECTION, SNAPSHOT, BYE)
+    (
+        HELLO,
+        HEARTBEAT,
+        DISPATCH,
+        OUTCOME,
+        DETECTION,
+        SNAPSHOT,
+        BYE,
+        SUBMIT,
+        STATUS,
+        CANCEL,
+        FETCH,
+        ACK,
+    )
 )
 
 #: Peer roles a HELLO may announce.
 ROLE_WORKER = "worker"
 ROLE_LIVE = "live"
 ROLE_WATCH = "watch"
-ROLES = frozenset((ROLE_WORKER, ROLE_LIVE, ROLE_WATCH))
+ROLE_CONTROL = "control"
+ROLES = frozenset((ROLE_WORKER, ROLE_LIVE, ROLE_WATCH, ROLE_CONTROL))
 
 
 @dataclass(frozen=True)
@@ -163,6 +202,48 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[Frame]:
             "connection closed mid-frame (truncated body)"
         )
     return decode_frame(body)
+
+
+# -- link hardening: shared-token auth and TLS ---------------------------------
+
+
+def auth_ok(expected: Optional[str], presented: object) -> bool:
+    """Constant-time check of a HELLO's auth token against the secret.
+
+    ``expected is None`` means the listener runs open (the loopback /
+    trusted-LAN default) and every peer passes.
+    """
+    if expected is None:
+        return True
+    if not isinstance(presented, str):
+        return False
+    return hmac.compare_digest(
+        expected.encode("utf-8"), presented.encode("utf-8")
+    )
+
+
+def server_ssl_context(certfile: str, keyfile: str) -> "ssl.SSLContext":
+    """TLS context for the coordinator's listener."""
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    context.load_cert_chain(certfile, keyfile)
+    return context
+
+
+def client_ssl_context(cafile: Optional[str] = None) -> "ssl.SSLContext":
+    """TLS context for workers/forwarders/watchers dialing a coordinator.
+
+    With an explicit *cafile* (the usual self-signed operational cert)
+    the chain is verified against it but hostname checking is off —
+    cluster certs are pinned by file, not by DNS name.  Without one,
+    the system trust store applies with full hostname verification.
+    """
+    if cafile is not None:
+        context = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+        context.load_verify_locations(cafile)
+        context.check_hostname = False
+        context.verify_mode = ssl.CERT_REQUIRED
+        return context
+    return ssl.create_default_context()
 
 
 def hello_payload(**extra: object) -> dict:
@@ -262,9 +343,12 @@ chains_from_json = _frame_decode(schema.chains_from_wire, "chain list")
 
 
 __all__ = [
+    "ACK",
     "BYE",
+    "CANCEL",
     "DETECTION",
     "DISPATCH",
+    "FETCH",
     "FRAME_TYPES",
     "Frame",
     "HEARTBEAT",
@@ -274,11 +358,17 @@ __all__ = [
     "OUTCOME",
     "PROTOCOL_VERSION",
     "ROLES",
+    "ROLE_CONTROL",
     "ROLE_LIVE",
     "ROLE_WATCH",
     "ROLE_WORKER",
     "SNAPSHOT",
+    "STATUS",
+    "SUBMIT",
+    "auth_ok",
     "chains_from_json",
+    "client_ssl_context",
+    "server_ssl_context",
     "chains_to_json",
     "check_hello",
     "decode_frame",

@@ -1,7 +1,8 @@
 """The cluster worker: dispatched scenarios on a local process pool.
 
 A :class:`ClusterWorker` is the execution half of the batch plane: it
-connects to a :class:`~repro.cluster.coordinator.ClusterCoordinator`,
+connects to a :class:`~repro.cluster.coordinator.ClusterCoordinator`
+(optionally over TLS, optionally presenting an auth token at HELLO),
 announces how many scenario *slots* it offers, and runs every
 ``DISPATCH`` it receives through the exact same
 :func:`~repro.fleet.executor.run_scenario` the local process-pool
@@ -14,7 +15,17 @@ with an error outcome rather than killing the worker.
 The worker is stateless between dispatches: everything a scenario needs
 rides in the frame (spec, detector config, trace/cache dirs), which is
 what makes coordinator-side requeueing safe — any worker can pick up
-any scenario at any time and produce the identical outcome.
+any scenario at any time and produce the identical outcome.  The same
+property makes ``reconnect=True`` safe: a worker that loses its
+coordinator (restart, network blip) redials with jittered exponential
+backoff and simply starts taking dispatches again under a fresh worker
+id; an outcome finished across the gap is either recorded (first
+settle) or ignored as a duplicate.
+
+Shutdown is graceful by design: :meth:`request_stop` (the CLI wires it
+to SIGTERM/SIGINT) lets in-flight scenarios finish and deliver their
+outcomes, sends ``BYE``, and returns — so draining a host never costs
+the campaign completed work.
 """
 
 from __future__ import annotations
@@ -22,6 +33,8 @@ from __future__ import annotations
 import asyncio
 import functools
 import multiprocessing
+import random
+import ssl as ssl_module
 from concurrent.futures import ProcessPoolExecutor
 from typing import Optional, Set
 
@@ -57,13 +70,24 @@ class ClusterWorker:
         name: label in coordinator logs; defaults to a coordinator-
             assigned id.
         heartbeat_s: keepalive interval.
-        connect_timeout_s: give up connecting after this long.
-        retry_s: delay between connection attempts (workers usually
-            start before or alongside the coordinator; retrying makes
-            start order irrelevant).
+        connect_timeout_s: give up the *initial* connection after this
+            long.
+        retry_s: initial delay between connection attempts; attempts
+            back off exponentially (jittered) from here up to
+            ``reconnect_max_s``.
         trace_dir / cache_dir: worker-local overrides; when ``None``
             the dispatch frame's values (the coordinator's settings)
             apply.  Paths are interpreted on the *worker's* filesystem.
+        auth_token: presented in HELLO; must match the coordinator's
+            token when it requires one.
+        ssl_context: dial the coordinator over TLS (see
+            :func:`~repro.cluster.protocol.client_ssl_context`).
+        reconnect: when the established connection drops, redial
+            instead of exiting (a deliberate BYE or
+            :meth:`request_stop` still exits).
+        reconnect_max_s: backoff delay cap between redial attempts.
+        reconnect_timeout_s: give up redialing after this long per
+            outage (``None`` = keep trying until stopped).
     """
 
     def __init__(
@@ -78,6 +102,11 @@ class ClusterWorker:
         retry_s: float = 0.2,
         trace_dir: Optional[str] = None,
         cache_dir: Optional[str] = None,
+        auth_token: Optional[str] = None,
+        ssl_context: Optional[ssl_module.SSLContext] = None,
+        reconnect: bool = False,
+        reconnect_max_s: float = 30.0,
+        reconnect_timeout_s: Optional[float] = None,
     ) -> None:
         if slots < 1:
             raise ConfigError("slots must be >= 1")
@@ -90,40 +119,93 @@ class ClusterWorker:
         self.retry_s = retry_s
         self.trace_dir = trace_dir
         self.cache_dir = cache_dir
+        self.auth_token = auth_token
+        self.ssl_context = ssl_context
+        self.reconnect = reconnect
+        self.reconnect_max_s = reconnect_max_s
+        self.reconnect_timeout_s = reconnect_timeout_s
         self.scenarios_run = 0
         self._writer: Optional[asyncio.StreamWriter] = None
         self._send_lock = asyncio.Lock()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._jobs: Set[asyncio.Task] = set()
+        self._stop = False
+        self._stop_event: Optional[asyncio.Event] = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask the worker to finish in-flight scenarios, BYE, and exit.
+
+        Safe to call from a signal handler registered with
+        ``loop.add_signal_handler`` (it runs on the event loop); the
+        CLI wires SIGTERM and SIGINT here so draining a worker host
+        never abandons completed work.
+        """
+        self._stop = True
+        if self._stop_event is not None:
+            self._stop_event.set()
 
     # -- connection -------------------------------------------------------------
 
-    async def _connect(self) -> asyncio.StreamReader:
+    async def _connect(
+        self, timeout_s: Optional[float]
+    ) -> asyncio.StreamReader:
         loop = asyncio.get_running_loop()
-        deadline = loop.time() + self.connect_timeout_s
+        deadline = None if timeout_s is None else loop.time() + timeout_s
+        # Jittered exponential backoff: doubling keeps a long outage
+        # cheap, the jitter keeps a worker fleet from redialing a
+        # restarted coordinator in lockstep.
+        delay = self.retry_s
+
+        async def backoff() -> None:
+            nonlocal delay
+            if deadline is not None and loop.time() >= deadline:
+                raise ClusterError(
+                    f"could not reach coordinator at "
+                    f"{self.host}:{self.port} within {timeout_s:.0f}s"
+                )
+            await asyncio.sleep(delay * random.uniform(0.5, 1.5))
+            delay = min(delay * 2.0, self.reconnect_max_s)
+
         while True:
+            if self._stop:
+                raise ClusterError("worker stop requested")
             try:
                 reader, writer = await asyncio.open_connection(
-                    self.host, self.port
+                    self.host, self.port, ssl=self.ssl_context
                 )
-                break
             except OSError:
-                if loop.time() >= deadline:
-                    raise ClusterError(
-                        f"could not reach coordinator at "
-                        f"{self.host}:{self.port} within "
-                        f"{self.connect_timeout_s:.0f}s"
-                    )
-                await asyncio.sleep(self.retry_s)
-        self._writer = writer
-        await self._send(
-            HELLO,
-            hello_payload(
-                role=ROLE_WORKER, slots=self.slots, name=self.name
-            ),
-        )
-        reply = await read_frame(reader)
-        if reply is not None and reply.type == BYE:
+                await backoff()
+                continue
+            self._writer = writer
+            extra = (
+                {} if self.auth_token is None else {"token": self.auth_token}
+            )
+            try:
+                await self._send(
+                    HELLO,
+                    hello_payload(
+                        role=ROLE_WORKER,
+                        slots=self.slots,
+                        name=self.name,
+                        **extra,
+                    ),
+                )
+                reply = await read_frame(reader)
+            except (ConnectionError, OSError):
+                # The link died mid-handshake — a coordinator caught
+                # restarting resets half-open connections.  Retryable.
+                await self._close_writer()
+                await backoff()
+                continue
+            if reply is None:
+                # EOF before any reply: same restart race, retryable.
+                await self._close_writer()
+                await backoff()
+                continue
+            break
+        if reply.type == BYE:
             raise ClusterError(
                 f"coordinator refused handshake: "
                 f"{reply.payload.get('reason', 'no reason given')}"
@@ -144,12 +226,23 @@ class ClusterWorker:
         async with self._send_lock:
             await send_frame(self._writer, frame_type, payload)
 
+    async def _close_writer(self) -> None:
+        if self._writer is None:
+            return
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._writer = None
+
     # -- main loop --------------------------------------------------------------
 
     async def run(self) -> None:
-        """Serve dispatches until the coordinator disconnects us."""
-        reader = await self._connect()
-        heartbeat = asyncio.create_task(self._heartbeat_loop())
+        """Serve dispatches until disconnected (or stopped/reconnecting)."""
+        self._stop_event = asyncio.Event()
+        if self._stop:
+            self._stop_event.set()
         # Spawn, not fork: forked pool children would inherit every open
         # socket fd (this worker's coordinator connection — and, when a
         # loopback cluster runs in one process, the coordinator's
@@ -160,11 +253,81 @@ class ClusterWorker:
             max_workers=self.slots,
             mp_context=multiprocessing.get_context("spawn"),
         )
+        first = True
+        try:
+            while not self._stop:
+                reader = await self._connect(
+                    self.connect_timeout_s
+                    if first
+                    else self.reconnect_timeout_s
+                )
+                if not first:
+                    get_registry().counter(
+                        "repro_worker_reconnects_total",
+                        help="Times this worker redialed its coordinator.",
+                    ).inc()
+                    logger.info(
+                        "reconnected to coordinator at %s:%d",
+                        self.host,
+                        self.port,
+                    )
+                first = False
+                heartbeat = asyncio.create_task(self._heartbeat_loop())
+                try:
+                    deliberate = await self._serve(reader)
+                finally:
+                    heartbeat.cancel()
+                    await asyncio.gather(heartbeat, return_exceptions=True)
+                    await self._close_writer()
+                if deliberate or not self.reconnect:
+                    return
+                logger.warning(
+                    "lost coordinator connection; redialing %s:%d",
+                    self.host,
+                    self.port,
+                )
+        except ClusterError:
+            if self._stop:
+                return  # stop requested mid-redial: a clean exit
+            raise
+        finally:
+            for job in list(self._jobs):
+                job.cancel()
+            await asyncio.gather(*self._jobs, return_exceptions=True)
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            await self._close_writer()
+
+    async def _serve(self, reader: asyncio.StreamReader) -> bool:
+        """Serve one connection; True means a deliberate end (stop/BYE).
+
+        False means the link died (EOF or reset) — reconnectable.
+        """
+        stop_wait = asyncio.create_task(self._stop_event.wait())
         try:
             while True:
-                frame = await read_frame(reader)
-                if frame is None or frame.type == BYE:
-                    return
+                frame_task = asyncio.create_task(read_frame(reader))
+                await asyncio.wait(
+                    {frame_task, stop_wait},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if self._stop_event.is_set():
+                    # Graceful shutdown: drop the pending read (an
+                    # undelivered DISPATCH just gets requeued when the
+                    # coordinator sees us go), finish what's running,
+                    # say goodbye.
+                    frame_task.cancel()
+                    await asyncio.gather(frame_task, return_exceptions=True)
+                    await self._graceful_bye()
+                    return True
+                try:
+                    frame = frame_task.result()
+                except ConnectionError:
+                    return False
+                if frame is None:
+                    return False  # EOF: coordinator went away
+                if frame.type == BYE:
+                    return True
                 if frame.type == DISPATCH:
                     await self._handle_dispatch(frame.payload)
                 elif frame.type == HEARTBEAT:
@@ -173,24 +336,22 @@ class ClusterWorker:
                     raise ClusterProtocolError(
                         f"unexpected {frame.type} frame from coordinator"
                     )
-        except ConnectionError:
-            return  # coordinator went away; a standing worker just exits
         finally:
-            heartbeat.cancel()
-            for job in list(self._jobs):
-                job.cancel()
-            await asyncio.gather(
-                heartbeat, *self._jobs, return_exceptions=True
+            stop_wait.cancel()
+            await asyncio.gather(stop_wait, return_exceptions=True)
+
+    async def _graceful_bye(self) -> None:
+        """Let in-flight scenarios deliver, then take leave politely."""
+        if self._jobs:
+            logger.info(
+                "stop requested; finishing %d in-flight scenario(s)",
+                len(self._jobs),
             )
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
-            if self._writer is not None:
-                self._writer.close()
-                try:
-                    await self._writer.wait_closed()
-                except (ConnectionError, OSError):
-                    pass
-                self._writer = None
+            await asyncio.gather(*self._jobs, return_exceptions=True)
+        try:
+            await self._send(BYE, {"reason": "worker shutting down"})
+        except (ConnectionError, ClusterError, OSError):
+            pass
 
     async def _heartbeat_loop(self) -> None:
         loop = asyncio.get_running_loop()

@@ -39,6 +39,7 @@ import json
 import os
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
 
+from repro.cluster.journal import JournalRecord
 from repro.core.detector import DetectorConfig, DominoReport, WindowDetection
 from repro.core.events import EventConfig
 from repro.errors import SchemaError, SchemaVersionError
@@ -368,6 +369,13 @@ _OBS_EVENT = WireCodec(
     stamped=True,  # trace files are artifacts: each line carries the stamp
 )
 
+_JOURNAL_RECORD = WireCodec(
+    "journal_record",
+    JournalRecord,
+    _dataclass_fields(JournalRecord),
+    stamped=True,  # journal lines are durable artifacts: each carries the stamp
+)
+
 _DOMINO_REPORT = WireCodec(
     "domino_report",
     DominoReport,
@@ -405,6 +413,7 @@ WIRE_CODECS: Dict[str, WireCodec] = {
         _SESSION_SNAPSHOT,
         _FLEET_SNAPSHOT,
         _OBS_EVENT,
+        _JOURNAL_RECORD,
         _DOMINO_REPORT,
     )
 }
@@ -549,6 +558,16 @@ def obs_event_from_wire(data: Any) -> ObsEvent:
     return _OBS_EVENT.from_wire(data)
 
 
+def journal_record_to_wire(record: JournalRecord) -> dict:
+    """JournalRecord → stamped wire dict (journal lines are artifacts)."""
+    return _JOURNAL_RECORD.to_wire(record)
+
+
+def journal_record_from_wire(data: Any) -> JournalRecord:
+    """Decode a journal line, schema stamp validated."""
+    return _JOURNAL_RECORD.from_wire(data)
+
+
 def domino_report_to_wire(report: DominoReport) -> dict:
     return _DOMINO_REPORT.to_wire(report)
 
@@ -612,6 +631,8 @@ __all__ = [
     "fleet_snapshot_from_wire",
     "fleet_snapshot_to_wire",
     "from_wire",
+    "journal_record_from_wire",
+    "journal_record_to_wire",
     "kind_of",
     "load_snapshot",
     "loads",

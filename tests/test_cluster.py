@@ -2,22 +2,31 @@
 
 import asyncio
 import json
+import logging
 import math
 import random
+import socket
 
 import pytest
 
 from repro.cluster import (
+    CampaignJournal,
     ClusterCoordinator,
     ClusterWorker,
+    CoordinatorControl,
     DetectionForwarder,
     iter_snapshots,
+    replay_journal,
 )
 from repro.cluster import protocol
+from repro.cluster.journal import OUTCOME_SETTLED
 from repro.cluster.protocol import (
+    ACK,
     BYE,
+    CANCEL,
     DETECTION,
     DISPATCH,
+    FETCH,
     FRAME_TYPES,
     Frame,
     HEARTBEAT,
@@ -26,8 +35,11 @@ from repro.cluster.protocol import (
     OUTCOME,
     PROTOCOL_VERSION,
     SNAPSHOT,
+    STATUS,
+    SUBMIT,
     decode_frame,
     encode_frame,
+    hello_payload,
     read_frame,
     send_frame,
 )
@@ -73,6 +85,11 @@ def test_frame_roundtrip_all_types():
         OUTCOME: {"index": 3, "outcome": {"scenario": "s"}},
         DETECTION: {"session_id": "x", "detections": [], "chains": []},
         SNAPSHOT: {"snapshot": {"seq": 1}},
+        SUBMIT: {"req": 1, "scenarios": []},
+        STATUS: {"req": 2},
+        CANCEL: {"req": 3, "campaign_id": "c"},
+        FETCH: {"req": 4, "campaign_id": "c"},
+        ACK: {"req": 1, "ok": True},
         BYE: {"reason": "done"},
     }
     assert set(payloads) == set(FRAME_TYPES)
@@ -558,6 +575,403 @@ def test_forwarder_close_survives_dead_coordinator():
         await asyncio.wait_for(forwarder.close(), timeout=15)
 
     asyncio.run(main())
+
+
+# -- durability & hardened links -----------------------------------------------
+
+
+class _CountingWorker(ClusterWorker):
+    """Records every scenario index it actually executes."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.ran = []
+
+    async def _run_one(self, payload):
+        self.ran.append(payload.get("index"))
+        await super()._run_one(payload)
+
+
+def _settled_pairs(journal_path):
+    """Every (campaign_id, index) OUTCOME_SETTLED pair, raw, in order."""
+    pairs = []
+    with open(journal_path, encoding="utf-8") as handle:
+        for line in handle:
+            data = json.loads(line)
+            if data.get("type") == OUTCOME_SETTLED:
+                pairs.append((data["campaign_id"], data["index"]))
+    return pairs
+
+
+def test_journal_resume_byte_identity(
+    tmp_path, scenarios, local_outcomes
+):
+    """The tentpole: kill the coordinator mid-campaign, restart it on
+    the same journal, and the resumed campaign (a) never re-executes a
+    settled scenario and (b) returns outcomes byte-identical to an
+    uninterrupted run."""
+    journal_path = str(tmp_path / "campaigns.journal")
+
+    async def crash_phase():
+        coordinator = ClusterCoordinator(journal_path=journal_path)
+        await coordinator.start()
+        worker = ClusterWorker("127.0.0.1", coordinator.port, slots=1)
+        task = asyncio.create_task(worker.run())
+        try:
+            await coordinator.wait_for_workers(1, timeout_s=60)
+            cid = await coordinator.submit_campaign(scenarios)
+            while True:  # let part of the campaign settle, then "crash"
+                status = coordinator.queue_status()
+                if status and status[0]["done"] >= 2:
+                    break
+                await asyncio.sleep(0.02)
+            return cid
+        finally:
+            # close() without campaign completion == crash to the
+            # journal: no CAMPAIGN_CLOSED record is written.
+            await coordinator.close()
+            await asyncio.gather(task, return_exceptions=True)
+
+    cid = asyncio.run(crash_phase())
+    replayed = replay_journal(journal_path)[cid]
+    assert not replayed.closed
+    settled_before = set(replayed.settled) | set(replayed.errors)
+    assert len(settled_before) >= 2
+
+    async def resume_phase():
+        coordinator = ClusterCoordinator(journal_path=journal_path)
+        await coordinator.start()
+        worker = _CountingWorker("127.0.0.1", coordinator.port, slots=1)
+        task = asyncio.create_task(worker.run())
+        try:
+            await coordinator.wait_for_workers(1, timeout_s=60)
+            # Same scenarios → same derived campaign id → resume.
+            return await coordinator.run_campaign(scenarios), worker.ran
+        finally:
+            await coordinator.close()
+            await asyncio.gather(task, return_exceptions=True)
+
+    outcomes, ran = asyncio.run(resume_phase())
+    assert _outcome_bytes(outcomes) == _outcome_bytes(local_outcomes)
+    # No settled scenario was executed a second time ...
+    assert not settled_before.intersection(ran)
+    # ... and the journal settles every (campaign, index) exactly once.
+    pairs = _settled_pairs(journal_path)
+    assert len(pairs) == len(set(pairs)) == len(scenarios)
+    # The completed campaign is closed in the journal: a fresh replay
+    # reports it complete, nothing left to resume.
+    final = replay_journal(journal_path)[cid]
+    assert final.closed and final.close_reason == "completed"
+    assert final.complete
+
+
+def test_torn_trailing_journal_record(tmp_path, scenarios, caplog):
+    """A crash mid-append leaves a torn trailing line: replay tolerates
+    it with a logged warning, truncates it, and appends resume cleanly."""
+    journal_path = str(tmp_path / "torn.journal")
+    journal = CampaignJournal(journal_path)
+    journal.open_campaign("camp", scenarios[:1])
+    journal.settle("camp", 0, error="boom")
+    journal.close()
+    with open(journal_path, "a", encoding="utf-8") as handle:
+        handle.write('{"type": "outcome_settled", "campaign_id": "ca')
+    # The CLI's setup_logging (run by earlier tests in a full suite)
+    # sets propagate=False on the "repro" logger; caplog listens on the
+    # root logger, so re-enable propagation for the capture window.
+    repro_logger = logging.getLogger("repro")
+    old_propagate = repro_logger.propagate
+    repro_logger.propagate = True
+    try:
+        with caplog.at_level(
+            logging.WARNING, logger="repro.cluster.journal"
+        ):
+            resumed = CampaignJournal(journal_path)
+            campaigns = resumed.replay()
+    finally:
+        repro_logger.propagate = old_propagate
+    assert "torn trailing" in caplog.text
+    assert campaigns["camp"].errors == {0: "boom"}
+    # The torn bytes are gone and new appends decode cleanly.
+    resumed.close_campaign("camp", "failed")
+    resumed.close()
+    again = replay_journal(journal_path)
+    assert again["camp"].closed
+    assert again["camp"].close_reason == "failed"
+
+
+def test_wrong_auth_token_refused(scenarios):
+    """A coordinator with an auth token BYEs peers presenting a wrong
+    (or no) token at HELLO, before serving them anything."""
+
+    async def main():
+        coordinator = ClusterCoordinator(auth_token="sesame")
+        await coordinator.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", coordinator.port
+            )
+            await send_frame(
+                writer,
+                HELLO,
+                hello_payload(role="worker", slots=1, token="wrong"),
+            )
+            frame = await read_frame(reader)
+            assert frame is not None and frame.type == BYE
+            assert "auth token" in frame.payload["reason"]
+            assert await read_frame(reader) is None  # server hung up
+            writer.close()
+
+            # The worker client surfaces the refusal as a clear error...
+            bad = ClusterWorker(
+                "127.0.0.1", coordinator.port, auth_token="wrong"
+            )
+            with pytest.raises(ClusterError, match="auth token"):
+                await bad.run()
+            # ...and the right token is let through.
+            good = ClusterWorker(
+                "127.0.0.1", coordinator.port, auth_token="sesame"
+            )
+            task = asyncio.create_task(good.run())
+            await coordinator.wait_for_workers(1, timeout_s=60)
+            task.cancel()
+            await asyncio.gather(task, return_exceptions=True)
+        finally:
+            await coordinator.close()
+
+    asyncio.run(main())
+
+
+def test_concurrent_campaigns_fair_dispatch(scenarios, local_outcomes):
+    """Two campaigns queued concurrently both complete under the
+    round-robin dispatcher, each byte-identical to its local slice."""
+
+    def workers(port):
+        return [ClusterWorker("127.0.0.1", port, slots=2, name="w")]
+
+    async def run(coordinator):
+        return await asyncio.gather(
+            coordinator.run_campaign(scenarios[:2]),
+            coordinator.run_campaign(scenarios[2:]),
+        )
+
+    first, second = asyncio.run(_with_cluster(scenarios, workers, run))
+    assert _outcome_bytes(first + second) == _outcome_bytes(local_outcomes)
+
+
+def test_control_plane_submit_status_fetch_cancel(
+    scenarios, local_outcomes
+):
+    """The queue CLI's engine: a control peer submits a campaign,
+    watches it in status, fetches its outcomes, and cancels queued
+    work."""
+
+    async def main():
+        coordinator = ClusterCoordinator()
+        await coordinator.start()
+        worker = ClusterWorker("127.0.0.1", coordinator.port, slots=2)
+        task = asyncio.create_task(worker.run())
+        try:
+            await coordinator.wait_for_workers(1, timeout_s=60)
+            async with CoordinatorControl(
+                "127.0.0.1", coordinator.port
+            ) as control:
+                cid = await control.submit(scenarios[:2])
+                while True:
+                    entries = {
+                        e["campaign_id"]: e for e in await control.status()
+                    }
+                    if entries[cid]["state"] != "active":
+                        break
+                    await asyncio.sleep(0.02)
+                assert entries[cid]["state"] == "completed"
+                assert entries[cid]["done"] == 2
+                result = await control.fetch(cid)
+                assert result["state"] == "completed"
+                assert _outcome_bytes(result["outcomes"]) == _outcome_bytes(
+                    local_outcomes[:2]
+                )
+                # Cancelling a finished campaign is a clean no.
+                assert not await control.cancel(cid)
+                # An unknown fetch is a clear error, not a hang.
+                with pytest.raises(ClusterError, match="unknown"):
+                    await control.fetch("nope")
+        finally:
+            task.cancel()
+            await asyncio.gather(task, return_exceptions=True)
+            await coordinator.close()
+
+    asyncio.run(main())
+
+
+def test_cancel_active_campaign():
+    """Cancelling a queued campaign (no workers yet) frees its waiters
+    with a ClusterError and shows up as cancelled in the queue."""
+
+    async def main():
+        coordinator = ClusterCoordinator()
+        await coordinator.start()
+        try:
+            specs = _MATRIX.expand()[:1]
+            cid = await coordinator.submit_campaign(specs)
+            waiter = asyncio.create_task(coordinator.wait_campaign(cid))
+            await asyncio.sleep(0)  # let the waiter attach
+            assert await coordinator.cancel_campaign(cid)
+            with pytest.raises(ClusterError, match="cancelled"):
+                await asyncio.wait_for(waiter, timeout=10)
+            [entry] = [
+                e
+                for e in coordinator.queue_status()
+                if e["campaign_id"] == cid
+            ]
+            assert entry["state"] == "cancelled"
+        finally:
+            await coordinator.close()
+
+    asyncio.run(main())
+
+
+def test_worker_graceful_stop_mid_campaign(scenarios, local_outcomes):
+    """request_stop() (the SIGTERM path) finishes in-flight scenarios,
+    sends BYE, and exits cleanly; a replacement worker completes the
+    campaign byte-identically."""
+
+    async def main():
+        coordinator = ClusterCoordinator()
+        await coordinator.start()
+        try:
+            first = ClusterWorker(
+                "127.0.0.1", coordinator.port, slots=1, name="draining"
+            )
+            first_task = asyncio.create_task(first.run())
+            await coordinator.wait_for_workers(1, timeout_s=60)
+            campaign = asyncio.create_task(
+                coordinator.run_campaign(scenarios)
+            )
+            while True:  # let at least one outcome land
+                status = coordinator.queue_status()
+                if status and status[0].get("done", 0) >= 1:
+                    break
+                await asyncio.sleep(0.02)
+            first.request_stop()
+            await asyncio.wait_for(first_task, timeout=60)  # clean exit
+            second = ClusterWorker(
+                "127.0.0.1", coordinator.port, slots=1, name="relief"
+            )
+            second_task = asyncio.create_task(second.run())
+            outcomes = await campaign
+            second_task.cancel()
+            await asyncio.gather(second_task, return_exceptions=True)
+            return outcomes
+        finally:
+            await coordinator.close()
+
+    outcomes = asyncio.run(main())
+    assert _outcome_bytes(outcomes) == _outcome_bytes(local_outcomes)
+
+
+@pytest.fixture(scope="module")
+def tls_cert(tmp_path_factory):
+    """Self-signed loopback certificate (the pinned-cert deployment)."""
+    import subprocess
+
+    cert_dir = tmp_path_factory.mktemp("tls")
+    cert = str(cert_dir / "cert.pem")
+    key = str(cert_dir / "key.pem")
+    proc = subprocess.run(
+        [
+            "openssl", "req", "-x509", "-newkey", "rsa:2048",
+            "-keyout", key, "-out", cert, "-days", "1", "-nodes",
+            "-subj", "/CN=127.0.0.1",
+        ],
+        capture_output=True,
+    )
+    if proc.returncode != 0:
+        pytest.skip("openssl unavailable for certificate generation")
+    return cert, key
+
+
+def test_tls_cluster_campaign(tls_cert, scenarios, local_outcomes):
+    """A TLS listener serves a token-authenticated worker end to end;
+    a plaintext peer cannot complete a handshake against it."""
+    cert, key = tls_cert
+
+    async def main():
+        coordinator = ClusterCoordinator(
+            auth_token="sesame",
+            ssl_context=protocol.server_ssl_context(cert, key),
+        )
+        await coordinator.start()
+        worker = ClusterWorker(
+            "127.0.0.1",
+            coordinator.port,
+            slots=2,
+            auth_token="sesame",
+            ssl_context=protocol.client_ssl_context(cert),
+        )
+        task = asyncio.create_task(worker.run())
+        try:
+            await coordinator.wait_for_workers(1, timeout_s=60)
+            return await coordinator.run_campaign(scenarios[:2])
+        finally:
+            task.cancel()
+            await asyncio.gather(task, return_exceptions=True)
+            await coordinator.close()
+
+    outcomes = asyncio.run(main())
+    assert _outcome_bytes(outcomes) == _outcome_bytes(local_outcomes[:2])
+
+
+def test_worker_reconnects_to_restarted_coordinator(
+    tmp_path, scenarios, local_outcomes
+):
+    """The full outage story: coordinator dies mid-campaign, a
+    reconnect-enabled worker redials the restarted coordinator, and the
+    journal-resumed campaign completes byte-identically."""
+    journal_path = str(tmp_path / "campaigns.journal")
+    with socket.socket() as probe:  # stable port across the restart
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+
+    async def main():
+        worker = ClusterWorker(
+            "127.0.0.1",
+            port,
+            slots=1,
+            reconnect=True,
+            connect_timeout_s=60,
+        )
+        worker_task = asyncio.create_task(worker.run())
+        coordinator = ClusterCoordinator(
+            port=port, journal_path=journal_path
+        )
+        await coordinator.start()
+        await coordinator.wait_for_workers(1, timeout_s=60)
+        await coordinator.submit_campaign(scenarios)
+        while True:  # partial progress, then "crash"
+            status = coordinator.queue_status()
+            if status and status[0]["done"] >= 1:
+                break
+            await asyncio.sleep(0.02)
+        await coordinator.close()
+
+        restarted = ClusterCoordinator(
+            port=port, journal_path=journal_path
+        )
+        await restarted.start()
+        try:
+            # The worker redials on its own — no new worker process.
+            await restarted.wait_for_workers(1, timeout_s=60)
+            outcomes = await restarted.run_campaign(scenarios)
+        finally:
+            worker.request_stop()
+            await asyncio.gather(worker_task, return_exceptions=True)
+            await restarted.close()
+        return outcomes
+
+    outcomes = asyncio.run(main())
+    assert _outcome_bytes(outcomes) == _outcome_bytes(local_outcomes)
+    pairs = _settled_pairs(journal_path)
+    assert len(pairs) == len(set(pairs)) == len(scenarios)
 
 
 def test_watch_stream_serves_snapshots(private_bundle):
