@@ -38,6 +38,9 @@ from repro.api.facade import (
     open_stream,
     read_snapshot,
     serve,
+    store_alerts,
+    store_open,
+    store_query,
     watch,
 )
 
@@ -85,5 +88,8 @@ __all__ = [
     "open_stream",
     "read_snapshot",
     "serve",
+    "store_alerts",
+    "store_open",
+    "store_query",
     "watch",
 ]

@@ -241,6 +241,51 @@ async def watch(
         yield snapshot
 
 
+def store_open(path: Union[str, "os.PathLike[str]"], *, create: bool = True):
+    """Open (by default creating) a historical RCA store directory.
+
+    Returns a :class:`~repro.store.db.RcaStore`; an existing directory
+    written by an incompatible layout fails with a versioned
+    diagnostic.  Ingest campaign outcomes, fleet snapshots, and metric
+    samples through it, then ask questions with :func:`store_query`.
+    """
+    from repro.store import RcaStore
+
+    return RcaStore.open(os.fspath(path), create=create)
+
+
+def store_query(store) -> "object":
+    """The query plane over an open store (or a store directory path).
+
+    Returns a :class:`~repro.store.query.StoreQuery` — time-range
+    rollups, episode-rate series, top-k movers, QoE percentile trends.
+    """
+    from repro.store import RcaStore, StoreQuery
+
+    if isinstance(store, (str, os.PathLike)):
+        store = RcaStore.open(os.fspath(store), create=False)
+    if not isinstance(store, RcaStore):
+        raise ConfigError(
+            f"store_query() takes an RcaStore or a store directory "
+            f"path, not {type(store).__name__}"
+        )
+    return StoreQuery(store)
+
+
+def store_alerts(rules_path: Union[str, "os.PathLike[str]"], *, store=None):
+    """Build an alert engine from a TOML/JSON rule file.
+
+    Returns a :class:`~repro.store.alerts.AlertEngine`; with *store*
+    set (an open :class:`~repro.store.db.RcaStore`), every emitted
+    transition is also recorded durably.  Evaluate historically with
+    :meth:`~repro.store.alerts.AlertEngine.evaluate_range` or live with
+    :meth:`~repro.store.alerts.AlertEngine.observe_snapshot`.
+    """
+    from repro.store import AlertEngine, load_rules
+
+    return AlertEngine(load_rules(os.fspath(rules_path)), store=store)
+
+
 __all__ = [
     "CampaignLike",
     "TraceLike",
@@ -250,5 +295,8 @@ __all__ = [
     "open_stream",
     "read_snapshot",
     "serve",
+    "store_alerts",
+    "store_open",
+    "store_query",
     "watch",
 ]

@@ -37,7 +37,12 @@ from repro.core.report import render_frequency_table
 from repro.core.stats import DominoStats
 from repro.datasets.cells import CELL_PROFILES, get_profile
 from repro.datasets.runner import make_cellular_session, make_wired_session
-from repro.errors import ClusterError, SchemaError, TelemetryError
+from repro.errors import (
+    ClusterError,
+    ConfigError,
+    SchemaError,
+    TelemetryError,
+)
 from repro.fleet.aggregate import FleetAggregate
 from repro.fleet.executor import iter_outcomes, save_outcomes
 from repro.fleet.report import render_fleet_report
@@ -203,6 +208,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.out:
         save_outcomes(outcomes, args.out)
         print(f"wrote {args.out}: {len(outcomes)} outcomes")
+    if args.store:
+        # Post-campaign tee: detections are already final, so storing
+        # is purely additive — byte-identical with the tee on or off.
+        from repro.store import RcaStore
+
+        with RcaStore.open(args.store) as store:
+            n = store.ingest_outcomes(outcomes, ts=args.store_at)
+        print(f"store {args.store}: ingested {n} outcomes")
     print()
     print(render_fleet_report(FleetAggregate.from_outcomes(outcomes)))
     return 0
@@ -312,6 +325,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
             idle_timeout_s=args.idle_timeout,
             snapshot_path=args.snapshot,
             metrics_path=getattr(args, "live_metrics_file", None),
+            store_dir=args.store,
             on_snapshot=progress if not args.quiet else None,
             detection_sink=sink,
             adaptive_advance=args.adaptive_advance,
@@ -395,6 +409,17 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         )
         return 1
     history = SnapshotHistory() if args.follow else None
+    engine = None
+    alert_store = None
+    recent_alerts: list = []
+    if args.rules:
+        try:
+            if args.store:
+                alert_store = api.store_open(args.store)
+            engine = api.store_alerts(args.rules, store=alert_store)
+        except ConfigError as exc:
+            logger.error("%s", exc)
+            return 1
 
     def show(snapshot: FleetSnapshot) -> None:
         print(render_snapshot(snapshot))
@@ -402,6 +427,22 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             history.add(snapshot)
             print()
             print(render_trend(history))
+        if engine is not None:
+            from repro.store import render_alerts_pane
+
+            for event in engine.observe_snapshot(
+                snapshot, ts=time.time()
+            ):
+                recent_alerts.append(
+                    {
+                        "ts": event.ts,
+                        "rule": event.rule,
+                        "state": event.state,
+                        "message": event.message,
+                    }
+                )
+            print()
+            print(render_alerts_pane(engine.firing, recent_alerts))
 
     if args.connect:
         # Stream SNAPSHOT frames straight off the coordinator socket —
@@ -503,6 +544,7 @@ def _cmd_cluster_coordinator(args: argparse.Namespace) -> int:
             live_backpressure=args.backpressure,
             snapshot_path=args.snapshot,
             snapshot_every_s=args.snapshot_every,
+            store_dir=args.store,
             journal_path=args.journal,
             auth_token=_cluster_token(args),
             ssl_context=ssl_context,
@@ -753,6 +795,293 @@ def _cmd_cluster_cancel(args: argparse.Namespace) -> int:
         return 1
 
 
+def _open_store(args: argparse.Namespace, *, create: bool):
+    from repro.store import RcaStore
+
+    return RcaStore.open(args.store_dir, create=create)
+
+
+def _cmd_store_ingest(args: argparse.Namespace) -> int:
+    if not (args.outcomes or args.prom or args.snapshot_file):
+        logger.error(
+            "nothing to ingest: give outcome files, --prom, or --snapshot"
+        )
+        return 2
+    store = _open_store(args, create=True)
+    try:
+        for path in args.outcomes:
+            try:
+                stats = store.ingest_outcomes_file(
+                    path, ts=args.at, tolerant=not args.strict
+                )
+            except (TelemetryError, SchemaError) as exc:
+                # Includes SchemaVersionError: a major-version artifact
+                # reports "schema version X vs Y", never a traceback.
+                logger.error("%s", exc)
+                return 1
+            line = f"{path}: ingested {stats['ingested']} outcome(s)"
+            if stats.get("skipped_lines"):
+                line += f", skipped {stats['skipped_lines']} line(s)"
+            if stats.get("missing_outcomes"):
+                line += f", {stats['missing_outcomes']} missing"
+            print(line)
+        for path in args.prom:
+            with open(path) as handle:
+                n = store.ingest_prom_text(handle.read(), ts=args.at)
+            print(f"{path}: ingested {n} metric sample(s)")
+        for path in args.snapshot_file:
+            try:
+                snapshot = api.read_snapshot(path)
+            except SchemaError as exc:
+                logger.error("%s", exc)
+                return 1
+            store.ingest_snapshot(snapshot, ts=args.at)
+            print(f"{path}: ingested fleet snapshot #{snapshot.seq}")
+    finally:
+        store.close()
+    return 0
+
+
+def _store_range(args: argparse.Namespace, query):
+    """Resolve --since/--until, defaulting to the store's full span."""
+    lo, hi = query.time_bounds()
+    since = args.since if args.since is not None else lo
+    until = args.until if args.until is not None else (
+        hi + 1.0 if hi is not None else None
+    )
+    return since, until
+
+
+def _cmd_store_query(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.store import StoreQuery
+
+    try:
+        store = _open_store(args, create=False)
+    except (TelemetryError, SchemaError) as exc:
+        logger.error("%s", exc)
+        return 1
+    try:
+        query = StoreQuery(store)
+        since, until = _store_range(args, query)
+        if args.what != "totals" and since is None:
+            print("store is empty")
+            return 0
+        result: object
+        if args.what == "totals":
+            result = {
+                "rows": store.rows_total(),
+                "outcomes": query.outcome_count(since, until),
+                "segment_bytes": store.size_bytes(),
+            }
+        elif args.what == "rollup":
+            result = query.rollup_episodes(
+                args.kind,
+                since=since,
+                until=until,
+                match=args.match,
+                top=args.top,
+            )
+        elif args.what == "outcomes":
+            result = query.rollup_outcomes(
+                args.group, since=since, until=until
+            )
+        elif args.what == "series":
+            bucket = args.bucket or max((until - since) / 24.0, 1.0)
+            result = [
+                {"ts": ts, "episodes_per_min": rate}
+                for ts, rate in query.episode_rate_series(
+                    args.match or "*",
+                    args.kind,
+                    bucket_s=bucket,
+                    since=since,
+                    until=until,
+                )
+            ]
+        elif args.what == "movers":
+            if args.split is None:
+                args.split = (since + until) / 2.0
+            result = query.top_movers(
+                args.kind,
+                window_a=(since, args.split),
+                window_b=(args.split, until),
+                k=args.top or 10,
+                match=args.match,
+            )
+        elif args.what == "qoe":
+            if not args.metric:
+                logger.error("qoe queries need --metric NAME")
+                return 2
+            bucket = args.bucket or max((until - since) / 24.0, 1.0)
+            result = query.qoe_trend(
+                args.metric, bucket_s=bucket, since=since, until=until
+            )
+        else:  # metrics
+            result = [
+                {"ts": ts, "value": value}
+                for ts, value in query.metric_series(
+                    args.match or "*", since=since, until=until
+                )
+            ]
+        if args.json:
+            print(_json.dumps(result, indent=2, sort_keys=True))
+        elif isinstance(result, dict):
+            for key, value in result.items():
+                print(f"{key}: {value}")
+        else:
+            for row in result:
+                if isinstance(row, dict):
+                    print(
+                        "  ".join(
+                            f"{key}={value}" for key, value in row.items()
+                        )
+                    )
+                else:
+                    print(row)
+    finally:
+        store.close()
+    return 0
+
+
+def _cmd_store_alerts(args: argparse.Namespace) -> int:
+    from repro.store import StoreQuery
+
+    try:
+        store = _open_store(args, create=False)
+    except (TelemetryError, SchemaError) as exc:
+        logger.error("%s", exc)
+        return 1
+    try:
+        query = StoreQuery(store)
+        if not args.rules:
+            # No rule file: list the transitions already on record.
+            recorded = query.alerts(
+                since=args.since, until=args.until, rule=args.rule
+            )
+            if not recorded:
+                print("no recorded alerts")
+                return 0
+            for entry in recorded:
+                print(
+                    f"[{entry['ts']:.0f}] {entry['severity']:<5} "
+                    f"{entry['rule']} {entry['state']}: {entry['message']}"
+                )
+            return 0
+        engine = api.store_alerts(
+            args.rules, store=store if args.record else None
+        )
+        since, until = _store_range(args, query)
+        if since is None:
+            print("store is empty")
+            return 0
+        events = engine.evaluate_range(
+            query, since=since, until=until, step_s=args.step
+        )
+        for event in events:
+            print(
+                f"[{event.ts:.0f}] {event.severity:<5} {event.rule} "
+                f"{event.state}: {event.message}"
+            )
+        firing = engine.firing
+        print(
+            f"{len(events)} transition(s); "
+            + (f"firing at end: {', '.join(firing)}" if firing else
+               "nothing firing at end")
+        )
+    except ConfigError as exc:
+        logger.error("%s", exc)
+        return 1
+    finally:
+        store.close()
+    return 0
+
+
+def _cmd_store_report(args: argparse.Namespace) -> int:
+    from repro.store import AlertEvent, StoreQuery, render_incident_report
+
+    try:
+        store = _open_store(args, create=False)
+    except (TelemetryError, SchemaError) as exc:
+        logger.error("%s", exc)
+        return 1
+    try:
+        query = StoreQuery(store)
+        recorded = query.alerts(rule=args.rule, state=args.state)
+        if not recorded:
+            logger.error(
+                "no recorded alert matches"
+                + (f" rule {args.rule!r}" if args.rule else "")
+                + " — run `repro store alerts --rules FILE --record` first"
+            )
+            return 1
+        entry = recorded[-1]  # newest transition wins
+        event = AlertEvent(
+            rule=str(entry["rule"]),
+            state=str(entry["state"]),
+            ts=float(entry["ts"]),
+            signal=str(entry["signal"]),
+            value=float(entry["value"]),
+            threshold=float(entry["threshold"]),
+            window_s=float(entry["window_s"]),
+            severity=str(entry["severity"]),
+            message=str(entry["message"]),
+            labels=dict(entry["labels"]),
+        )
+        report = render_incident_report(event, query)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(report)
+            print(f"wrote {args.out}")
+        else:
+            print(report)
+    finally:
+        store.close()
+    return 0
+
+
+def _cmd_store_compact(args: argparse.Namespace) -> int:
+    try:
+        store = _open_store(args, create=False)
+    except (TelemetryError, SchemaError) as exc:
+        logger.error("%s", exc)
+        return 1
+    try:
+        summary = store.compact(
+            max_age_s=args.max_age_s, max_bytes=args.max_bytes
+        )
+        print(
+            f"removed {summary['partitions_removed']} partition(s), "
+            f"{summary['bytes_removed']} segment byte(s), "
+            f"{summary['rows_deleted']} index row(s)"
+        )
+    finally:
+        store.close()
+    return 0
+
+
+def _cmd_store_reindex(args: argparse.Namespace) -> int:
+    try:
+        store = _open_store(args, create=False)
+    except (TelemetryError, SchemaError) as exc:
+        logger.error("%s", exc)
+        return 1
+    try:
+        counts = store.reindex()
+        print(
+            f"reindexed {counts['outcomes']} outcome(s), "
+            f"{counts['snapshots']} snapshot(s), "
+            f"{counts['metrics']} metric sample(s), "
+            f"{counts['alerts']} alert(s)"
+        )
+    except (TelemetryError, SchemaError) as exc:
+        logger.error("%s", exc)
+        return 1
+    finally:
+        store.close()
+    return 0
+
+
 def _cmd_codegen(args: argparse.Namespace) -> int:
     with open(args.chains) as handle:
         text = handle.read()
@@ -922,6 +1251,20 @@ def build_parser() -> argparse.ArgumentParser:
         "interrupted campaign resumes from its settled outcomes on "
         "the next run instead of starting over",
     )
+    fleet.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="also ingest the campaign's outcomes into the historical "
+        "store at DIR (created if missing; query with `repro store`)",
+    )
+    fleet.add_argument(
+        "--store-at",
+        type=float,
+        default=None,
+        metavar="TS",
+        help="store ingest timestamp, epoch seconds (default: now)",
+    )
     fleet.set_defaults(fn=_cmd_fleet)
 
     fleet_report = sub.add_parser(
@@ -1003,6 +1346,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="autotune each session's advance interval: back off "
         "under sustained lag, speed up when idle",
     )
+    live.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="tee every fleet snapshot into the historical store at "
+        "DIR (created if missing)",
+    )
     _add_cluster_client_args(live)
     live.set_defaults(fn=_cmd_live)
 
@@ -1029,6 +1379,20 @@ def build_parser() -> argparse.ArgumentParser:
         "recent snapshots",
     )
     watch.add_argument("--interval", type=float, default=1.0)
+    watch.add_argument(
+        "--rules",
+        default=None,
+        metavar="FILE",
+        help="evaluate these alert rules live against each snapshot "
+        "and render an Alerts pane (firing/resolved transitions)",
+    )
+    watch.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="with --rules: also record alert transitions durably in "
+        "the store at DIR",
+    )
     _add_cluster_client_args(watch)
     watch.set_defaults(fn=_cmd_watch)
 
@@ -1095,6 +1459,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     coordinator.add_argument(
         "--snapshot-every", type=float, default=1.0, help="seconds"
+    )
+    coordinator.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="tee every fleet snapshot into the historical store at "
+        "DIR (created if missing)",
     )
     coordinator.add_argument(
         "--journal",
@@ -1259,14 +1630,240 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_report.add_argument("events", help="JSONL span-event log")
     obs_report.set_defaults(fn=_cmd_obs_report)
+
+    store = sub.add_parser(
+        "store",
+        help="historical RCA store: ingest, query, alerts, reports",
+    )
+    ssub = store.add_subparsers(dest="store_command", required=True)
+
+    def _store_dir_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("store_dir", help="store directory")
+
+    def _store_range_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--since",
+            type=float,
+            default=None,
+            help="range start, epoch seconds (default: oldest row)",
+        )
+        p.add_argument(
+            "--until",
+            type=float,
+            default=None,
+            help="range end, epoch seconds (default: newest row)",
+        )
+
+    ingest = ssub.add_parser(
+        "ingest",
+        help="ingest campaign outcomes / snapshots / metric snapshots",
+    )
+    _store_dir_arg(ingest)
+    ingest.add_argument(
+        "outcomes",
+        nargs="*",
+        help="fleet outcome JSONL files (`repro fleet --out`)",
+    )
+    ingest.add_argument(
+        "--prom",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="Prometheus-text metrics snapshot (--metrics-file output)",
+    )
+    ingest.add_argument(
+        "--snapshot",
+        dest="snapshot_file",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="fleet snapshot artifact (`repro live --snapshot` output)",
+    )
+    ingest.add_argument(
+        "--at",
+        type=float,
+        default=None,
+        help="ingest timestamp, epoch seconds (default: now); pins "
+        "partition assignment for reproducible windows",
+    )
+    ingest.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on the first undecodable outcome line instead of "
+        "skip-and-count (fleet-report tolerant semantics)",
+    )
+    ingest.set_defaults(fn=_cmd_store_ingest)
+
+    query = ssub.add_parser(
+        "query", help="rollups, series, movers, QoE trends"
+    )
+    _store_dir_arg(query)
+    query.add_argument(
+        "what",
+        choices=(
+            "totals",
+            "rollup",
+            "outcomes",
+            "series",
+            "movers",
+            "qoe",
+            "metrics",
+        ),
+        help="totals: row counts; rollup: per-name episode totals; "
+        "outcomes: per-profile/impairment rollup; series: episode "
+        "rate over time; movers: top-k rate changes between the two "
+        "halves of the range (see --split); qoe: percentile trend; "
+        "metrics: stored metric samples",
+    )
+    _store_range_args(query)
+    query.add_argument(
+        "--kind",
+        default="chain",
+        choices=("chain", "cause", "consequence"),
+        help="episode kind for rollup/series/movers",
+    )
+    query.add_argument(
+        "--match", default=None, help="glob over chain/metric names"
+    )
+    query.add_argument(
+        "--group",
+        default="profile",
+        choices=("profile", "impairment", "scenario"),
+        help="grouping for `outcomes`",
+    )
+    query.add_argument(
+        "--top", type=int, default=None, help="limit rows (movers: k)"
+    )
+    query.add_argument(
+        "--bucket",
+        type=float,
+        default=None,
+        help="bucket width in seconds for series/qoe "
+        "(default: range/24)",
+    )
+    query.add_argument(
+        "--split",
+        type=float,
+        default=None,
+        help="movers: boundary between window A and window B "
+        "(default: range midpoint)",
+    )
+    query.add_argument(
+        "--metric", default=None, help="QoE metric name for `qoe`"
+    )
+    query.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    query.set_defaults(fn=_cmd_store_query)
+
+    alerts = ssub.add_parser(
+        "alerts",
+        help="evaluate alert rules over history, or list recorded "
+        "transitions",
+    )
+    _store_dir_arg(alerts)
+    alerts.add_argument(
+        "--rules",
+        default=None,
+        metavar="FILE",
+        help="TOML/JSON rule file to evaluate (omit to list recorded "
+        "alerts)",
+    )
+    _store_range_args(alerts)
+    alerts.add_argument(
+        "--step",
+        type=float,
+        default=None,
+        help="evaluation stride in seconds (default: each rule's "
+        "window width)",
+    )
+    alerts.add_argument(
+        "--record",
+        action="store_true",
+        help="record emitted transitions durably in the store",
+    )
+    alerts.add_argument(
+        "--rule", default=None, help="filter recorded alerts by rule name"
+    )
+    alerts.set_defaults(fn=_cmd_store_alerts)
+
+    report_cmd = ssub.add_parser(
+        "report",
+        help="render a Markdown incident report for a recorded alert",
+    )
+    _store_dir_arg(report_cmd)
+    report_cmd.add_argument(
+        "--rule", default=None, help="rule name (default: newest alert)"
+    )
+    report_cmd.add_argument(
+        "--state",
+        default=None,
+        choices=("firing", "resolved"),
+        help="pick the newest transition with this state",
+    )
+    report_cmd.add_argument(
+        "--out", default=None, help="write the report here (default: stdout)"
+    )
+    report_cmd.set_defaults(fn=_cmd_store_report)
+
+    compact = ssub.add_parser(
+        "compact", help="retention: drop oldest partitions by age/size"
+    )
+    _store_dir_arg(compact)
+    compact.add_argument(
+        "--max-age-s",
+        type=float,
+        default=None,
+        help="drop partitions entirely older than this many seconds",
+    )
+    compact.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="drop oldest partitions until segments fit this many bytes",
+    )
+    compact.set_defaults(fn=_cmd_store_compact)
+
+    reindex = ssub.add_parser(
+        "reindex", help="rebuild the sqlite index from the JSONL segments"
+    )
+    _store_dir_arg(reindex)
+    reindex.set_defaults(fn=_cmd_store_reindex)
     return parser
 
 
+def _install_sigterm_exit():
+    """Make SIGTERM unwind ``main()``'s finally instead of killing us.
+
+    The default SIGTERM disposition terminates the process without
+    running any ``finally`` — so a supervised service (standing
+    coordinator, `watch --follow`, a drained worker's parent) would
+    lose its ``--metrics-file`` / ``--events-file`` flush.  Raising
+    ``SystemExit(143)`` (128 + SIGTERM) preserves the conventional
+    exit status while letting the flush path run.  Worker drain is
+    unaffected: its asyncio loop installs its own handler while
+    running.  Returns the previous handler, or None when signals are
+    unavailable (non-main thread, exotic platform).
+    """
+    import signal
+
+    def _exit(signum, frame):
+        raise SystemExit(143)
+
+    try:
+        return signal.signal(signal.SIGTERM, _exit)
+    except (ValueError, OSError, AttributeError):
+        return None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    import signal
+
     from repro import obs
 
     args = build_parser().parse_args(argv)
     setup_logging(verbose=args.log_verbose, quiet=args.log_quiet)
+    previous_sigterm = _install_sigterm_exit()
     sink = None
     previous_sink = None
     if args.events_file:
@@ -1284,6 +1881,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             sink.close()
         if args.metrics_file:
             obs.write_metrics_file(obs.get_registry(), args.metrics_file)
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
 
 
 if __name__ == "__main__":

@@ -237,6 +237,9 @@ class ClusterCoordinator:
         snapshot_path: write each periodic fleet snapshot there
             (atomically) for ``repro watch``.
         snapshot_every_s: snapshot/watch push interval.
+        store_dir: also tee each periodic fleet snapshot into the
+            historical store at this directory (created on first
+            write) — the ``--store`` retention path.
         on_snapshot: callback invoked with each periodic snapshot.
         journal_path: write-ahead campaign journal file; replayed on
             :meth:`start` so interrupted campaigns can resume.
@@ -258,6 +261,7 @@ class ClusterCoordinator:
         live_backpressure: str = "block",
         snapshot_path: Optional[str] = None,
         snapshot_every_s: float = 1.0,
+        store_dir: Optional[str] = None,
         on_snapshot: Optional[Callable[[FleetSnapshot], None]] = None,
         journal_path: Optional[str] = None,
         auth_token: Optional[str] = None,
@@ -280,6 +284,8 @@ class ClusterCoordinator:
         self.live_backpressure = live_backpressure
         self.snapshot_path = snapshot_path
         self.snapshot_every_s = snapshot_every_s
+        self.store_dir = store_dir
+        self._store = None  # opened lazily on the first snapshot tee
         self.on_snapshot = on_snapshot
         self.journal_path = journal_path
         self.auth_token = auth_token
@@ -382,6 +388,9 @@ class ClusterCoordinator:
         self._tasks = []
         if self._journal is not None:
             self._journal.close()
+        if self._store is not None:
+            self._store.close()
+            self._store = None
 
     @property
     def n_workers(self) -> int:
@@ -1267,13 +1276,24 @@ class ClusterCoordinator:
         while True:
             await asyncio.sleep(self.snapshot_every_s)
             if not (
-                self.snapshot_path or self.on_snapshot or self._watchers
+                self.snapshot_path
+                or self.store_dir
+                or self.on_snapshot
+                or self._watchers
             ):
                 continue
             snapshot = self.live_snapshot()
             if self.snapshot_path:
                 # Canonical versioned artifact, atomic for `repro watch`.
                 save_snapshot(snapshot, self.snapshot_path)
+            if self.store_dir:
+                import time as _time
+
+                if self._store is None:
+                    from repro.store import RcaStore
+
+                    self._store = RcaStore.open(self.store_dir)
+                self._store.ingest_snapshot(snapshot, ts=_time.time())
             if self.on_snapshot is not None:
                 self.on_snapshot(snapshot)
             payload = {"snapshot": snapshot.to_json()}

@@ -79,6 +79,10 @@ class LiveRcaService:
         metrics_path: flush a Prometheus-text snapshot of the process
             metrics registry there (atomically) on every fleet
             snapshot — the `--metrics-file` exposition path.
+        store_dir: also tee every fleet snapshot into the historical
+            store at this directory (created on first write) — the
+            `--store` retention path.  Purely additive: detections and
+            snapshots are byte-identical with the tee on or off.
         on_snapshot: callback invoked with each periodic snapshot.
         detection_sink: extra sink invoked with every detection batch
             *in addition to* the local aggregator — the hook a
@@ -101,6 +105,7 @@ class LiveRcaService:
         idle_timeout_s: Optional[float] = None,
         snapshot_path: Optional[str] = None,
         metrics_path: Optional[str] = None,
+        store_dir: Optional[str] = None,
         on_snapshot: Optional[Callable[[FleetSnapshot], None]] = None,
         detection_sink=None,
         adaptive_advance: bool = False,
@@ -132,6 +137,8 @@ class LiveRcaService:
         self.idle_timeout_s = idle_timeout_s
         self.snapshot_path = snapshot_path
         self.metrics_path = metrics_path
+        self.store_dir = store_dir
+        self._store = None  # opened lazily on the first snapshot tee
         self.on_snapshot = on_snapshot
         self._seq = 0
         self._started_at: Optional[float] = None
@@ -187,6 +194,8 @@ class LiveRcaService:
         )
         if self.snapshot_path:
             self._write_snapshot(snapshot)
+        if self.store_dir:
+            self._tee_store(snapshot)
         if self.metrics_path:
             write_metrics_file(get_registry(), self.metrics_path)
         if self.on_snapshot is not None:
@@ -223,6 +232,15 @@ class LiveRcaService:
         from repro.schema import save_snapshot
 
         save_snapshot(snapshot, self.snapshot_path)
+
+    def _tee_store(self, snapshot: FleetSnapshot) -> None:
+        import time
+
+        if self._store is None:
+            from repro.store import RcaStore
+
+            self._store = RcaStore.open(self.store_dir)
+        self._store.ingest_snapshot(snapshot, ts=time.time())
 
     # -- main loop --------------------------------------------------------------
 
@@ -262,7 +280,11 @@ class LiveRcaService:
         except asyncio.CancelledError:
             pass
         self._last_now = loop.time()
-        return self.snapshot()
+        final = self.snapshot()
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+        return final
 
 
 __all__ = ["LiveRcaService", "canonical_detections"]

@@ -27,6 +27,8 @@ from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
     parse_prom,
+    parse_prom_samples,
+    sample_key,
     write_metrics_file,
 )
 from repro.obs.report import (
@@ -71,7 +73,9 @@ __all__ = [
     "is_enabled",
     "iter_events",
     "parse_prom",
+    "parse_prom_samples",
     "render_obs_report",
+    "sample_key",
     "report_from_file",
     "set_sink",
     "setup_logging",

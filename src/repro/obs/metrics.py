@@ -337,30 +337,131 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
 
-def parse_prom(text: str) -> Dict[str, float]:
-    """Parse Prometheus text format into ``{sample_with_labels: value}``.
+def _unescape_label(value: str, line: str) -> str:
+    """Inverse of :func:`_escape_label` (``\\\\``, ``\\"``, ``\\n``)."""
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= len(value):
+            raise ValueError(f"dangling escape in prom line: {line!r}")
+        nxt = value[i + 1]
+        if nxt == "\\":
+            out.append("\\")
+        elif nxt == '"':
+            out.append('"')
+        elif nxt == "n":
+            out.append("\n")
+        else:
+            # Unknown escape: Prometheus keeps the backslash literally.
+            out.append("\\")
+            out.append(nxt)
+        i += 2
+    return "".join(out)
 
-    Inverse of :meth:`MetricsRegistry.render_prom` for assertion
-    purposes; keys keep their label string verbatim, e.g.
-    ``repro_span_seconds_count{span="detect.features"}``.
+
+def _parse_value(text: str, line: str) -> float:
+    text = text.strip()
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(f"unparseable prom value in line: {line!r}")
+
+
+def parse_prom_samples(
+    text: str,
+) -> List[Tuple[str, Dict[str, str], float]]:
+    """Parse Prometheus text format into ``(name, labels, value)`` rows.
+
+    The true inverse of :meth:`MetricsRegistry.render_prom`: label
+    values are tokenized against their quotes (a value may contain
+    ``{``, ``}``, ``,``, ``=``, or spaces) and unescaped (``\\\\`` →
+    ``\\``, ``\\"`` → ``"``, ``\\n`` → newline), so rendering the
+    returned labels back through the escaper reproduces the input line
+    byte-for-byte.  Histogram ``le`` labels ride through like any
+    other, which keeps the ``+Inf`` bucket intact across a round trip.
     """
-    out: Dict[str, float] = {}
+    samples: List[Tuple[str, Dict[str, str], float]] = []
     for raw in text.splitlines():
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
-        name_part, _, value_part = line.rpartition(" ")
-        if not name_part:
+        brace = line.find("{")
+        if brace < 0:
+            name_part, _, value_part = line.rpartition(" ")
+            if not name_part:
+                raise ValueError(f"unparseable prom line: {raw!r}")
+            samples.append(
+                (name_part.strip(), {}, _parse_value(value_part, raw))
+            )
+            continue
+        name = line[:brace].strip()
+        if not name:
             raise ValueError(f"unparseable prom line: {raw!r}")
-        value_part = value_part.strip()
-        if value_part == "+Inf":
-            value = math.inf
-        elif value_part == "-Inf":
-            value = -math.inf
-        else:
-            value = float(value_part)
-        out[name_part.strip()] = value
-    return out
+        labels: Dict[str, str] = {}
+        i = brace + 1
+        while True:
+            while i < len(line) and line[i] in ", ":
+                i += 1
+            if i < len(line) and line[i] == "}":
+                i += 1
+                break
+            eq = line.find("=", i)
+            if eq < 0 or eq + 1 >= len(line) or line[eq + 1] != '"':
+                raise ValueError(f"unparseable prom labels: {raw!r}")
+            key = line[i:eq].strip()
+            # Scan the quoted value respecting backslash escapes: a
+            # label value may contain every structural character.
+            j = eq + 2
+            while j < len(line):
+                if line[j] == "\\":
+                    j += 2
+                    continue
+                if line[j] == '"':
+                    break
+                j += 1
+            if j >= len(line):
+                raise ValueError(f"unterminated label value: {raw!r}")
+            labels[key] = _unescape_label(line[eq + 2 : j], raw)
+            i = j + 1
+        samples.append((name, labels, _parse_value(line[i:], raw)))
+    return samples
+
+
+def sample_key(name: str, labels: Mapping[str, str]) -> str:
+    """Canonical ``name{labels}`` key for one parsed sample.
+
+    Re-escapes through the same :func:`_escape_label` path
+    ``render_prom`` uses, so the key of a parsed sample equals the text
+    the registry rendered — even for label values containing ``\\`` or
+    ``"`` — and rendering, parsing, and re-keying is a fixed point.
+    """
+    items = tuple((str(k), str(v)) for k, v in labels.items())
+    return f"{name}{_render_labels(items)}"
+
+
+def parse_prom(text: str) -> Dict[str, float]:
+    """Parse Prometheus text format into ``{sample_with_labels: value}``.
+
+    Inverse of :meth:`MetricsRegistry.render_prom` for assertion
+    purposes; keys are the canonical rendered form, e.g.
+    ``repro_span_seconds_count{span="detect.features"}``.  Built on
+    :func:`parse_prom_samples`, so label values containing ``\\`` and
+    ``"`` round-trip exactly and the ``+Inf`` histogram bucket survives
+    the inverse.
+    """
+    return {
+        sample_key(name, labels): value
+        for name, labels, value in parse_prom_samples(text)
+    }
 
 
 def write_metrics_file(
@@ -393,5 +494,7 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "parse_prom",
+    "parse_prom_samples",
+    "sample_key",
     "write_metrics_file",
 ]

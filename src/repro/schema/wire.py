@@ -48,6 +48,7 @@ from repro.fleet.scenarios import ImpairmentSpec, ScenarioSpec
 from repro.live.aggregator import FleetSnapshot
 from repro.live.supervisor import SessionSnapshot
 from repro.obs.events import ObsEvent
+from repro.store.model import AlertEvent, MetricSample, StoreManifest
 
 #: Bump on any incompatible change to a canonical wire form.  Checked
 #: wherever a versioned artifact or frame is decoded.
@@ -376,6 +377,56 @@ _JOURNAL_RECORD = WireCodec(
     stamped=True,  # journal lines are durable artifacts: each carries the stamp
 )
 
+
+def _labels_dict(raw: Any) -> Dict[str, str]:
+    if not isinstance(raw, dict):
+        raise SchemaError(
+            f"labels: expected an object, got {type(raw).__name__}"
+        )
+    return {str(key): str(value) for key, value in raw.items()}
+
+
+_STORE_MANIFEST = WireCodec(
+    "store_manifest",
+    StoreManifest,
+    _dataclass_fields(StoreManifest),
+    stamped=True,  # one per store directory: the artifact of record
+)
+
+_METRIC_SAMPLE = WireCodec(
+    "metric_sample",
+    MetricSample,
+    _dataclass_fields(
+        MetricSample,
+        overrides={
+            "labels": WireField(
+                "labels",
+                required=False,
+                default_factory=dict,
+                decode=_labels_dict,
+            ),
+        },
+    ),
+    stamped=True,  # store segment lines are durable artifacts
+)
+
+_ALERT_EVENT = WireCodec(
+    "alert_event",
+    AlertEvent,
+    _dataclass_fields(
+        AlertEvent,
+        overrides={
+            "labels": WireField(
+                "labels",
+                required=False,
+                default_factory=dict,
+                decode=_labels_dict,
+            ),
+        },
+    ),
+    stamped=True,  # alert logs are durable artifacts
+)
+
 _DOMINO_REPORT = WireCodec(
     "domino_report",
     DominoReport,
@@ -414,6 +465,9 @@ WIRE_CODECS: Dict[str, WireCodec] = {
         _FLEET_SNAPSHOT,
         _OBS_EVENT,
         _JOURNAL_RECORD,
+        _STORE_MANIFEST,
+        _METRIC_SAMPLE,
+        _ALERT_EVENT,
         _DOMINO_REPORT,
     )
 }
@@ -568,6 +622,36 @@ def journal_record_from_wire(data: Any) -> JournalRecord:
     return _JOURNAL_RECORD.from_wire(data)
 
 
+def store_manifest_to_wire(manifest: StoreManifest) -> dict:
+    """StoreManifest → stamped wire dict (the store's identity card)."""
+    return _STORE_MANIFEST.to_wire(manifest)
+
+
+def store_manifest_from_wire(data: Any) -> StoreManifest:
+    """Decode a store manifest, schema stamp validated."""
+    return _STORE_MANIFEST.from_wire(data)
+
+
+def metric_sample_to_wire(sample: MetricSample) -> dict:
+    """MetricSample → stamped wire dict (store segment lines)."""
+    return _METRIC_SAMPLE.to_wire(sample)
+
+
+def metric_sample_from_wire(data: Any) -> MetricSample:
+    """Decode a stored metric sample, schema stamp validated."""
+    return _METRIC_SAMPLE.from_wire(data)
+
+
+def alert_event_to_wire(event: AlertEvent) -> dict:
+    """AlertEvent → stamped wire dict (alert logs are artifacts)."""
+    return _ALERT_EVENT.to_wire(event)
+
+
+def alert_event_from_wire(data: Any) -> AlertEvent:
+    """Decode an alert event, schema stamp validated."""
+    return _ALERT_EVENT.from_wire(data)
+
+
 def domino_report_to_wire(report: DominoReport) -> dict:
     return _DOMINO_REPORT.to_wire(report)
 
@@ -618,6 +702,8 @@ __all__ = [
     "WIRE_KINDS",
     "WireCodec",
     "WireField",
+    "alert_event_from_wire",
+    "alert_event_to_wire",
     "chains_from_wire",
     "chains_to_wire",
     "check_schema_version",
@@ -636,6 +722,8 @@ __all__ = [
     "kind_of",
     "load_snapshot",
     "loads",
+    "metric_sample_from_wire",
+    "metric_sample_to_wire",
     "obs_event_from_wire",
     "obs_event_to_wire",
     "save_snapshot",
@@ -645,6 +733,8 @@ __all__ = [
     "session_outcome_to_wire",
     "session_snapshot_from_wire",
     "session_snapshot_to_wire",
+    "store_manifest_from_wire",
+    "store_manifest_to_wire",
     "to_wire",
     "window_detection_from_wire",
     "window_detection_to_wire",

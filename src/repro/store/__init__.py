@@ -1,0 +1,81 @@
+"""repro.store — the historical RCA store, query plane, and alerting.
+
+Everything upstream is ephemeral by design: live snapshots overwrite in
+place, campaign outcomes are flat JSONL, and ``repro.obs`` metrics die
+with the process.  This package is where observations go to persist:
+
+- :mod:`repro.store.model` — the codec-registered leaf dataclasses
+  (:class:`StoreManifest`, :class:`MetricSample`, :class:`AlertEvent`).
+- :mod:`repro.store.db` — :class:`RcaStore`, an embedded
+  time-partitioned store: append-only JSONL segments (one directory per
+  time partition, every line a ``repro.schema`` wire envelope) plus a
+  rebuildable sqlite index for fast rollups, with retention compaction.
+- :mod:`repro.store.query` — :class:`StoreQuery`: time-range rollups by
+  chain / profile / impairment, episode-rate series, top-k movers
+  between windows, QoE percentile trends.
+- :mod:`repro.store.alerts` — declarative TOML/JSON alert rules and the
+  :class:`AlertEngine` that evaluates them over history or live on the
+  aggregator stream, emitting schema-versioned :class:`AlertEvent`\\ s.
+- :mod:`repro.store.reports` — Markdown incident reports from alert
+  events and their triggering series.
+
+Import mechanics: :mod:`repro.schema.wire` imports the leaf
+``repro.store.model`` to register its codecs, which executes this
+``__init__`` — so like :mod:`repro.cluster`, the package keeps its
+namespace lazy (PEP 562) and imports nothing at module level.
+"""
+
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "ALERT_FIRING": "model",
+    "ALERT_RESOLVED": "model",
+    "STORE_LAYOUT_VERSION": "model",
+    "AlertEvent": "model",
+    "MetricSample": "model",
+    "StoreManifest": "model",
+    "ROWS_METRIC": "db",
+    "RcaStore": "db",
+    "StoreQuery": "query",
+    "AlertEngine": "alerts",
+    "AlertRule": "alerts",
+    "FIRING_METRIC": "alerts",
+    "load_rules": "alerts",
+    "render_alerts_pane": "reports",
+    "render_incident_report": "reports",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from repro.store.alerts import AlertEngine, AlertRule, load_rules
+    from repro.store.db import RcaStore
+    from repro.store.model import (
+        ALERT_FIRING,
+        ALERT_RESOLVED,
+        STORE_LAYOUT_VERSION,
+        AlertEvent,
+        MetricSample,
+        StoreManifest,
+    )
+    from repro.store.query import StoreQuery
+    from repro.store.reports import render_incident_report
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(f"{__name__}.{module_name}")
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,367 @@
+"""Declarative alert rules and the engine that evaluates them.
+
+Rules are data, not code: a TOML (or JSON) file of ``[[rule]]`` tables,
+each naming a signal, a glob over the signal's namespace, a threshold,
+and a window.  Example::
+
+    [[rule]]
+    name = "pushback-chain-surge"
+    signal = "chain_rate"              # episodes/min of matching chains
+    match = "*local_pushback_rate_down"
+    threshold = 0.5                    # fires above this
+    window_s = 3600.0
+    severity = "page"
+
+Signals:
+
+``chain_rate`` / ``cause_rate`` / ``consequence_rate``
+    Merged Domino episodes per observed telemetry minute, summed over
+    names matching ``match``.
+``degradation_rate``
+    Mean ``degradation_events_per_min`` of outcomes in the window.
+``qoe``
+    Mean of the QoE metric named by ``match`` over the window.
+``metric``
+    Latest stored metric sample whose name matches ``match``.
+
+``kind = "threshold"`` compares the windowed value against
+``threshold`` (``direction`` above/below); ``kind = "trend"`` compares
+the window against the immediately preceding window of the same width
+and fires when their ratio crosses ``threshold`` (e.g. ``2.0`` = rate
+doubled).
+
+The engine is one state machine per rule: only *transitions* emit
+:class:`~repro.store.model.AlertEvent`\\ s (``firing`` on crossing,
+``resolved`` on re-crossing), so a standing deployment alerting every
+evaluation tick stays quiet while nothing changes.  It runs in two
+modes — historical scans over a :class:`~repro.store.query.StoreQuery`
+window range, and live folding of the aggregator's
+:class:`~repro.live.aggregator.FleetSnapshot` stream, differencing the
+cumulative ``chain_totals`` / ``total_minutes`` counters into windowed
+rates.  Firing state is exported on the ``repro_alerts_firing`` gauge.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.errors import ConfigError
+from repro.live.aggregator import FleetSnapshot
+from repro.store.model import ALERT_FIRING, ALERT_RESOLVED, AlertEvent
+from repro.store.query import StoreQuery
+
+#: Gauge of rules currently firing (1/0 per ``rule`` label).
+FIRING_METRIC = "repro_alerts_firing"
+
+_SIGNALS = (
+    "chain_rate",
+    "cause_rate",
+    "consequence_rate",
+    "degradation_rate",
+    "qoe",
+    "metric",
+)
+_KINDS = ("threshold", "trend")
+_DIRECTIONS = ("above", "below")
+
+
+@dataclass
+class AlertRule:
+    """One declarative rule, validated at load time."""
+
+    name: str
+    signal: str
+    threshold: float
+    match: str = "*"
+    kind: str = "threshold"
+    direction: str = "above"
+    window_s: float = 3600.0
+    severity: str = "warn"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.signal not in _SIGNALS:
+            raise ConfigError(
+                f"rule {self.name!r}: unknown signal {self.signal!r} "
+                f"(expected one of {', '.join(_SIGNALS)})"
+            )
+        if self.kind not in _KINDS:
+            raise ConfigError(
+                f"rule {self.name!r}: unknown kind {self.kind!r} "
+                f"(expected threshold or trend)"
+            )
+        if self.direction not in _DIRECTIONS:
+            raise ConfigError(
+                f"rule {self.name!r}: unknown direction "
+                f"{self.direction!r} (expected above or below)"
+            )
+        if self.window_s <= 0:
+            raise ConfigError(
+                f"rule {self.name!r}: window_s must be positive"
+            )
+
+    def crossed(self, value: float) -> bool:
+        """Is *value* on the alerting side of the threshold?"""
+        if math.isnan(value):
+            return False
+        if self.direction == "above":
+            return value > self.threshold
+        return value < self.threshold
+
+
+def load_rules(path: str) -> List[AlertRule]:
+    """Load rules from a TOML (default) or JSON rule file.
+
+    Both formats carry the same shape: a top-level ``rule`` array of
+    tables/objects with :class:`AlertRule`'s fields.  Malformed files
+    and unknown fields fail with a :class:`~repro.errors.ConfigError`
+    naming the offending rule, not a traceback.
+    """
+    if path.endswith(".json"):
+        with open(path) as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(f"{path}: undecodable JSON rules: {exc}")
+    else:
+        import tomllib
+
+        with open(path, "rb") as handle:
+            try:
+                data = tomllib.load(handle)
+            except tomllib.TOMLDecodeError as exc:
+                raise ConfigError(f"{path}: undecodable TOML rules: {exc}")
+    raw_rules = data.get("rule", [])
+    if not isinstance(raw_rules, list) or not raw_rules:
+        raise ConfigError(f"{path}: no [[rule]] entries found")
+    allowed = set(AlertRule.__dataclass_fields__)
+    rules: List[AlertRule] = []
+    seen = set()
+    for i, raw in enumerate(raw_rules):
+        if not isinstance(raw, dict):
+            raise ConfigError(f"{path}: rule #{i + 1} is not a table")
+        unknown = set(raw) - allowed
+        if unknown:
+            raise ConfigError(
+                f"{path}: rule #{i + 1} has unknown fields: "
+                f"{', '.join(sorted(unknown))}"
+            )
+        if "name" not in raw or "signal" not in raw or "threshold" not in raw:
+            raise ConfigError(
+                f"{path}: rule #{i + 1} needs name, signal, and threshold"
+            )
+        rule = AlertRule(**raw)
+        if rule.name in seen:
+            raise ConfigError(f"{path}: duplicate rule name {rule.name!r}")
+        seen.add(rule.name)
+        rules.append(rule)
+    return rules
+
+
+class AlertEngine:
+    """Evaluate rules over history or live snapshots; emit transitions."""
+
+    def __init__(
+        self,
+        rules: List[AlertRule],
+        *,
+        store: Optional[Any] = None,
+    ) -> None:
+        self.rules = list(rules)
+        self.store = store  # RcaStore or None; events recorded if set
+        self._firing: Dict[str, bool] = {r.name: False for r in self.rules}
+        self._gauge = obs.get_registry().gauge(
+            FIRING_METRIC, "Alert rules currently firing (per rule)."
+        )
+        for rule in self.rules:
+            self._gauge.set(0.0, rule=rule.name)
+        #: live mode: (ts, matched_episode_total, total_minutes) per rule
+        self._live_history: Dict[str, List[Tuple[float, float, float]]] = {
+            r.name: [] for r in self.rules
+        }
+
+    @property
+    def firing(self) -> List[str]:
+        return sorted(name for name, on in self._firing.items() if on)
+
+    # -- shared state machine ----------------------------------------------
+
+    def _transition(
+        self, rule: AlertRule, value: float, ts: float
+    ) -> Optional[AlertEvent]:
+        crossed = rule.crossed(value)
+        was = self._firing[rule.name]
+        if crossed == was:
+            return None
+        self._firing[rule.name] = crossed
+        self._gauge.set(1.0 if crossed else 0.0, rule=rule.name)
+        state = ALERT_FIRING if crossed else ALERT_RESOLVED
+        comparator = ">" if rule.direction == "above" else "<"
+        message = (
+            f"{rule.name}: {rule.signal}[{rule.match}] = {value:.4g} "
+            f"{comparator if crossed else 'back within'} "
+            f"{rule.threshold:.4g} over {rule.window_s:.0f}s"
+        )
+        event = AlertEvent(
+            rule=rule.name,
+            state=state,
+            ts=ts,
+            signal=rule.signal,
+            value=value,
+            threshold=rule.threshold,
+            window_s=rule.window_s,
+            severity=rule.severity,
+            message=message,
+            labels={"match": rule.match, "kind": rule.kind},
+        )
+        if self.store is not None:
+            self.store.record_alert(event)
+        return event
+
+    # -- historical mode ---------------------------------------------------
+
+    def _window_value(
+        self, query: StoreQuery, rule: AlertRule, lo: float, hi: float
+    ) -> float:
+        if rule.signal in ("chain_rate", "cause_rate", "consequence_rate"):
+            kind = rule.signal.split("_", 1)[0]
+            rows = query.rollup_episodes(
+                kind, since=lo, until=hi, match=rule.match
+            )
+            return sum(r["episodes_per_min"] for r in rows)
+        if rule.signal == "degradation_rate":
+            where_args = (float(lo), float(hi))
+            row = query._conn.execute(
+                "SELECT AVG(degradation_events_per_min) FROM outcomes"
+                " WHERE ts >= ? AND ts < ?",
+                where_args,
+            ).fetchone()
+            return float(row[0]) if row[0] is not None else math.nan
+        if rule.signal == "qoe":
+            row = query._conn.execute(
+                "SELECT AVG(value) FROM qoe_samples"
+                " WHERE metric = ? AND ts >= ? AND ts < ?",
+                (rule.match, float(lo), float(hi)),
+            ).fetchone()
+            return float(row[0]) if row[0] is not None else math.nan
+        # metric: the newest matching sample in the window
+        series = query.metric_series(rule.match, since=lo, until=hi)
+        return series[-1][1] if series else math.nan
+
+    def _historic_value(
+        self, query: StoreQuery, rule: AlertRule, at: float
+    ) -> float:
+        value = self._window_value(query, rule, at - rule.window_s, at)
+        if rule.kind == "threshold":
+            return value
+        baseline = self._window_value(
+            query, rule, at - 2 * rule.window_s, at - rule.window_s
+        )
+        if not baseline or math.isnan(baseline) or math.isnan(value):
+            return math.nan  # no baseline → a trend cannot fire
+        return value / baseline
+
+    def evaluate_range(
+        self,
+        query: StoreQuery,
+        *,
+        since: float,
+        until: float,
+        step_s: Optional[float] = None,
+    ) -> List[AlertEvent]:
+        """Historical scan: evaluate every rule at each step boundary.
+
+        Walks evaluation times from *since* to *until* inclusive in
+        ``step_s`` increments (default: each rule's own window width),
+        feeding each rule the value of its trailing window — exactly
+        what the live path would have computed at that moment.
+        """
+        events: List[AlertEvent] = []
+        for rule in self.rules:
+            step = float(step_s) if step_s is not None else rule.window_s
+            if step <= 0:
+                raise ConfigError("step_s must be positive")
+            at = since + step
+            while at <= until + 1e-9:
+                value = self._historic_value(query, rule, at)
+                event = self._transition(rule, value, at)
+                if event is not None:
+                    events.append(event)
+                at += step
+        return events
+
+    # -- live mode ---------------------------------------------------------
+
+    def observe_snapshot(
+        self, snapshot: FleetSnapshot, *, ts: float
+    ) -> List[AlertEvent]:
+        """Fold one live fleet snapshot; emit any transitions.
+
+        ``chain_totals`` and ``total_minutes`` are cumulative, so the
+        rate over a rule's window is the episode delta divided by the
+        telemetry-minutes delta between the newest frame and the oldest
+        frame still inside the window — no per-frame state beyond the
+        pruned history list.
+        """
+        events: List[AlertEvent] = []
+        for rule in self.rules:
+            matched = float(
+                sum(
+                    count
+                    for chain, count in snapshot.chain_totals.items()
+                    if fnmatch.fnmatchcase(chain, rule.match)
+                )
+            )
+            history = self._live_history[rule.name]
+            history.append((ts, matched, snapshot.total_minutes))
+            horizon = (
+                2 * rule.window_s if rule.kind == "trend" else rule.window_s
+            )
+            while len(history) > 2 and history[1][0] <= ts - horizon:
+                history.pop(0)
+
+            def rate(lo_ts: float, hi_ts: float) -> float:
+                frames = [f for f in history if lo_ts <= f[0] <= hi_ts]
+                if len(frames) < 2:
+                    return math.nan
+                d_episodes = frames[-1][1] - frames[0][1]
+                d_minutes = frames[-1][2] - frames[0][2]
+                if d_minutes <= 0:
+                    return math.nan
+                return d_episodes / d_minutes
+
+            if rule.signal not in (
+                "chain_rate",
+                "degradation_rate",
+            ):
+                # Live frames only carry chain totals and fleet-wide
+                # degradation rate; other signals are historical-only.
+                continue
+            if rule.signal == "degradation_rate":
+                value = snapshot.degradation_events_per_min
+            else:
+                value = rate(ts - rule.window_s, ts)
+                if rule.kind == "trend":
+                    baseline = rate(
+                        ts - 2 * rule.window_s, ts - rule.window_s
+                    )
+                    if (
+                        not baseline
+                        or math.isnan(baseline)
+                        or math.isnan(value)
+                    ):
+                        value = math.nan
+                    else:
+                        value = value / baseline
+            event = self._transition(rule, value, ts)
+            if event is not None:
+                events.append(event)
+        return events
+
+
+__all__ = ["FIRING_METRIC", "AlertEngine", "AlertRule", "load_rules"]

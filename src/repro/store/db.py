@@ -1,0 +1,579 @@
+"""The embedded historical RCA store: segments + a rebuildable index.
+
+Layout of one store directory::
+
+    DIR/
+      manifest.json          # stamped store_manifest artifact
+      index.sqlite           # derived rollup index (rebuildable)
+      segments/
+        p<partition>/        # partition = int(ts // partition_s)
+          outcomes.jsonl     # session_outcome envelopes
+          snapshots.jsonl    # fleet_snapshot envelopes
+          metrics.jsonl      # metric_sample envelopes
+          alerts.jsonl       # alert_event envelopes
+
+The JSONL segments are the source of truth: append-only, one
+self-describing envelope per line (``{"kind", "v", "data"}`` where
+``data`` is the ``repro.schema`` wire dict), partitioned by ingest
+timestamp so retention is a directory delete, never a rewrite.  The
+sqlite file is only an index over them — :meth:`RcaStore.reindex`
+rebuilds it from segments alone, and every query the store answers
+(:class:`~repro.store.query.StoreQuery`) reads sqlite, never JSONL.
+
+Everything crossing this boundary goes through the schema codecs:
+ingest encodes via ``to_wire`` and reindex decodes via ``from_wire``,
+so a foreign-schema line is a versioned diagnostic, not a KeyError.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro import obs
+from repro.errors import SchemaError, SchemaVersionError, TelemetryError
+from repro.fleet.executor import SessionOutcome, iter_outcomes
+from repro.live.aggregator import FleetSnapshot
+from repro.store.model import (
+    STORE_LAYOUT_VERSION,
+    AlertEvent,
+    MetricSample,
+    StoreManifest,
+)
+
+#: Counter of rows added to the sqlite index, labelled by table.
+ROWS_METRIC = "repro_store_rows_total"
+
+_SEGMENT_FILES = {
+    "session_outcome": "outcomes.jsonl",
+    "fleet_snapshot": "snapshots.jsonl",
+    "metric_sample": "metrics.jsonl",
+    "alert_event": "alerts.jsonl",
+}
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS outcomes (
+    id INTEGER PRIMARY KEY,
+    ts REAL NOT NULL,
+    scenario TEXT NOT NULL,
+    profile TEXT NOT NULL,
+    impairment TEXT NOT NULL,
+    seed TEXT NOT NULL,  -- derive_seed() yields ints wider than 64 bits
+    duration_s REAL NOT NULL,
+    n_windows INTEGER NOT NULL,
+    n_detected_windows INTEGER NOT NULL,
+    degradation_events_per_min REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_outcomes_ts ON outcomes(ts);
+CREATE INDEX IF NOT EXISTS idx_outcomes_profile ON outcomes(profile, ts);
+CREATE INDEX IF NOT EXISTS idx_outcomes_impairment
+    ON outcomes(impairment, ts);
+
+CREATE TABLE IF NOT EXISTS episodes (
+    outcome_id INTEGER NOT NULL,
+    ts REAL NOT NULL,
+    kind TEXT NOT NULL,
+    name TEXT NOT NULL,
+    count REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_episodes_name ON episodes(kind, name, ts);
+CREATE INDEX IF NOT EXISTS idx_episodes_ts ON episodes(kind, ts);
+
+CREATE TABLE IF NOT EXISTS qoe_samples (
+    outcome_id INTEGER NOT NULL,
+    ts REAL NOT NULL,
+    metric TEXT NOT NULL,
+    value REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_qoe ON qoe_samples(metric, ts);
+
+CREATE TABLE IF NOT EXISTS snapshots (
+    ts REAL NOT NULL,
+    seq INTEGER NOT NULL,
+    n_sessions INTEGER NOT NULL,
+    n_running INTEGER NOT NULL,
+    windows INTEGER NOT NULL,
+    detected_windows INTEGER NOT NULL,
+    degradation_events_per_min REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_snapshots_ts ON snapshots(ts);
+
+CREATE TABLE IF NOT EXISTS snapshot_chains (
+    ts REAL NOT NULL,
+    chain TEXT NOT NULL,
+    total REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_snapshot_chains
+    ON snapshot_chains(chain, ts);
+
+CREATE TABLE IF NOT EXISTS metric_samples (
+    ts REAL NOT NULL,
+    name TEXT NOT NULL,
+    labels TEXT NOT NULL,
+    value REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_metric_samples
+    ON metric_samples(name, ts);
+
+CREATE TABLE IF NOT EXISTS alerts (
+    ts REAL NOT NULL,
+    rule TEXT NOT NULL,
+    state TEXT NOT NULL,
+    signal TEXT NOT NULL,
+    value REAL NOT NULL,
+    threshold REAL NOT NULL,
+    window_s REAL NOT NULL,
+    severity TEXT NOT NULL,
+    message TEXT NOT NULL,
+    labels TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_alerts_ts ON alerts(ts);
+CREATE INDEX IF NOT EXISTS idx_alerts_rule ON alerts(rule, ts);
+"""
+
+_TABLES = (
+    "outcomes",
+    "episodes",
+    "qoe_samples",
+    "snapshots",
+    "snapshot_chains",
+    "metric_samples",
+    "alerts",
+)
+
+
+def _rows_counter() -> obs.Counter:
+    return obs.get_registry().counter(
+        ROWS_METRIC, "Rows added to the store index, by table."
+    )
+
+
+class RcaStore:
+    """One historical store directory: open, ingest, index, compact."""
+
+    def __init__(self, root: str, manifest: StoreManifest) -> None:
+        self.root = os.path.abspath(root)
+        self.manifest = manifest
+        self._conn = sqlite3.connect(os.path.join(self.root, "index.sqlite"))
+        self._conn.executescript(_DDL)
+        self._conn.commit()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        root: str,
+        *,
+        create: bool = True,
+        partition_s: float = 86400.0,
+    ) -> "RcaStore":
+        """Open (by default creating) a store directory.
+
+        A manifest written by an incompatible layout fails here with a
+        versioned diagnostic — never by silently mixing layouts.
+        """
+        manifest_path = os.path.join(root, "manifest.json")
+        if os.path.exists(manifest_path):
+            with open(manifest_path) as handle:
+                try:
+                    data = json.load(handle)
+                except json.JSONDecodeError as exc:
+                    raise SchemaError(
+                        f"{manifest_path}: undecodable store manifest: {exc}"
+                    )
+            manifest = StoreManifest.from_json(data)
+            if manifest.layout != STORE_LAYOUT_VERSION:
+                raise SchemaVersionError(
+                    manifest.layout,
+                    STORE_LAYOUT_VERSION,
+                    where=f"{manifest_path} (store layout)",
+                )
+            return cls(root, manifest)
+        if not create:
+            raise TelemetryError(f"{root}: not a store (no manifest.json)")
+        os.makedirs(os.path.join(root, "segments"), exist_ok=True)
+        manifest = StoreManifest(
+            layout=STORE_LAYOUT_VERSION,
+            created_ts=time.time(),
+            partition_s=float(partition_s),
+        )
+        tmp = f"{manifest_path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(manifest.to_json(), handle, sort_keys=True)
+        os.replace(tmp, manifest_path)
+        return cls(root, manifest)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "RcaStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- segment append ----------------------------------------------------
+
+    def partition_of(self, ts: float) -> int:
+        return int(ts // self.manifest.partition_s)
+
+    def _partition_dir(self, ts: float) -> str:
+        path = os.path.join(
+            self.root, "segments", f"p{self.partition_of(ts)}"
+        )
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    def _append(self, kind: str, ts: float, wire: Dict[str, Any]) -> None:
+        from repro.schema import SCHEMA_VERSION
+
+        envelope = {"kind": kind, "v": SCHEMA_VERSION, "ts": ts, "data": wire}
+        path = os.path.join(self._partition_dir(ts), _SEGMENT_FILES[kind])
+        with open(path, "a") as handle:
+            json.dump(envelope, handle, sort_keys=True)
+            handle.write("\n")
+
+    # -- ingest ------------------------------------------------------------
+
+    def _index_outcome(
+        self, cur: sqlite3.Cursor, outcome: SessionOutcome, when: float
+    ) -> None:
+        counter = _rows_counter()
+        cur.execute(
+            "INSERT INTO outcomes (ts, scenario, profile, impairment,"
+            " seed, duration_s, n_windows, n_detected_windows,"
+            " degradation_events_per_min)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                when,
+                outcome.scenario,
+                outcome.profile,
+                outcome.impairment,
+                str(outcome.seed),
+                outcome.duration_s,
+                outcome.n_windows,
+                outcome.n_detected_windows,
+                outcome.degradation_events_per_min,
+            ),
+        )
+        outcome_id = cur.lastrowid
+        counter.inc(table="outcomes")
+        episode_rows = [
+            (outcome_id, when, kind, name, float(count))
+            for kind, counts in (
+                ("chain", outcome.chain_counts),
+                ("cause", outcome.cause_counts),
+                ("consequence", outcome.consequence_counts),
+            )
+            for name, count in counts.items()
+        ]
+        cur.executemany(
+            "INSERT INTO episodes (outcome_id, ts, kind, name, count)"
+            " VALUES (?, ?, ?, ?, ?)",
+            episode_rows,
+        )
+        counter.inc(len(episode_rows), table="episodes")
+        qoe_rows = [
+            (outcome_id, when, metric, float(value))
+            for metric, value in outcome.qoe.items()
+        ]
+        cur.executemany(
+            "INSERT INTO qoe_samples (outcome_id, ts, metric, value)"
+            " VALUES (?, ?, ?, ?)",
+            qoe_rows,
+        )
+        counter.inc(len(qoe_rows), table="qoe_samples")
+
+    def ingest_outcomes(
+        self,
+        outcomes: Iterable[SessionOutcome],
+        *,
+        ts: Optional[float] = None,
+    ) -> int:
+        """Ingest session outcomes stamped at *ts* (default: now).
+
+        Campaign outcomes carry no wall-clock of their own — the ingest
+        time is the store's time axis, and pinning it makes partition
+        assignment and windowed queries deterministic in tests.
+        """
+        when = time.time() if ts is None else float(ts)
+        cur = self._conn.cursor()
+        n = 0
+        for outcome in outcomes:
+            self._append("session_outcome", when, outcome.to_json())
+            self._index_outcome(cur, outcome, when)
+            n += 1
+        self._conn.commit()
+        return n
+
+    def ingest_outcomes_file(
+        self,
+        path: str,
+        *,
+        ts: Optional[float] = None,
+        tolerant: bool = False,
+    ) -> Dict[str, int]:
+        """Ingest a ``fleet run`` outcomes JSONL, fleet-report semantics.
+
+        Tolerant mode streams every intact outcome and counts damage in
+        the returned stats (``skipped_lines`` / ``missing_outcomes``);
+        strict mode raises on the first undecodable record.  A major
+        schema mismatch in the fleet header raises
+        :class:`~repro.errors.SchemaVersionError` in both modes.
+        """
+        stats: Dict[str, int] = {}
+        ingested = self.ingest_outcomes(
+            iter_outcomes(path, tolerant=tolerant, stats=stats), ts=ts
+        )
+        stats["ingested"] = ingested
+        return stats
+
+    def _index_snapshot(
+        self, cur: sqlite3.Cursor, snapshot: FleetSnapshot, when: float
+    ) -> None:
+        counter = _rows_counter()
+        cur.execute(
+            "INSERT INTO snapshots (ts, seq, n_sessions, n_running,"
+            " windows, detected_windows, degradation_events_per_min)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                when,
+                snapshot.seq,
+                snapshot.n_sessions,
+                snapshot.n_running,
+                snapshot.windows,
+                snapshot.detected_windows,
+                snapshot.degradation_events_per_min,
+            ),
+        )
+        counter.inc(table="snapshots")
+        chain_rows = [
+            (when, chain, float(total))
+            for chain, total in snapshot.chain_totals.items()
+        ]
+        cur.executemany(
+            "INSERT INTO snapshot_chains (ts, chain, total) VALUES (?, ?, ?)",
+            chain_rows,
+        )
+        counter.inc(len(chain_rows), table="snapshot_chains")
+
+    def ingest_snapshot(
+        self, snapshot: FleetSnapshot, *, ts: Optional[float] = None
+    ) -> None:
+        """Tee one fleet snapshot into the store (live/coordinator path)."""
+        when = time.time() if ts is None else float(ts)
+        self._append("fleet_snapshot", when, snapshot.to_json())
+        self._index_snapshot(self._conn.cursor(), snapshot, when)
+        self._conn.commit()
+
+    def _index_metric_sample(
+        self, cur: sqlite3.Cursor, sample: MetricSample
+    ) -> None:
+        cur.execute(
+            "INSERT INTO metric_samples (ts, name, labels, value)"
+            " VALUES (?, ?, ?, ?)",
+            (
+                sample.ts,
+                sample.name,
+                json.dumps(sample.labels, sort_keys=True),
+                sample.value,
+            ),
+        )
+        _rows_counter().inc(table="metric_samples")
+
+    def ingest_metric_samples(
+        self, samples: Iterable[MetricSample]
+    ) -> int:
+        cur = self._conn.cursor()
+        n = 0
+        for sample in samples:
+            self._append("metric_sample", sample.ts, sample.to_json())
+            self._index_metric_sample(cur, sample)
+            n += 1
+        self._conn.commit()
+        return n
+
+    def ingest_prom_text(
+        self, text: str, *, ts: Optional[float] = None
+    ) -> int:
+        """Ingest one Prometheus exposition snapshot (point-in-time)."""
+        when = time.time() if ts is None else float(ts)
+        return self.ingest_metric_samples(
+            MetricSample(ts=when, name=name, value=value, labels=labels)
+            for name, labels, value in obs.parse_prom_samples(text)
+        )
+
+    def _index_alert(self, cur: sqlite3.Cursor, event: AlertEvent) -> None:
+        cur.execute(
+            "INSERT INTO alerts (ts, rule, state, signal, value, threshold,"
+            " window_s, severity, message, labels)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                event.ts,
+                event.rule,
+                event.state,
+                event.signal,
+                event.value,
+                event.threshold,
+                event.window_s,
+                event.severity,
+                event.message,
+                json.dumps(event.labels, sort_keys=True),
+            ),
+        )
+        _rows_counter().inc(table="alerts")
+
+    def record_alert(self, event: AlertEvent) -> None:
+        self._append("alert_event", event.ts, event.to_json())
+        self._index_alert(self._conn.cursor(), event)
+        self._conn.commit()
+
+    # -- index maintenance -------------------------------------------------
+
+    def rows_total(self) -> Dict[str, int]:
+        """Row count per index table (the ``store query --totals`` view)."""
+        out: Dict[str, int] = {}
+        for table in _TABLES:
+            row = self._conn.execute(
+                f"SELECT COUNT(*) FROM {table}"
+            ).fetchone()
+            out[table] = int(row[0])
+        return out
+
+    def _partitions(self) -> List[Tuple[int, str]]:
+        seg_root = os.path.join(self.root, "segments")
+        found: List[Tuple[int, str]] = []
+        if not os.path.isdir(seg_root):
+            return found
+        for entry in os.listdir(seg_root):
+            if entry.startswith("p"):
+                try:
+                    pid = int(entry[1:])
+                except ValueError:
+                    continue
+                found.append((pid, os.path.join(seg_root, entry)))
+        return sorted(found)
+
+    def reindex(self) -> Dict[str, int]:
+        """Rebuild the sqlite index from the JSONL segments alone.
+
+        The recovery path for a lost or corrupt ``index.sqlite``: every
+        envelope decodes back through its schema codec, so a segment
+        written by a newer major schema fails loudly here rather than
+        producing a silently wrong index.
+        """
+        from repro.schema import check_schema_version, from_wire
+
+        cur = self._conn.cursor()
+        for table in _TABLES:
+            cur.execute(f"DELETE FROM {table}")
+        self._conn.commit()
+        counts = {"outcomes": 0, "snapshots": 0, "metrics": 0, "alerts": 0}
+        for pid, pdir in self._partitions():
+            base_ts = pid * self.manifest.partition_s
+            for kind, filename in _SEGMENT_FILES.items():
+                path = os.path.join(pdir, filename)
+                if not os.path.exists(path):
+                    continue
+                with open(path) as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        envelope = json.loads(line)
+                        check_schema_version(
+                            envelope.get("v"), where=f"{path} (envelope)"
+                        )
+                        obj = from_wire(kind, envelope["data"])
+                        when = float(envelope.get("ts", base_ts))
+                        if kind == "session_outcome":
+                            self._index_outcome(cur, obj, when)
+                            counts["outcomes"] += 1
+                        elif kind == "fleet_snapshot":
+                            self._index_snapshot(cur, obj, when)
+                            counts["snapshots"] += 1
+                        elif kind == "metric_sample":
+                            self._index_metric_sample(cur, obj)
+                            counts["metrics"] += 1
+                        elif kind == "alert_event":
+                            self._index_alert(cur, obj)
+                            counts["alerts"] += 1
+        self._conn.commit()
+        return counts
+
+    # -- retention ---------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        total = 0
+        for _pid, pdir in self._partitions():
+            for name in os.listdir(pdir):
+                total += os.path.getsize(os.path.join(pdir, name))
+        return total
+
+    def compact(
+        self,
+        *,
+        max_age_s: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Bound the store: drop whole partitions, oldest first.
+
+        ``max_age_s`` removes every partition entirely older than the
+        cutoff; ``max_bytes`` then keeps dropping the oldest remaining
+        partition until segment bytes fit (the newest partition always
+        survives).  Index rows of dropped partitions are deleted in the
+        same pass, so queries and segments stay consistent.
+        """
+        when = time.time() if now is None else float(now)
+        partitions = self._partitions()
+        drop: List[Tuple[int, str]] = []
+        if max_age_s is not None:
+            cutoff_pid = self.partition_of(when - max_age_s)
+            while partitions and partitions[0][0] < cutoff_pid:
+                drop.append(partitions.pop(0))
+        if max_bytes is not None:
+
+            def psize(pdir: str) -> int:
+                return sum(
+                    os.path.getsize(os.path.join(pdir, name))
+                    for name in os.listdir(pdir)
+                )
+
+            total = sum(psize(pdir) for _pid, pdir in partitions)
+            while total > max_bytes and len(partitions) > 1:
+                pid, pdir = partitions.pop(0)
+                total -= psize(pdir)
+                drop.append((pid, pdir))
+        bytes_removed = 0
+        rows_deleted = 0
+        cur = self._conn.cursor()
+        for pid, pdir in drop:
+            lo = pid * self.manifest.partition_s
+            hi = lo + self.manifest.partition_s
+            for name in os.listdir(pdir):
+                path = os.path.join(pdir, name)
+                bytes_removed += os.path.getsize(path)
+                os.remove(path)
+            os.rmdir(pdir)
+            for table in _TABLES:
+                result = cur.execute(
+                    f"DELETE FROM {table} WHERE ts >= ? AND ts < ?",
+                    (lo, hi),
+                )
+                rows_deleted += result.rowcount
+        self._conn.commit()
+        if drop:
+            self._conn.execute("VACUUM")
+        return {
+            "partitions_removed": len(drop),
+            "bytes_removed": bytes_removed,
+            "rows_deleted": rows_deleted,
+        }
+
+
+__all__ = ["ROWS_METRIC", "RcaStore"]

@@ -212,3 +212,54 @@ def test_fleet_cache_dir_rerun_skips_simulation(tmp_path, capsys):
     warm_bytes, warm_elapsed = run("warm.jsonl")
     assert warm_bytes == cold_bytes
     assert warm_elapsed < cold_elapsed / 5  # cache hits, no simulation
+
+
+def test_sigterm_graceful_drain_flushes_metrics_file(tmp_path):
+    """SIGTERM must unwind main()'s finally and flush --metrics-file.
+
+    Runs the CLI as a real subprocess (signal dispositions are
+    per-process state): a follow-mode watch blocked waiting on a
+    snapshot that never appears is terminated mid-wait, and must still
+    exit 143 (128 + SIGTERM) with its final metrics snapshot on disk.
+    """
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    import repro
+    from repro.obs import parse_prom
+
+    src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    metrics_path = str(tmp_path / "final.prom")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "--metrics-file",
+            metrics_path,
+            "watch",
+            str(tmp_path / "never-written-snap.json"),
+            "--follow",
+            "--interval",
+            "0.2",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        time.sleep(1.5)  # let it start its poll loop
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+    assert code == 143
+    with open(metrics_path) as handle:
+        parse_prom(handle.read())  # flushed snapshot is parseable

@@ -29,7 +29,9 @@ from repro.obs import (
     is_enabled,
     iter_events,
     parse_prom,
+    parse_prom_samples,
     report_from_file,
+    sample_key,
     set_sink,
     span,
     summarize_events,
@@ -308,3 +310,53 @@ class TestExposition:
         assert all(
             not math.isinf(bound) for bound in DEFAULT_BUCKETS
         )  # +Inf is implicit
+
+    def test_label_values_with_backslash_and_quote_round_trip(self):
+        """parse_prom_samples is the true inverse of render_prom even
+        for label values containing ``\\`` and ``"``."""
+        registry = MetricsRegistry()
+        registry.counter("paths_total", help="Paths.").inc(
+            2, path="C:\\temp\\x", msg='say "hi"'
+        )
+        text = registry.render_prom()
+        ((name, labels, value),) = parse_prom_samples(text)
+        assert name == "paths_total"
+        assert labels == {"path": "C:\\temp\\x", "msg": 'say "hi"'}
+        assert value == 2
+        # Re-keying through the escaper reproduces the rendered line.
+        assert f"{sample_key(name, labels)} 2" in text.splitlines()
+        assert parse_prom(text)[sample_key(name, labels)] == 2
+
+    def test_escaped_labels_survive_render_parse_render(self):
+        """Render → parse → re-render is a fixed point on hostile
+        label values (the store's prom-ingest path relies on this)."""
+        registry = MetricsRegistry()
+        registry.gauge("g", help="G.").set(
+            1, a="back\\slash", b='quo"te', c="plain"
+        )
+        text = registry.render_prom()
+        rebuilt = MetricsRegistry()
+        for name, labels, value in parse_prom_samples(text):
+            rebuilt.gauge(name, help="G.").set(value, **labels)
+        assert rebuilt.render_prom() == text
+
+    def test_inf_histogram_bucket_survives_the_inverse(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "lat", help="L.", buckets=(0.1,)
+        )
+        histogram.observe(0.05, route="a\\b")
+        histogram.observe(5.0, route="a\\b")
+        text = registry.render_prom()
+        parsed = parse_prom(text)
+        key = sample_key("lat_bucket", {"route": "a\\b", "le": "+Inf"})
+        assert parsed[key] == 2
+        # And the sample form carries le="+Inf" through unharmed.
+        inf_rows = [
+            (name, labels, value)
+            for name, labels, value in parse_prom_samples(text)
+            if labels.get("le") == "+Inf"
+        ]
+        assert inf_rows == [
+            ("lat_bucket", {"route": "a\\b", "le": "+Inf"}, 2.0)
+        ]

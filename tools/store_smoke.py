@@ -1,0 +1,283 @@
+#!/usr/bin/env python3
+"""CI gate for the historical store + alert plane (exit 1 on failure).
+
+Four end-to-end assertions nothing unit-sized can cover:
+
+1. **The store is truthful.** A real fleet campaign run through the
+   CLI with ``--store`` must index exactly the outcomes the campaign's
+   Prometheus snapshot counted in
+   ``repro_scenarios_completed_total``.
+2. **The tee is inert.** The outcomes JSONL written with ``--store``
+   must be byte-identical to the same (cached) campaign without it.
+3. **Alerting is deterministic.** A seeded uplink-fade degradation
+   campaign must fire exactly the pushback-chain rule — calibrated to
+   the midpoint between the smoke window's measured rate and the
+   degraded window's — while the smoke window itself and a decoy rule
+   stay silent; the recorded transition must render an incident
+   report.
+4. **Queries are fast.** Top-k movers over a 100-scenario store must
+   answer in under 100 ms.
+
+Run from the repository root: ``PYTHONPATH=src python
+tools/store_smoke.py``.
+"""
+
+import sys
+import tempfile
+import time
+
+from repro import api, obs
+from repro.cli import main as cli_main
+from repro.fleet.executor import SessionOutcome
+from repro.fleet.scenarios import ImpairmentSpec, ScenarioMatrix
+from repro.store import StoreQuery, render_incident_report
+
+#: Disjoint 1 h comparison windows: [W, 2W) holds the smoke
+#: campaign, [2W, 3W) the seeded degradation campaign.
+WINDOW_S = 3600.0
+TS_SMOKE = 1.5 * WINDOW_S
+TS_DEGRADED = 2.5 * WINDOW_S
+
+#: Every chain terminating in a remote pushback consequence — the
+#: far end throttling because our uplink degraded, which is exactly
+#: what seeded uplink fades drive hardest.
+PUSHBACK_GLOB = "*remote_pushback_rate_down"
+
+#: Heavier, longer uplink fades than the smoke preset's ul_fade —
+#: the "seeded degradation" arm of the alert calibration.
+DEGRADED = ScenarioMatrix(
+    name="store_smoke_degraded",
+    profiles=("tmobile_fdd", "amarisoft"),
+    durations_s=(12.0,),
+    impairments=(
+        ImpairmentSpec(
+            name="ul_fade_heavy",
+            ul_fades=((2.0, 2.0, 25.0), (5.5, 2.0, 25.0), (9.0, 2.0, 25.0)),
+        ),
+    ),
+)
+
+MOVERS_BUDGET_S = 0.100
+MOVERS_SCENARIOS = 100
+
+
+def run_campaigns(tmp: str) -> list:
+    """Campaign + tee + metrics: checks 1 and 2."""
+    failures = []
+    metrics_path = f"{tmp}/metrics.prom"
+    teed_path = f"{tmp}/teed.jsonl"
+    plain_path = f"{tmp}/plain.jsonl"
+    cache_dir = f"{tmp}/cache"
+    obs.get_registry().reset()
+    status = cli_main(
+        [
+            "--metrics-file",
+            metrics_path,
+            "fleet",
+            "--preset",
+            "smoke",
+            "--workers",
+            "2",
+            "--cache-dir",
+            cache_dir,
+            "--out",
+            teed_path,
+            "--store",
+            f"{tmp}/store",
+            "--store-at",
+            str(TS_SMOKE),
+        ]
+    )
+    if status != 0:
+        return [f"fleet --store campaign exited {status}"]
+    # Same campaign, cache-hit, no tee: the outcome file must not care.
+    status = cli_main(
+        [
+            "fleet",
+            "--preset",
+            "smoke",
+            "--workers",
+            "2",
+            "--cache-dir",
+            cache_dir,
+            "--out",
+            plain_path,
+        ]
+    )
+    if status != 0:
+        return [f"fleet control campaign exited {status}"]
+    with open(teed_path, "rb") as fh:
+        teed = fh.read()
+    with open(plain_path, "rb") as fh:
+        plain = fh.read()
+    if teed != plain:
+        failures.append(
+            "outcome files differ with --store on vs off (the tee "
+            "must not touch detections)"
+        )
+    with open(metrics_path) as fh:
+        parsed = obs.parse_prom(fh.read())
+    want = parsed.get("repro_scenarios_completed_total")
+    with api.store_open(f"{tmp}/store", create=False) as store:
+        got = StoreQuery(store).outcome_count(WINDOW_S, 2 * WINDOW_S)
+    if want != float(got):
+        failures.append(
+            f"store indexed {got} outcomes but the campaign's own "
+            f"metrics counted repro_scenarios_completed_total={want}"
+        )
+    return failures
+
+
+def check_alerts(tmp: str) -> list:
+    """Seeded degradation fires exactly one calibrated rule: check 3."""
+    failures = []
+    degraded = api.campaign(DEGRADED, cache_dir=f"{tmp}/cache")
+    store = api.store_open(f"{tmp}/store", create=False)
+    try:
+        store.ingest_outcomes(degraded, ts=TS_DEGRADED)
+        query = api.store_query(store)
+        rate = {}
+        for label, lo in (("smoke", WINDOW_S), ("degraded", 2 * WINDOW_S)):
+            rows = query.rollup_episodes(
+                "chain",
+                since=lo,
+                until=lo + WINDOW_S,
+                match=PUSHBACK_GLOB,
+            )
+            rate[label] = sum(row["episodes_per_min"] for row in rows)
+        print(
+            f"pushback chain rate: smoke {rate['smoke']:.3f}/min, "
+            f"degraded {rate['degraded']:.3f}/min"
+        )
+        if rate["degraded"] <= rate["smoke"]:
+            return [
+                f"seeded degradation did not raise the pushback rate "
+                f"({rate['degraded']:.3f} <= {rate['smoke']:.3f}/min) — "
+                f"cannot calibrate the alert threshold"
+            ]
+        threshold = (rate["smoke"] + rate["degraded"]) / 2.0
+        rules_path = f"{tmp}/rules.toml"
+        with open(rules_path, "w") as fh:
+            fh.write(
+                f'[[rule]]\n'
+                f'name = "pushback-surge"\n'
+                f'signal = "chain_rate"\n'
+                f'match = "{PUSHBACK_GLOB}"\n'
+                f"threshold = {threshold}\n"
+                f"window_s = {WINDOW_S}\n"
+                f'severity = "page"\n\n'
+                f'[[rule]]\n'
+                f'name = "decoy-never-fires"\n'
+                f'signal = "chain_rate"\n'
+                f'match = "no_such_chain*"\n'
+                f"threshold = 0.001\n"
+                f"window_s = {WINDOW_S}\n"
+            )
+        engine = api.store_alerts(rules_path, store=store)
+        # Evaluations at 2W (trailing window = smoke, must stay
+        # silent) and 3W (trailing window = degraded, must fire).
+        events = engine.evaluate_range(
+            query,
+            since=WINDOW_S,
+            until=3 * WINDOW_S,
+            step_s=WINDOW_S,
+        )
+        transitions = [(e.rule, e.state, e.ts) for e in events]
+        if transitions != [("pushback-surge", "firing", 3 * WINDOW_S)]:
+            failures.append(
+                f"expected exactly [pushback-surge firing @ "
+                f"{3 * WINDOW_S:.0f}] (silent on the smoke window), "
+                f"got {transitions}"
+            )
+        if engine.firing != ["pushback-surge"]:
+            failures.append(
+                f"firing set at end is {engine.firing}, expected "
+                f"['pushback-surge']"
+            )
+        recorded = query.alerts(rule="pushback-surge", state="firing")
+        if not recorded:
+            failures.append("firing transition was not recorded durably")
+        else:
+            report = render_incident_report(events[0], query)
+            if "pushback-surge" not in report or "page" not in report:
+                failures.append("incident report lacks the alert facts")
+    finally:
+        store.close()
+    return failures
+
+
+def check_movers_latency(tmp: str) -> list:
+    """Top-k movers over a 100-scenario store in <100 ms: check 4."""
+    chains = [
+        f"cause_{i} --> mid_{i} --> local_pushback_rate_down"
+        for i in range(20)
+    ]
+    outcomes = []
+    for i in range(MOVERS_SCENARIOS):
+        outcomes.append(
+            SessionOutcome(
+                scenario=f"s{i}",
+                profile=f"profile_{i % 7}",
+                impairment="none" if i % 2 else "ul_fade",
+                seed=i,
+                duration_s=600.0,
+                n_windows=100,
+                n_detected_windows=10,
+                degradation_events_per_min=1.0,
+                chain_counts={
+                    chains[i % 20]: 1 + i % 5,
+                    chains[(i + 7) % 20]: 2,
+                },
+                cause_counts={f"cause_{i % 20}": 3.0},
+                consequence_counts={"local_pushback_rate_down": 5.0},
+                qoe={"ul_delay_p50_ms": 20.0 + i},
+                event_rates={},
+            )
+        )
+    with api.store_open(f"{tmp}/movers_store") as store:
+        store.ingest_outcomes(outcomes[:50], ts=500.0)
+        store.ingest_outcomes(outcomes[50:], ts=1500.0)
+        query = StoreQuery(store)
+        start = time.perf_counter()
+        movers = query.top_movers(
+            "chain",
+            window_a=(0.0, 1000.0),
+            window_b=(1000.0, 2000.0),
+            k=10,
+        )
+        elapsed = time.perf_counter() - start
+    print(
+        f"movers: top-{len(movers)} over {MOVERS_SCENARIOS} scenarios "
+        f"in {elapsed * 1e3:.1f} ms"
+    )
+    if not movers:
+        return ["top_movers returned nothing over a populated store"]
+    if elapsed > MOVERS_BUDGET_S:
+        return [
+            f"top-k movers took {elapsed * 1e3:.1f} ms over "
+            f"{MOVERS_SCENARIOS} scenarios — budget is "
+            f"{MOVERS_BUDGET_S * 1e3:.0f} ms"
+        ]
+    return []
+
+
+def main() -> int:
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        failures += run_campaigns(tmp)
+        if not failures:
+            failures += check_alerts(tmp)
+        failures += check_movers_latency(tmp)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        "store smoke: campaign tee, metric parity, calibrated alert, "
+        "and movers latency all OK"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
