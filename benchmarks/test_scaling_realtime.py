@@ -22,6 +22,7 @@ from conftest import RESULTS_DIR, save_result
 from repro.analysis.ascii import render_table
 from repro.core.detector import DetectorConfig, DominoDetector
 from repro.obs.metrics import get_registry
+from repro.obs.profile import SamplingProfiler
 from repro.obs.spans import SPAN_HISTOGRAM
 from repro.telemetry.records import TelemetryBundle
 from repro.telemetry.timeline import Timeline
@@ -127,11 +128,36 @@ def test_scaling_realtime_factor(benchmark, fdd_results):
         for name in ("ingest.from_bundle", "detect.features", "detect.trace")
     }
 
+    # The same breakdown from the sampling profiler: statistical CPU
+    # attribution by stack frame instead of span wall time, so the two
+    # views cross-check each other.  A few passes under a fast sampling
+    # interval give enough samples for stable fractions.
+    with SamplingProfiler(interval_s=0.002) as profiler:
+        for _ in range(5):
+            detector.analyze(sixty)
+    cpu_attribution = profiler.attribute(
+        {
+            "ingest": ("repro.telemetry.timeline:",),
+            "features": ("repro.core.features:",),
+            "trace": (
+                "repro.core.detector:_trace",
+                "repro.core.graph:",
+                "repro.core.chains:",
+                "repro.core.codegen:",
+            ),
+        }
+    )
+
     n_windows = max(len(batch_windows), 1)
     payload = {
         "benchmark": "scaling_realtime",
         "rows": json_rows,
         "phases_60s": phases_60s,
+        "profile_60s": {
+            "n_samples": profiler.n_samples,
+            "cpu_fraction": cpu_attribution,
+            "top10_self_fraction": profiler.top_fraction(10),
+        },
         "engines_60s": {
             "batch_analysis_s": json_rows[-1]["analysis_s"],
             "reference_analysis_s": reference_elapsed,

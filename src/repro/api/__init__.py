@@ -41,6 +41,7 @@ from repro.api.facade import (
     store_alerts,
     store_open,
     store_query,
+    store_trace,
     watch,
 )
 
@@ -91,5 +92,6 @@ __all__ = [
     "store_alerts",
     "store_open",
     "store_query",
+    "store_trace",
     "watch",
 ]

@@ -136,6 +136,11 @@ class ClusterBackend:
         worker_wait_s: bound the worker wait (``None`` = forever).
         on_listening: called with the bound ``(host, port)`` so callers
             can advertise an ephemeral port to workers.
+        store_dir: land the finished campaign's distributed-trace spans
+            (and periodic snapshots) in this historical store.
+        trace_campaigns: root a per-scenario distributed trace for the
+            campaign (on by default; off restores the exact pre-tracing
+            wire frames).
     """
 
     def __init__(
@@ -146,6 +151,8 @@ class ClusterBackend:
         min_workers: int = 1,
         worker_wait_s: Optional[float] = None,
         on_listening: Optional[Callable[[str, int], None]] = None,
+        store_dir: Optional[str] = None,
+        trace_campaigns: bool = True,
     ) -> None:
         if min_workers < 0:
             raise ConfigError("min_workers must be >= 0")
@@ -154,6 +161,8 @@ class ClusterBackend:
         self.min_workers = min_workers
         self.worker_wait_s = worker_wait_s
         self.on_listening = on_listening
+        self.store_dir = store_dir
+        self.trace_campaigns = trace_campaigns
 
     def run(
         self,
@@ -179,6 +188,8 @@ class ClusterBackend:
             min_workers=self.min_workers,
             worker_wait_s=self.worker_wait_s,
             on_listening=self.on_listening,
+            store_dir=self.store_dir,
+            trace_campaigns=self.trace_campaigns,
         )
 
 
@@ -218,6 +229,8 @@ class JournaledClusterBackend:
         campaign_id: Optional[str] = None,
         auth_token: Optional[str] = None,
         ssl_context: Optional[object] = None,
+        store_dir: Optional[str] = None,
+        trace_campaigns: bool = True,
     ) -> None:
         if min_workers < 0:
             raise ConfigError("min_workers must be >= 0")
@@ -230,6 +243,8 @@ class JournaledClusterBackend:
         self.campaign_id = campaign_id
         self.auth_token = auth_token
         self.ssl_context = ssl_context
+        self.store_dir = store_dir
+        self.trace_campaigns = trace_campaigns
 
     def run(
         self,
@@ -257,6 +272,8 @@ class JournaledClusterBackend:
             campaign_id=self.campaign_id,
             auth_token=self.auth_token,
             ssl_context=self.ssl_context,
+            store_dir=self.store_dir,
+            trace_campaigns=self.trace_campaigns,
         )
 
 

@@ -286,6 +286,31 @@ def store_alerts(rules_path: Union[str, "os.PathLike[str]"], *, store=None):
     return AlertEngine(load_rules(os.fspath(rules_path)), store=store)
 
 
+def store_trace(
+    store,
+    campaign_id: Optional[str] = None,
+    *,
+    trace_id: Optional[str] = None,
+    render: bool = False,
+):
+    """A campaign's distributed trace from the historical store.
+
+    *store* is an open :class:`~repro.store.db.RcaStore` or a store
+    directory path.  Returns the matching
+    :class:`~repro.obs.trace.TraceSpan` list ordered for display, or —
+    with ``render=True`` — the ASCII timeline string
+    :func:`~repro.obs.trace.render_trace_timeline` produces (one
+    stitched tree per scenario trace, abandoned attempts marked).
+    """
+    query = store_query(store)
+    spans = query.trace_spans(campaign_id=campaign_id, trace_id=trace_id)
+    if not render:
+        return spans
+    from repro.obs.trace import render_trace_timeline
+
+    return render_trace_timeline(spans)
+
+
 __all__ = [
     "CampaignLike",
     "TraceLike",
@@ -298,5 +323,6 @@ __all__ = [
     "store_alerts",
     "store_open",
     "store_query",
+    "store_trace",
     "watch",
 ]

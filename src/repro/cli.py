@@ -40,6 +40,7 @@ from repro.datasets.runner import make_cellular_session, make_wired_session
 from repro.errors import (
     ClusterError,
     ConfigError,
+    ReproError,
     SchemaError,
     TelemetryError,
 )
@@ -188,6 +189,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             min_workers=args.min_workers,
             on_listening=listening,
             auth_token=_cluster_token(args),
+            store_dir=args.store,
         )
     elif dispatch == "cluster":
         backend = api.ClusterBackend(
@@ -195,6 +197,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             args.port,
             min_workers=args.min_workers,
             on_listening=listening,
+            store_dir=args.store,
         )
     else:
         backend = api.ProcessPoolBackend(args.workers)
@@ -1072,7 +1075,8 @@ def _cmd_store_reindex(args: argparse.Namespace) -> int:
             f"reindexed {counts['outcomes']} outcome(s), "
             f"{counts['snapshots']} snapshot(s), "
             f"{counts['metrics']} metric sample(s), "
-            f"{counts['alerts']} alert(s)"
+            f"{counts['alerts']} alert(s), "
+            f"{counts['trace_spans']} trace span(s)"
         )
     except (TelemetryError, SchemaError) as exc:
         logger.error("%s", exc)
@@ -1091,13 +1095,39 @@ def _cmd_codegen(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
-    from repro.obs import report_from_file
+    from repro.obs import report_from_files
 
     try:
-        print(report_from_file(args.events))
-    except (OSError, ValueError, SchemaError) as exc:
-        logger.error("%s: unreadable event log: %s", args.events, exc)
+        print(report_from_files(args.events))
+    except FileNotFoundError as exc:
+        logger.error("%s", exc)
         return 1
+    except (OSError, ValueError, SchemaError) as exc:
+        logger.error(
+            "%s: unreadable event log: %s", " ".join(args.events), exc
+        )
+        return 1
+    return 0
+
+
+def _cmd_obs_trace(args: argparse.Namespace) -> int:
+    from repro.api import store_trace
+    from repro.obs.trace import render_trace_timeline
+
+    try:
+        spans = store_trace(
+            args.store,
+            campaign_id=args.campaign_id,
+            trace_id=args.trace_id,
+        )
+    except (OSError, ReproError) as exc:
+        logger.error("%s: %s", args.store, exc)
+        return 1
+    if not spans:
+        selector = args.campaign_id or args.trace_id or "any"
+        print(f"no trace spans in {args.store} for {selector}")
+        return 1
+    print(render_trace_timeline(spans, width=args.width))
     return 0
 
 
@@ -1120,6 +1150,18 @@ def _add_cluster_client_args(parser: argparse.ArgumentParser) -> None:
         metavar="PEM",
         help="connect over TLS, trusting exactly this CA / self-signed "
         "coordinator certificate",
+    )
+
+
+def _add_profile_arg(parser: argparse.ArgumentParser) -> None:
+    """`--profile FILE`: sampling wall-clock profiler around the command."""
+    parser.add_argument(
+        "--profile",
+        dest="profile_out",
+        default=None,
+        metavar="FILE",
+        help="write a sampling wall-clock profile of this command as "
+        "collapsed stacks (flamegraph.pl / speedscope input)",
     )
 
 
@@ -1175,6 +1217,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--window", type=float, default=5.0)
     analyze.add_argument("--step", type=float, default=0.5)
     analyze.add_argument("--limit", type=int, default=20)
+    _add_profile_arg(analyze)
     analyze.set_defaults(fn=_cmd_analyze)
 
     report = sub.add_parser("report", help="QoE summary of a trace")
@@ -1256,7 +1299,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="also ingest the campaign's outcomes into the historical "
-        "store at DIR (created if missing; query with `repro store`)",
+        "store at DIR (created if missing; query with `repro store`); "
+        "with --dispatch cluster the campaign's distributed-trace "
+        "spans land there too (`repro obs trace`)",
     )
     fleet.add_argument(
         "--store-at",
@@ -1265,6 +1310,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="TS",
         help="store ingest timestamp, epoch seconds (default: now)",
     )
+    _add_profile_arg(fleet)
     fleet.set_defaults(fn=_cmd_fleet)
 
     fleet_report = sub.add_parser(
@@ -1354,6 +1400,7 @@ def build_parser() -> argparse.ArgumentParser:
         "DIR (created if missing)",
     )
     _add_cluster_client_args(live)
+    _add_profile_arg(live)
     live.set_defaults(fn=_cmd_live)
 
     watch = sub.add_parser(
@@ -1620,16 +1667,52 @@ def build_parser() -> argparse.ArgumentParser:
     cancel.set_defaults(fn=_cmd_cluster_cancel)
 
     obs = sub.add_parser(
-        "obs", help="observability: summarize span-event traces"
+        "obs",
+        help="observability: summarize span-event traces, render "
+        "distributed traces",
     )
     osub = obs.add_subparsers(dest="obs_command", required=True)
     obs_report = osub.add_parser(
         "report",
-        help="per-stage time breakdown of a JSONL span-event log "
-        "(written via --events-file)",
+        help="per-stage time breakdown of JSONL span-event logs "
+        "(written via --events-file); multiple paths/globs merge",
     )
-    obs_report.add_argument("events", help="JSONL span-event log")
+    obs_report.add_argument(
+        "events",
+        nargs="+",
+        help="JSONL span-event log(s); shell-style globs are expanded",
+    )
     obs_report.set_defaults(fn=_cmd_obs_report)
+
+    obs_trace = osub.add_parser(
+        "trace",
+        help="render a campaign's end-to-end distributed trace from a "
+        "historical store (one stitched timeline per scenario)",
+    )
+    obs_trace.add_argument(
+        "campaign_id",
+        nargs="?",
+        default=None,
+        help="campaign id (glob ok; default: every stored trace)",
+    )
+    obs_trace.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="historical store directory holding the trace spans",
+    )
+    obs_trace.add_argument(
+        "--trace-id",
+        default=None,
+        help="select one trace by id instead of by campaign",
+    )
+    obs_trace.add_argument(
+        "--width",
+        type=int,
+        default=48,
+        help="timeline bar width in characters (default 48)",
+    )
+    obs_trace.set_defaults(fn=_cmd_obs_trace)
 
     store = sub.add_parser(
         "store",
@@ -1874,7 +1957,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.metrics_file and getattr(args, "fn", None) is _cmd_live:
         args.live_metrics_file = args.metrics_file
     try:
-        return args.fn(args)
+        with obs.profile_to_file(getattr(args, "profile_out", None)):
+            return args.fn(args)
     finally:
         if sink is not None:
             obs.set_sink(previous_sink)

@@ -52,6 +52,8 @@ from repro.fleet.scenarios import ScenarioSpec
 from repro.live.aggregator import FleetSnapshot
 from repro.obs.logs import get_logger
 from repro.obs.metrics import get_registry
+from repro.obs.spans import get_trace_context
+from repro.obs.trace import TraceSpan
 from repro.cluster import protocol
 from repro.cluster.protocol import (
     ACK,
@@ -74,6 +76,19 @@ from repro.cluster.protocol import (
 )
 
 logger = get_logger(__name__)
+
+
+def _ambient_trace() -> Optional[dict]:
+    """The caller's active trace context as a wire dict, if any.
+
+    Attached to outgoing SUBMIT/FETCH/DETECTION frames so a client-side
+    trace can be joined to coordinator-side spans; ``None`` (and the
+    field's absence is fine for old coordinators) when no trace is
+    active.
+    """
+    ctx = get_trace_context()
+    to_wire = getattr(ctx, "to_wire", None)
+    return to_wire() if callable(to_wire) else None
 
 
 def _hello_extra(auth_token: Optional[str]) -> dict:
@@ -194,6 +209,9 @@ class DetectionForwarder:
             "chains": protocol.chains_to_json(chains),
             "watermark_us": watermark_us,
         }
+        trace = _ambient_trace()
+        if trace is not None:
+            payload["trace"] = trace
         while True:
             try:
                 self._queue.put_nowait(payload)
@@ -482,6 +500,7 @@ class CoordinatorControl:
                 "detector_config": protocol.detector_config_to_json(
                     detector_config
                 ),
+                "trace": _ambient_trace(),
             },
         )
         return str(reply["campaign_id"])
@@ -501,10 +520,23 @@ class CoordinatorControl:
         """Fetch a finished campaign's results.
 
         Returns ``{"state", "outcomes" (decoded SessionOutcomes),
-        "errors" (index → message)}``; raises :class:`ClusterError`
-        while the campaign is still running or when it is unknown.
+        "errors" (index → message), "trace_spans" (decoded
+        TraceSpans; empty against pre-tracing coordinators)}``; raises
+        :class:`ClusterError` while the campaign is still running or
+        when it is unknown.
         """
-        reply = await self._call(FETCH, {"campaign_id": campaign_id})
+        reply = await self._call(
+            FETCH,
+            {"campaign_id": campaign_id, "trace": _ambient_trace()},
+        )
+        spans = []
+        for data in reply.get("trace_spans", ()):
+            if not isinstance(data, dict):
+                continue
+            try:
+                spans.append(TraceSpan.from_json(data))
+            except Exception:
+                continue  # tolerate a foreign span shape
         return {
             "state": reply.get("state", "completed"),
             "outcomes": [
@@ -512,6 +544,7 @@ class CoordinatorControl:
                 for data in reply.get("outcomes", ())
             ],
             "errors": dict(reply.get("errors", {})),
+            "trace_spans": spans,
         }
 
     async def close(self) -> None:

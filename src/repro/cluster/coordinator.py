@@ -54,6 +54,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import ssl as ssl_module
+import time
 from collections import deque
 from typing import (
     Callable,
@@ -76,7 +77,8 @@ from repro.live.aggregator import FleetSnapshot, LiveAggregator
 from repro.live.supervisor import RUNNING, SessionSnapshot
 from repro.obs.logs import get_logger
 from repro.obs.metrics import get_registry
-from repro.obs.spans import span
+from repro.obs.spans import new_span_id, span
+from repro.obs.trace import ABANDONED, TraceContext, TraceSpan
 from repro.cluster import protocol
 from repro.cluster.journal import CampaignJournal, ReplayedCampaign, campaign_id_for
 from repro.cluster.protocol import (
@@ -176,6 +178,35 @@ class _Campaign:
         self.cancelled = False
         self.close_reason: Optional[str] = None
         self.done = asyncio.Event()
+        #: Per-scenario trace roots (``None`` when tracing is disabled).
+        #: Each scenario gets its own trace, tagged with the campaign id,
+        #: so a retried scenario lands in the same trace as its
+        #: abandoned first attempt.
+        self.traces: Optional[List[TraceContext]] = None
+        #: Collected spans — coordinator-built plus worker-streamed.
+        self.trace_spans: List[TraceSpan] = []
+        #: scenario index → (dispatch span id, sent ts, worker name) for
+        #: the dispatch currently in flight; popped when the outcome
+        #: settles or the worker dies (abandoned span).
+        self.dispatch_inflight: Dict[int, Tuple[str, float, str]] = {}
+        #: Indices whose queue-wait span was already recorded (requeues
+        #: do not get a second one; the abandoned dispatch covers them).
+        self.queue_span_done: Set[int] = set()
+        self.submitted_ts = 0.0
+        #: Trace id of the submitting client's ambient context (from the
+        #: SUBMIT frame's ``trace`` field), stamped onto queue spans so
+        #: a client-side trace can be joined to the campaign's traces.
+        self.client_trace_id = ""
+
+    def init_traces(self) -> None:
+        """Root one trace per scenario at submission time."""
+        self.submitted_ts = time.time()
+        self.traces = [
+            TraceContext.new(
+                campaign_id=self.campaign_id, scenario=spec.name
+            )
+            for spec in self.scenarios
+        ]
 
     def settled(self, index: int) -> bool:
         return self.outcomes[index] is not None or index in self.errors
@@ -247,6 +278,11 @@ class ClusterCoordinator:
             ``token`` field or the peer is refused with BYE.
         ssl_context: serve TLS on the listener (see
             :func:`~repro.cluster.protocol.server_ssl_context`).
+        trace_campaigns: root a distributed trace per scenario at
+            submission; DISPATCH frames carry the context, workers
+            stream their spans back on OUTCOME, and finished campaigns'
+            spans are ingested into ``store_dir`` (when set) for
+            ``repro obs trace``.
     """
 
     def __init__(
@@ -266,6 +302,7 @@ class ClusterCoordinator:
         journal_path: Optional[str] = None,
         auth_token: Optional[str] = None,
         ssl_context: Optional[ssl_module.SSLContext] = None,
+        trace_campaigns: bool = True,
     ) -> None:
         if live_backpressure not in ("block", "drop_oldest"):
             raise ConfigError(
@@ -290,6 +327,9 @@ class ClusterCoordinator:
         self.journal_path = journal_path
         self.auth_token = auth_token
         self.ssl_context = ssl_context
+        #: Root a per-scenario distributed trace for every campaign;
+        #: spans stream back on OUTCOME frames and land in the store.
+        self.trace_campaigns = trace_campaigns
 
         #: Central rollups: batch campaign outcomes and live detections.
         self.batch_aggregate = FleetAggregate()
@@ -446,6 +486,7 @@ class ClusterCoordinator:
         fail_fast: bool = False,
         detector_config: Optional[DetectorConfig] = None,
         on_progress: Optional[ProgressCallback] = None,
+        client_trace: Optional[dict] = None,
     ) -> str:
         """Queue a campaign; return its id immediately.
 
@@ -480,6 +521,12 @@ class ClusterCoordinator:
             config,
             on_progress,
         )
+        if self.trace_campaigns:
+            campaign.init_traces()
+            if isinstance(client_trace, dict):
+                campaign.client_trace_id = str(
+                    client_trace.get("trace_id", "")
+                )
         replayed = self._replayed.pop(cid, None)
         if replayed is not None:
             preloaded = campaign.preload(replayed)
@@ -671,7 +718,38 @@ class ClusterCoordinator:
         for outcome in campaign.outcomes:
             if outcome is not None:
                 self.batch_aggregate.update(outcome)
+        self._ingest_trace_spans(campaign)
         campaign.done.set()
+
+    def _ingest_trace_spans(self, campaign: _Campaign) -> None:
+        """Land a finished campaign's trace into the historical store."""
+        if self.store_dir is None or not campaign.trace_spans:
+            return
+        try:
+            if self._store is None:
+                from repro.store import RcaStore
+
+                self._store = RcaStore.open(self.store_dir)
+            self._store.ingest_trace_spans(
+                campaign.trace_spans, ts=time.time()
+            )
+        except Exception as exc:  # pragma: no cover - disk/store faults
+            logger.error(
+                "trace-span store ingest failed for campaign %s "
+                "(%s: %s); spans remain fetchable from history",
+                campaign.campaign_id,
+                type(exc).__name__,
+                exc,
+            )
+
+    def trace_spans_for(self, campaign_id: str) -> List[TraceSpan]:
+        """All collected spans for an active or recent campaign."""
+        campaign = self._campaigns.get(campaign_id) or self._history.get(
+            campaign_id
+        )
+        if campaign is None:
+            raise ClusterError(f"unknown campaign {campaign_id!r}")
+        return list(campaign.trace_spans)
 
     # -- connection handling ----------------------------------------------------
 
@@ -816,22 +894,54 @@ class ClusterCoordinator:
                     await self._work_available.wait()
             campaign, index = claimed
             spec = campaign.scenarios[index]
+            payload = {
+                "campaign": campaign.campaign_id,
+                "index": index,
+                "spec": protocol.spec_to_json(spec),
+                "detector_config": protocol.detector_config_to_json(
+                    campaign.detector_config
+                ),
+                "trace_dir": campaign.trace_dir,
+                "cache_dir": campaign.cache_dir,
+            }
+            if campaign.traces is not None:
+                # Old workers ignore the extra fields; old coordinators
+                # simply never send them — no protocol bump needed.
+                ctx = campaign.traces[index]
+                sent_ts = time.time()
+                dispatch_span_id = new_span_id()
+                if index not in campaign.queue_span_done:
+                    campaign.queue_span_done.add(index)
+                    queue_attrs = (
+                        {"client_trace_id": campaign.client_trace_id}
+                        if campaign.client_trace_id
+                        else {}
+                    )
+                    campaign.trace_spans.append(
+                        TraceSpan(
+                            trace_id=ctx.trace_id,
+                            span_id=new_span_id(),
+                            parent_span_id=ctx.span_id,
+                            name="cluster.queue",
+                            ts_s=campaign.submitted_ts,
+                            duration_s=sent_ts - campaign.submitted_ts,
+                            service="coordinator",
+                            campaign_id=campaign.campaign_id,
+                            scenario=spec.name,
+                            attrs=queue_attrs,
+                        )
+                    )
+                campaign.dispatch_inflight[index] = (
+                    dispatch_span_id,
+                    sent_ts,
+                    worker.name,
+                )
+                payload["trace"] = ctx.child(dispatch_span_id).to_wire()
+                payload["sent_ts"] = sent_ts
             with span(
                 "cluster.dispatch", scenario=spec.name, worker=worker.name
             ):
-                await worker.send(
-                    DISPATCH,
-                    {
-                        "campaign": campaign.campaign_id,
-                        "index": index,
-                        "spec": protocol.spec_to_json(spec),
-                        "detector_config": protocol.detector_config_to_json(
-                            campaign.detector_config
-                        ),
-                        "trace_dir": campaign.trace_dir,
-                        "cache_dir": campaign.cache_dir,
-                    },
-                )
+                await worker.send(DISPATCH, payload)
             get_registry().counter(
                 "repro_cluster_dispatches_total",
                 help="Scenario dispatches pushed to cluster workers.",
@@ -897,6 +1007,7 @@ class ClusterCoordinator:
             raise ClusterProtocolError(
                 f"OUTCOME for unknown campaign {cid!r}"
             )
+        recv_ts = time.time()
         error = payload.get("error")
         outcome = None
         if error is None:
@@ -923,6 +1034,8 @@ class ClusterCoordinator:
             self._journal_op("settle", cid, index, error=str(error))
         else:
             self._journal_op("settle", cid, index, outcome=outcome)
+        if campaign.traces is not None:
+            self._collect_trace(campaign, index, payload, error, recv_ts)
         # Only a requeued index can have a duplicate copy sitting in
         # pending (outcomes are deterministic, so whichever worker
         # answered first settles it); gating on the set keeps outcome
@@ -946,6 +1059,118 @@ class ClusterCoordinator:
         state = campaign.finished_state()
         if state is not None:
             await self._finalize(campaign, state)
+
+    def _collect_trace(
+        self,
+        campaign: _Campaign,
+        index: int,
+        payload: dict,
+        error: Optional[object],
+        recv_ts: float,
+    ) -> None:
+        """Fold one settling OUTCOME's trace material into the campaign.
+
+        Closes the in-flight dispatch span, derives the ``net.outcome``
+        network hop from the worker's send stamp, adopts the worker's
+        streamed spans, and stamps a settle span covering the
+        parse + journal work on this side.
+        """
+        assert campaign.traces is not None
+        ctx = campaign.traces[index]
+        scenario = campaign.scenarios[index].name
+        status = "error" if error is not None else "ok"
+        inflight = campaign.dispatch_inflight.pop(index, None)
+        if inflight is not None:
+            dispatch_span_id, sent_ts, worker_name = inflight
+            campaign.trace_spans.append(
+                TraceSpan(
+                    trace_id=ctx.trace_id,
+                    span_id=dispatch_span_id,
+                    parent_span_id=ctx.span_id,
+                    name="cluster.dispatch",
+                    ts_s=sent_ts,
+                    duration_s=recv_ts - sent_ts,
+                    service="coordinator",
+                    campaign_id=campaign.campaign_id,
+                    scenario=scenario,
+                    status=status,
+                    attrs={"worker": worker_name},
+                )
+            )
+        worker_sent = payload.get("sent_ts")
+        if (
+            isinstance(worker_sent, (int, float))
+            and not isinstance(worker_sent, bool)
+            and worker_sent <= recv_ts
+        ):
+            campaign.trace_spans.append(
+                TraceSpan(
+                    trace_id=ctx.trace_id,
+                    span_id=new_span_id(),
+                    parent_span_id=(
+                        inflight[0] if inflight is not None else ctx.span_id
+                    ),
+                    name="net.outcome",
+                    ts_s=float(worker_sent),
+                    duration_s=recv_ts - float(worker_sent),
+                    service="coordinator",
+                    campaign_id=campaign.campaign_id,
+                    scenario=scenario,
+                )
+            )
+        spans = payload.get("trace_spans")
+        if isinstance(spans, list):
+            for item in spans:
+                if not isinstance(item, dict):
+                    continue
+                try:
+                    campaign.trace_spans.append(TraceSpan.from_json(item))
+                except SchemaError:
+                    continue  # tolerate a foreign span shape
+        campaign.trace_spans.append(
+            TraceSpan(
+                trace_id=ctx.trace_id,
+                span_id=new_span_id(),
+                parent_span_id=ctx.span_id,
+                name="cluster.settle",
+                ts_s=recv_ts,
+                duration_s=time.time() - recv_ts,
+                service="coordinator",
+                campaign_id=campaign.campaign_id,
+                scenario=scenario,
+                status=status,
+            )
+        )
+
+    def _abandon_dispatch(self, campaign: _Campaign, index: int) -> None:
+        """Close a dead worker's dispatch span as abandoned.
+
+        The span stays in the trace — visible as a first attempt that
+        never settled — and the requeued dispatch opens a fresh span
+        under the same per-scenario trace.
+        """
+        if campaign.traces is None:
+            return
+        inflight = campaign.dispatch_inflight.pop(index, None)
+        if inflight is None:
+            return
+        dispatch_span_id, sent_ts, worker_name = inflight
+        ctx = campaign.traces[index]
+        campaign.trace_spans.append(
+            TraceSpan(
+                trace_id=ctx.trace_id,
+                span_id=dispatch_span_id,
+                parent_span_id=ctx.span_id,
+                name="cluster.dispatch",
+                ts_s=sent_ts,
+                duration_s=time.time() - sent_ts,
+                service="coordinator",
+                campaign_id=campaign.campaign_id,
+                scenario=campaign.scenarios[index].name,
+                status=ABANDONED,
+                attrs={"worker": worker_name},
+            )
+        )
 
     async def _drop_worker(self, worker: _WorkerConn) -> None:
         """Unregister a worker; requeue whatever it was running."""
@@ -978,6 +1203,7 @@ class ClusterCoordinator:
                     campaign.requeues += 1
                     self.requeues += 1
                     requeued_here += 1
+                    self._abandon_dispatch(campaign, index)
             worker.in_flight.clear()
             self._work_available.notify_all()
         if requeued_here:
@@ -1069,6 +1295,7 @@ class ClusterCoordinator:
                         detector_config=protocol.detector_config_from_json(
                             payload.get("detector_config")
                         ),
+                        client_trace=payload.get("trace"),
                     )
                     reply = {"ok": True, "campaign_id": cid}
                 elif frame.type == STATUS:
@@ -1105,7 +1332,7 @@ class ClusterCoordinator:
                     f"({campaign.n_done}/{len(campaign.scenarios)})"
                 ),
             }
-        return {
+        reply = {
             "ok": True,
             "state": campaign.close_reason or "completed",
             "outcomes": [
@@ -1118,6 +1345,13 @@ class ClusterCoordinator:
                 for index, error in campaign.errors.items()
             },
         }
+        if campaign.trace_spans:
+            # Old clients ignore the extra field; new clients can land
+            # the spans in a local store without coordinator-side disk.
+            reply["trace_spans"] = [
+                item.to_json() for item in campaign.trace_spans
+            ]
+        return reply
 
     # -- live plane: remote supervisors and watchers ----------------------------
 
@@ -1333,6 +1567,8 @@ def run_cluster_campaign(
     campaign_id: Optional[str] = None,
     auth_token: Optional[str] = None,
     ssl_context: Optional[ssl_module.SSLContext] = None,
+    store_dir: Optional[str] = None,
+    trace_campaigns: bool = True,
 ) -> List[SessionOutcome]:
     """Synchronous one-shot coordinator: serve one campaign, then stop.
 
@@ -1344,7 +1580,10 @@ def run_cluster_campaign(
     journal already settled everything, dispatch the remainder, and
     return outcomes in scenario order.  *on_listening* fires with the
     bound ``(host, port)`` so callers can advertise an ephemeral port
-    to workers.
+    to workers.  Each scenario runs under its own distributed trace
+    (disable with ``trace_campaigns=False``); with *store_dir* set the
+    finished campaign's spans land in that historical store for
+    ``repro obs trace``.
     """
 
     async def _run() -> List[SessionOutcome]:
@@ -1355,6 +1594,8 @@ def run_cluster_campaign(
             journal_path=journal_path,
             auth_token=auth_token,
             ssl_context=ssl_context,
+            store_dir=store_dir,
+            trace_campaigns=trace_campaigns,
         )
         await coordinator.start()
         try:

@@ -35,14 +35,16 @@ import functools
 import multiprocessing
 import random
 import ssl as ssl_module
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Optional, Set
+from typing import List, Optional, Set
 
 from repro.errors import ClusterError, ClusterProtocolError, ConfigError
-from repro.fleet.executor import run_scenario
+from repro.fleet.executor import run_scenario, run_scenario_traced
 from repro.obs.logs import get_logger
 from repro.obs.metrics import get_registry
-from repro.obs.spans import span
+from repro.obs.spans import new_span_id, span
+from repro.obs.trace import TraceContext, TraceSpan
 from repro.cluster import protocol
 from repro.cluster.protocol import (
     BYE,
@@ -370,6 +372,31 @@ class ClusterWorker:
 
     async def _run_one(self, payload: dict) -> None:
         index = payload.get("index")
+        recv_ts = time.time()
+        # Trace context, when present, rides the DISPATCH frame as a
+        # plain dict (old coordinators simply never send one).  The
+        # worker contributes: a net.dispatch hop span (frame send →
+        # receipt), its own cluster.scenario span, and — via the
+        # executor seam — every span the pool child records.
+        ctx = TraceContext.from_wire(payload.get("trace"))
+        trace_spans: List[dict] = []
+        scenario_span_id = new_span_id() if ctx is not None else ""
+        if ctx is not None:
+            sent_ts = payload.get("sent_ts")
+            if isinstance(sent_ts, (int, float)) and sent_ts <= recv_ts:
+                trace_spans.append(
+                    TraceSpan(
+                        trace_id=ctx.trace_id,
+                        span_id=new_span_id(),
+                        parent_span_id=ctx.span_id,
+                        name="net.dispatch",
+                        service="worker",
+                        ts_s=float(sent_ts),
+                        duration_s=recv_ts - float(sent_ts),
+                        campaign_id=ctx.campaign_id,
+                        scenario=ctx.scenario,
+                    ).to_json()
+                )
         try:
             spec = protocol.spec_from_json(payload["spec"])
             config = protocol.detector_config_from_json(
@@ -377,16 +404,43 @@ class ClusterWorker:
             )
             loop = asyncio.get_running_loop()
             with span("cluster.scenario", scenario=spec.name):
-                outcome = await loop.run_in_executor(
-                    self._pool,
-                    functools.partial(
-                        run_scenario,
-                        spec,
-                        config,
-                        self.trace_dir or payload.get("trace_dir"),
-                        self.cache_dir or payload.get("cache_dir"),
-                    ),
-                )
+                if ctx is None:
+                    outcome = await loop.run_in_executor(
+                        self._pool,
+                        functools.partial(
+                            run_scenario,
+                            spec,
+                            config,
+                            self.trace_dir or payload.get("trace_dir"),
+                            self.cache_dir or payload.get("cache_dir"),
+                        ),
+                    )
+                else:
+                    outcome, child_spans = await loop.run_in_executor(
+                        self._pool,
+                        functools.partial(
+                            run_scenario_traced,
+                            spec,
+                            config,
+                            self.trace_dir or payload.get("trace_dir"),
+                            self.cache_dir or payload.get("cache_dir"),
+                            ctx.child(scenario_span_id).to_wire(),
+                        ),
+                    )
+                    trace_spans.extend(child_spans)
+                    trace_spans.append(
+                        TraceSpan(
+                            trace_id=ctx.trace_id,
+                            span_id=scenario_span_id,
+                            parent_span_id=ctx.span_id,
+                            name="cluster.scenario",
+                            service="worker",
+                            ts_s=recv_ts,
+                            duration_s=time.time() - recv_ts,
+                            campaign_id=ctx.campaign_id,
+                            scenario=ctx.scenario,
+                        ).to_json()
+                    )
         except asyncio.CancelledError:
             raise
         except BaseException as exc:
@@ -408,6 +462,22 @@ class ClusterWorker:
                 "repro_cluster_scenario_errors_total",
                 help="Dispatched scenarios that raised on this worker.",
             ).inc()
+            if ctx is not None:
+                trace_spans.append(
+                    TraceSpan(
+                        trace_id=ctx.trace_id,
+                        span_id=scenario_span_id,
+                        parent_span_id=ctx.span_id,
+                        name="cluster.scenario",
+                        service="worker",
+                        ts_s=recv_ts,
+                        duration_s=time.time() - recv_ts,
+                        campaign_id=ctx.campaign_id,
+                        scenario=ctx.scenario,
+                        status="error",
+                        attrs={"error": type(exc).__name__},
+                    ).to_json()
+                )
             try:
                 await self._send(
                     OUTCOME,
@@ -415,6 +485,8 @@ class ClusterWorker:
                         "campaign": payload.get("campaign"),
                         "index": index,
                         "error": f"{type(exc).__name__}: {exc}",
+                        "trace_spans": trace_spans,
+                        "sent_ts": time.time(),
                     },
                 )
             except (ConnectionError, ClusterError, OSError):
@@ -428,6 +500,8 @@ class ClusterWorker:
                     "campaign": payload.get("campaign"),
                     "index": index,
                     "outcome": outcome.to_json(),
+                    "trace_spans": trace_spans,
+                    "sent_ts": time.time(),
                 },
             )
         except (ConnectionError, ClusterError, OSError):

@@ -226,6 +226,51 @@ def run_scenario(
         return outcome
 
 
+def run_scenario_traced(
+    spec: ScenarioSpec,
+    detector_config: Optional[DetectorConfig] = None,
+    trace_dir: Optional[str] = None,
+    cache_dir: Optional[str] = None,
+    trace: Optional[dict] = None,
+    service: str = "worker",
+):
+    """:func:`run_scenario` under a propagated distributed-trace context.
+
+    The executor seam tracing rides into process-pool children: spawn-
+    context workers inherit nothing, so the trace context travels as the
+    *trace* wire dict (see
+    :meth:`repro.obs.trace.TraceContext.to_wire`) pickled with the call.
+    Installs the context plus a :class:`~repro.obs.trace.TraceCollector`
+    (teeing to any sink already present) for the scenario's duration and
+    returns ``(outcome, spans)`` where *spans* is the list of collected
+    span wire dicts — the payload the cluster worker attaches to its
+    OUTCOME frame.  With *trace* None this is exactly
+    :func:`run_scenario` plus an empty span list, so detections stay
+    byte-identical either way.
+    """
+    from repro.obs.spans import set_sink
+    from repro.obs.trace import TraceCollector, TraceContext, trace_scope
+
+    ctx = TraceContext.from_wire(trace)
+    if ctx is None:
+        return run_scenario(spec, detector_config, trace_dir, cache_dir), []
+    collector = TraceCollector(
+        service=service,
+        campaign_id=ctx.campaign_id,
+        scenario=ctx.scenario or spec.name,
+        tee=None,
+    )
+    collector.tee = set_sink(collector)
+    try:
+        with trace_scope(ctx):
+            outcome = run_scenario(
+                spec, detector_config, trace_dir, cache_dir
+            )
+    finally:
+        set_sink(collector.tee)
+    return outcome, [item.to_json() for item in collector.spans]
+
+
 def run_campaign(
     scenarios: Sequence[ScenarioSpec],
     workers: int = 1,
@@ -465,6 +510,7 @@ __all__ = [
     "load_outcomes",
     "run_campaign",
     "run_scenario",
+    "run_scenario_traced",
     "save_outcomes",
     "scenario_fingerprint",
 ]

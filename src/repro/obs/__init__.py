@@ -11,6 +11,12 @@ Three layers, all process-local and always importable:
   trace.
 - **Reports** (:mod:`repro.obs.report`): ``repro obs report`` turns a
   trace file into a per-stage time breakdown.
+- **Distributed tracing** (:mod:`repro.obs.trace`): per-scenario
+  trace contexts propagated across the cluster wire, collected as
+  :class:`TraceSpan` records, and rendered as end-to-end timelines.
+- **Profiling** (:mod:`repro.obs.profile`): a sampling wall-clock
+  profiler with collapsed-stack (flamegraph) output behind the CLI
+  ``--profile`` flag.
 
 The package deliberately imports nothing outside the stdlib at module
 level (events/metrics/spans/logs are leaves), so any subsystem can
@@ -31,10 +37,13 @@ from repro.obs.metrics import (
     sample_key,
     write_metrics_file,
 )
+from repro.obs.profile import SamplingProfiler, profile_to_file
 from repro.obs.report import (
     StageSummary,
+    expand_event_paths,
     render_obs_report,
     report_from_file,
+    report_from_files,
     summarize_events,
 )
 from repro.obs.spans import (
@@ -46,13 +55,30 @@ from repro.obs.spans import (
     disable,
     enable,
     get_sink,
+    get_trace_context,
     is_enabled,
+    new_span_id,
+    reset_trace_context,
     set_sink,
+    set_trace_context,
     span,
     span_quantile_s,
 )
+from repro.obs.trace import (
+    ABANDONED,
+    TraceCollector,
+    TraceContext,
+    TraceSpan,
+    assemble_traces,
+    make_span,
+    new_trace_id,
+    orphan_spans,
+    render_trace_timeline,
+    trace_scope,
+)
 
 __all__ = [
+    "ABANDONED",
     "DEFAULT_BUCKETS",
     "SPAN_HISTOGRAM",
     "Counter",
@@ -63,24 +89,41 @@ __all__ = [
     "ListSink",
     "MetricsRegistry",
     "ObsEvent",
+    "SamplingProfiler",
     "StageSummary",
+    "TraceCollector",
+    "TraceContext",
+    "TraceSpan",
+    "assemble_traces",
     "current_attrs",
     "disable",
     "enable",
+    "expand_event_paths",
     "get_logger",
     "get_registry",
     "get_sink",
+    "get_trace_context",
     "is_enabled",
     "iter_events",
+    "make_span",
+    "new_span_id",
+    "new_trace_id",
+    "orphan_spans",
     "parse_prom",
     "parse_prom_samples",
+    "profile_to_file",
     "render_obs_report",
-    "sample_key",
+    "render_trace_timeline",
     "report_from_file",
+    "report_from_files",
+    "reset_trace_context",
+    "sample_key",
     "set_sink",
+    "set_trace_context",
     "setup_logging",
     "span",
     "span_quantile_s",
     "summarize_events",
+    "trace_scope",
     "write_metrics_file",
 ]

@@ -26,6 +26,11 @@ class ObsEvent:
     ``path`` is the ``/``-joined ancestry including the span itself
     (e.g. ``fleet.scenario/detect.features``), which lets a report
     group self-time without re-deriving nesting from timestamps.
+
+    ``trace_id`` / ``span_id`` / ``parent_span_id`` are empty unless a
+    distributed trace context was active when the span closed (see
+    :mod:`repro.obs.trace`).  They are defaulted so pre-trace event
+    logs decode unchanged.
     """
 
     name: str
@@ -33,6 +38,9 @@ class ObsEvent:
     ts_s: float
     duration_s: float
     attrs: Dict[str, Any] = field(default_factory=dict)
+    trace_id: str = ""
+    span_id: str = ""
+    parent_span_id: str = ""
 
     def to_json(self) -> Dict[str, Any]:
         """Versioned wire form (lazy schema import to avoid a cycle)."""

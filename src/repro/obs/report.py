@@ -94,9 +94,63 @@ def report_from_file(path: str) -> str:
     return render_obs_report(summarize_events(iter_events(path)))
 
 
+def expand_event_paths(patterns: Iterable[str]) -> List[str]:
+    """Resolve event-log paths: literals kept, globs expanded, sorted.
+
+    A pattern containing ``*``/``?``/``[`` is glob-expanded (and it is
+    an error for it to match nothing — an operator typo should not
+    silently report on an empty set); plain paths pass through so a
+    missing literal file still raises ``FileNotFoundError`` at read
+    time with its own name.
+    """
+    import glob as _glob
+
+    paths: List[str] = []
+    for pattern in patterns:
+        if any(ch in pattern for ch in "*?["):
+            matches = sorted(_glob.glob(pattern))
+            if not matches:
+                raise FileNotFoundError(
+                    f"event-log glob matched nothing: {pattern!r}"
+                )
+            paths.extend(matches)
+        else:
+            paths.append(pattern)
+    # De-dup while keeping order: a glob and a literal may overlap.
+    seen = set()
+    unique = []
+    for path in paths:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def report_from_files(patterns: Iterable[str]) -> str:
+    """Merged report over many JSONL traces (paths and/or globs).
+
+    A cluster run writes one event log per process (coordinator plus N
+    workers); this merges them into one per-stage breakdown instead of
+    requiring N separate invocations.
+    """
+    paths = expand_event_paths(patterns)
+
+    def events() -> Iterable[ObsEvent]:
+        for path in paths:
+            for event in iter_events(path):
+                yield event
+
+    report = render_obs_report(summarize_events(events()))
+    if len(paths) > 1:
+        report = f"merged {len(paths)} event log(s)\n" + report
+    return report
+
+
 __all__ = [
     "StageSummary",
+    "expand_event_paths",
     "render_obs_report",
     "report_from_file",
+    "report_from_files",
     "summarize_events",
 ]

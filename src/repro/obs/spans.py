@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import contextvars
 import json
+import os
 import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
@@ -37,13 +38,48 @@ from repro.obs.metrics import get_registry
 #: Histogram every span observes into, labelled by span name.
 SPAN_HISTOGRAM = "repro_span_seconds"
 
-# (name, merged_attrs) per enclosing span, innermost last.
-_stack: contextvars.ContextVar[Tuple[Tuple[str, Dict[str, Any]], ...]] = (
-    contextvars.ContextVar("repro_obs_span_stack", default=())
+# (name, merged_attrs, span_id) per enclosing span, innermost last.
+# span_id is "" unless a distributed trace context is active.
+_stack: contextvars.ContextVar[
+    Tuple[Tuple[str, Dict[str, Any], str], ...]
+] = contextvars.ContextVar("repro_obs_span_stack", default=())
+
+# The ambient distributed-trace context (duck-typed: anything carrying
+# ``.trace_id`` / ``.span_id`` string attributes, normally a
+# ``repro.obs.trace.TraceContext``).  Lives here, not in trace.py,
+# because ``span()`` must read it on every close and spans.py cannot
+# import trace.py without a cycle.
+_trace: contextvars.ContextVar[Optional[Any]] = contextvars.ContextVar(
+    "repro_obs_trace_ctx", default=None
 )
 
 _enabled = True
 _sink: Optional["EventSink"] = None
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit hex span id (W3C traceparent span-id width)."""
+    return os.urandom(8).hex()
+
+
+def set_trace_context(ctx: Optional[Any]) -> "contextvars.Token":
+    """Install (or clear, with None) the ambient trace context.
+
+    Returns the contextvar token; pass it to
+    :func:`reset_trace_context` to restore the previous context.  The
+    context rides the same :mod:`contextvars` machinery as the span
+    stack, so concurrent asyncio tasks each see their own trace.
+    """
+    return _trace.set(ctx)
+
+
+def reset_trace_context(token: "contextvars.Token") -> None:
+    _trace.reset(token)
+
+
+def get_trace_context() -> Optional[Any]:
+    """The ambient trace context, or None when tracing is inactive."""
+    return _trace.get()
 
 
 def enable() -> None:
@@ -171,7 +207,8 @@ class span:
             merged.update(self.attrs)
         else:
             merged = dict(self.attrs)
-        self._token = _stack.set(stack + ((self.name, merged),))
+        span_id = "" if _trace.get() is None else new_span_id()
+        self._token = _stack.set(stack + ((self.name, merged, span_id),))
         self._ts = time.time()
         self._t0 = time.perf_counter()
         return self
@@ -188,11 +225,20 @@ class span:
         ).observe(duration, span=self.name)
         sink = _sink
         if sink is not None:
-            name, merged = stack[-1]
+            name, merged, span_id = stack[-1]
             path = "/".join(entry[0] for entry in stack)
             if exc_type is not None:
                 merged = dict(merged)
                 merged["error"] = exc_type.__name__
+            ctx = _trace.get()
+            if ctx is not None and span_id:
+                trace_id = ctx.trace_id
+                # Parent is the enclosing in-process span; a root-level
+                # span parents to the propagated remote context span.
+                parent = stack[-2][2] if len(stack) > 1 else ""
+                parent = parent or ctx.span_id
+            else:
+                trace_id = span_id = parent = ""
             sink.emit(
                 ObsEvent(
                     name=name,
@@ -200,6 +246,9 @@ class span:
                     ts_s=self._ts,
                     duration_s=duration,
                     attrs=merged,
+                    trace_id=trace_id,
+                    span_id=span_id,
+                    parent_span_id=parent,
                 )
             )
 
@@ -213,8 +262,12 @@ __all__ = [
     "disable",
     "enable",
     "get_sink",
+    "get_trace_context",
     "is_enabled",
+    "new_span_id",
+    "reset_trace_context",
     "set_sink",
+    "set_trace_context",
     "span",
     "span_quantile_s",
 ]

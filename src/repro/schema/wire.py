@@ -48,6 +48,7 @@ from repro.fleet.scenarios import ImpairmentSpec, ScenarioSpec
 from repro.live.aggregator import FleetSnapshot
 from repro.live.supervisor import SessionSnapshot
 from repro.obs.events import ObsEvent
+from repro.obs.trace import TraceSpan
 from repro.store.model import AlertEvent, MetricSample, StoreManifest
 
 #: Bump on any incompatible change to a canonical wire form.  Checked
@@ -377,6 +378,13 @@ _JOURNAL_RECORD = WireCodec(
     stamped=True,  # journal lines are durable artifacts: each carries the stamp
 )
 
+_TRACE_SPAN = WireCodec(
+    "trace_span",
+    TraceSpan,
+    _dataclass_fields(TraceSpan),
+    stamped=True,  # store segment lines are durable artifacts
+)
+
 
 def _labels_dict(raw: Any) -> Dict[str, str]:
     if not isinstance(raw, dict):
@@ -465,6 +473,7 @@ WIRE_CODECS: Dict[str, WireCodec] = {
         _FLEET_SNAPSHOT,
         _OBS_EVENT,
         _JOURNAL_RECORD,
+        _TRACE_SPAN,
         _STORE_MANIFEST,
         _METRIC_SAMPLE,
         _ALERT_EVENT,
@@ -622,6 +631,16 @@ def journal_record_from_wire(data: Any) -> JournalRecord:
     return _JOURNAL_RECORD.from_wire(data)
 
 
+def trace_span_to_wire(span: TraceSpan) -> dict:
+    """TraceSpan → stamped wire dict (store segment lines)."""
+    return _TRACE_SPAN.to_wire(span)
+
+
+def trace_span_from_wire(data: Any) -> TraceSpan:
+    """Decode a stored trace span, schema stamp validated."""
+    return _TRACE_SPAN.from_wire(data)
+
+
 def store_manifest_to_wire(manifest: StoreManifest) -> dict:
     """StoreManifest → stamped wire dict (the store's identity card)."""
     return _STORE_MANIFEST.to_wire(manifest)
@@ -736,6 +755,8 @@ __all__ = [
     "store_manifest_from_wire",
     "store_manifest_to_wire",
     "to_wire",
+    "trace_span_from_wire",
+    "trace_span_to_wire",
     "window_detection_from_wire",
     "window_detection_to_wire",
 ]

@@ -34,8 +34,10 @@ _EXPORTS = {
     "AlertEvent": "model",
     "MetricSample": "model",
     "StoreManifest": "model",
+    "INGEST_METRIC": "db",
     "ROWS_METRIC": "db",
     "RcaStore": "db",
+    "QUERY_METRIC": "query",
     "StoreQuery": "query",
     "AlertEngine": "alerts",
     "AlertRule": "alerts",

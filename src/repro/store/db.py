@@ -11,6 +11,7 @@ Layout of one store directory::
           snapshots.jsonl    # fleet_snapshot envelopes
           metrics.jsonl      # metric_sample envelopes
           alerts.jsonl       # alert_event envelopes
+          spans.jsonl        # trace_span envelopes
 
 The JSONL segments are the source of truth: append-only, one
 self-describing envelope per line (``{"kind", "v", "data"}`` where
@@ -34,6 +35,7 @@ import time
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro import obs
+from repro.obs.trace import TraceSpan
 from repro.errors import SchemaError, SchemaVersionError, TelemetryError
 from repro.fleet.executor import SessionOutcome, iter_outcomes
 from repro.live.aggregator import FleetSnapshot
@@ -47,11 +49,15 @@ from repro.store.model import (
 #: Counter of rows added to the sqlite index, labelled by table.
 ROWS_METRIC = "repro_store_rows_total"
 
+#: Histogram of store ingest calls, labelled by op.
+INGEST_METRIC = "repro_store_ingest_seconds"
+
 _SEGMENT_FILES = {
     "session_outcome": "outcomes.jsonl",
     "fleet_snapshot": "snapshots.jsonl",
     "metric_sample": "metrics.jsonl",
     "alert_event": "alerts.jsonl",
+    "trace_span": "spans.jsonl",
 }
 
 _DDL = """
@@ -118,6 +124,25 @@ CREATE TABLE IF NOT EXISTS metric_samples (
 CREATE INDEX IF NOT EXISTS idx_metric_samples
     ON metric_samples(name, ts);
 
+CREATE TABLE IF NOT EXISTS trace_spans (
+    ts REAL NOT NULL,  -- ingest stamp: the partition/retention axis
+    trace_id TEXT NOT NULL,
+    span_id TEXT NOT NULL,
+    parent_span_id TEXT NOT NULL,
+    name TEXT NOT NULL,
+    service TEXT NOT NULL,
+    campaign_id TEXT NOT NULL,
+    scenario TEXT NOT NULL,
+    status TEXT NOT NULL,
+    start_ts REAL NOT NULL,  -- the span's own wall clock
+    duration_s REAL NOT NULL,
+    attrs TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_trace_spans_campaign
+    ON trace_spans(campaign_id, ts);
+CREATE INDEX IF NOT EXISTS idx_trace_spans_trace
+    ON trace_spans(trace_id, start_ts);
+
 CREATE TABLE IF NOT EXISTS alerts (
     ts REAL NOT NULL,
     rule TEXT NOT NULL,
@@ -142,6 +167,7 @@ _TABLES = (
     "snapshot_chains",
     "metric_samples",
     "alerts",
+    "trace_spans",
 )
 
 
@@ -149,6 +175,30 @@ def _rows_counter() -> obs.Counter:
     return obs.get_registry().counter(
         ROWS_METRIC, "Rows added to the store index, by table."
     )
+
+
+def _ingest_histogram() -> obs.Histogram:
+    return obs.get_registry().histogram(
+        INGEST_METRIC, "Latency of store ingest calls, by op."
+    )
+
+
+class _timed_ingest:
+    """Time one ingest call into the store's ingest histogram."""
+
+    __slots__ = ("op", "_t0")
+
+    def __init__(self, op: str) -> None:
+        self.op = op
+
+    def __enter__(self) -> "_timed_ingest":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        _ingest_histogram().observe(
+            time.perf_counter() - self._t0, op=self.op
+        )
 
 
 class RcaStore:
@@ -301,13 +351,14 @@ class RcaStore:
         assignment and windowed queries deterministic in tests.
         """
         when = time.time() if ts is None else float(ts)
-        cur = self._conn.cursor()
-        n = 0
-        for outcome in outcomes:
-            self._append("session_outcome", when, outcome.to_json())
-            self._index_outcome(cur, outcome, when)
-            n += 1
-        self._conn.commit()
+        with _timed_ingest("outcomes"):
+            cur = self._conn.cursor()
+            n = 0
+            for outcome in outcomes:
+                self._append("session_outcome", when, outcome.to_json())
+                self._index_outcome(cur, outcome, when)
+                n += 1
+            self._conn.commit()
         return n
 
     def ingest_outcomes_file(
@@ -366,9 +417,10 @@ class RcaStore:
     ) -> None:
         """Tee one fleet snapshot into the store (live/coordinator path)."""
         when = time.time() if ts is None else float(ts)
-        self._append("fleet_snapshot", when, snapshot.to_json())
-        self._index_snapshot(self._conn.cursor(), snapshot, when)
-        self._conn.commit()
+        with _timed_ingest("snapshot"):
+            self._append("fleet_snapshot", when, snapshot.to_json())
+            self._index_snapshot(self._conn.cursor(), snapshot, when)
+            self._conn.commit()
 
     def _index_metric_sample(
         self, cur: sqlite3.Cursor, sample: MetricSample
@@ -388,13 +440,14 @@ class RcaStore:
     def ingest_metric_samples(
         self, samples: Iterable[MetricSample]
     ) -> int:
-        cur = self._conn.cursor()
-        n = 0
-        for sample in samples:
-            self._append("metric_sample", sample.ts, sample.to_json())
-            self._index_metric_sample(cur, sample)
-            n += 1
-        self._conn.commit()
+        with _timed_ingest("metrics"):
+            cur = self._conn.cursor()
+            n = 0
+            for sample in samples:
+                self._append("metric_sample", sample.ts, sample.to_json())
+                self._index_metric_sample(cur, sample)
+                n += 1
+            self._conn.commit()
         return n
 
     def ingest_prom_text(
@@ -428,9 +481,58 @@ class RcaStore:
         _rows_counter().inc(table="alerts")
 
     def record_alert(self, event: AlertEvent) -> None:
-        self._append("alert_event", event.ts, event.to_json())
-        self._index_alert(self._conn.cursor(), event)
-        self._conn.commit()
+        with _timed_ingest("alert"):
+            self._append("alert_event", event.ts, event.to_json())
+            self._index_alert(self._conn.cursor(), event)
+            self._conn.commit()
+
+    def _index_trace_span(
+        self, cur: sqlite3.Cursor, span: TraceSpan, when: float
+    ) -> None:
+        cur.execute(
+            "INSERT INTO trace_spans (ts, trace_id, span_id,"
+            " parent_span_id, name, service, campaign_id, scenario,"
+            " status, start_ts, duration_s, attrs)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                when,
+                span.trace_id,
+                span.span_id,
+                span.parent_span_id,
+                span.name,
+                span.service,
+                span.campaign_id,
+                span.scenario,
+                span.status,
+                span.ts_s,
+                span.duration_s,
+                json.dumps(span.attrs, sort_keys=True, default=str),
+            ),
+        )
+        _rows_counter().inc(table="trace_spans")
+
+    def ingest_trace_spans(
+        self,
+        spans: Iterable[TraceSpan],
+        *,
+        ts: Optional[float] = None,
+    ) -> int:
+        """Ingest distributed-trace spans stamped at *ts* (default: now).
+
+        Like outcomes, a whole campaign's spans land under one ingest
+        stamp so retention drops a campaign's trace atomically with its
+        partition; the span's own wall clock lives in ``start_ts``.
+        """
+        when = time.time() if ts is None else float(ts)
+        with _timed_ingest("trace_spans"):
+            cur = self._conn.cursor()
+            n = 0
+            for span in spans:
+                self._append("trace_span", when, span.to_json())
+                self._index_trace_span(cur, span, when)
+                n += 1
+            self._conn.commit()
+        return n
 
     # -- index maintenance -------------------------------------------------
 
@@ -472,7 +574,13 @@ class RcaStore:
         for table in _TABLES:
             cur.execute(f"DELETE FROM {table}")
         self._conn.commit()
-        counts = {"outcomes": 0, "snapshots": 0, "metrics": 0, "alerts": 0}
+        counts = {
+            "outcomes": 0,
+            "snapshots": 0,
+            "metrics": 0,
+            "alerts": 0,
+            "trace_spans": 0,
+        }
         for pid, pdir in self._partitions():
             base_ts = pid * self.manifest.partition_s
             for kind, filename in _SEGMENT_FILES.items():
@@ -502,6 +610,9 @@ class RcaStore:
                         elif kind == "alert_event":
                             self._index_alert(cur, obj)
                             counts["alerts"] += 1
+                        elif kind == "trace_span":
+                            self._index_trace_span(cur, obj, when)
+                            counts["trace_spans"] += 1
         self._conn.commit()
         return counts
 
@@ -576,4 +687,4 @@ class RcaStore:
         }
 
 
-__all__ = ["ROWS_METRIC", "RcaStore"]
+__all__ = ["INGEST_METRIC", "ROWS_METRIC", "RcaStore"]

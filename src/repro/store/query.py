@@ -15,16 +15,39 @@ pushback consequence.
 
 from __future__ import annotations
 
+import functools
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
+from repro.obs.trace import TraceSpan
 from repro.store.db import RcaStore
+
+#: Histogram of store query calls, labelled by op (the method name).
+QUERY_METRIC = "repro_store_query_seconds"
 
 _GLOB_CHARS = set("*?[")
 
 
 def _is_glob(pattern: str) -> bool:
     return any(ch in _GLOB_CHARS for ch in pattern)
+
+
+def _timed(fn: Callable) -> Callable:
+    """Record a query method's latency under its own ``op`` label."""
+
+    @functools.wraps(fn)
+    def wrapper(self: "StoreQuery", *args: object, **kwargs: object):
+        t0 = time.perf_counter()
+        try:
+            return fn(self, *args, **kwargs)
+        finally:
+            obs.get_registry().histogram(
+                QUERY_METRIC, "Latency of store query calls, by op."
+            ).observe(time.perf_counter() - t0, op=fn.__name__)
+
+    return wrapper
 
 
 def _percentile(values: Sequence[float], pct: float) -> float:
@@ -62,7 +85,13 @@ class StoreQuery:
         """(oldest, newest) ingest timestamp across all indexed rows."""
         lo: Optional[float] = None
         hi: Optional[float] = None
-        for table in ("outcomes", "snapshots", "metric_samples", "alerts"):
+        for table in (
+            "outcomes",
+            "snapshots",
+            "metric_samples",
+            "alerts",
+            "trace_spans",
+        ):
             row = self._conn.execute(
                 f"SELECT MIN(ts), MAX(ts) FROM {table}"
             ).fetchone()
@@ -71,6 +100,7 @@ class StoreQuery:
                 hi = row[1] if hi is None else max(hi, row[1])
         return lo, hi
 
+    @_timed
     def outcome_minutes(
         self,
         since: Optional[float] = None,
@@ -85,6 +115,7 @@ class StoreQuery:
         ).fetchone()
         return float(row[0]) / 60.0
 
+    @_timed
     def outcome_count(
         self,
         since: Optional[float] = None,
@@ -106,6 +137,7 @@ class StoreQuery:
 
     # -- rollups -----------------------------------------------------------
 
+    @_timed
     def rollup_episodes(
         self,
         kind: str = "chain",
@@ -147,6 +179,7 @@ class StoreQuery:
             for name, episodes in self._conn.execute(sql, args)
         ]
 
+    @_timed
     def rollup_outcomes(
         self,
         group_by: str = "profile",
@@ -185,6 +218,7 @@ class StoreQuery:
 
     # -- series ------------------------------------------------------------
 
+    @_timed
     def episode_rate_series(
         self,
         match: str = "*",
@@ -227,6 +261,7 @@ class StoreQuery:
             series.append((since + i * bucket_s, rate))
         return series
 
+    @_timed
     def qoe_trend(
         self,
         metric: str,
@@ -261,6 +296,7 @@ class StoreQuery:
             out.append(row)
         return out
 
+    @_timed
     def metric_series(
         self,
         name: str,
@@ -282,6 +318,7 @@ class StoreQuery:
 
     # -- movers ------------------------------------------------------------
 
+    @_timed
     def top_movers(
         self,
         kind: str = "chain",
@@ -337,6 +374,7 @@ class StoreQuery:
 
     # -- alerts ------------------------------------------------------------
 
+    @_timed
     def alerts(
         self,
         *,
@@ -388,5 +426,64 @@ class StoreQuery:
             ) in self._conn.execute(sql, args)
         ]
 
+    # -- traces ------------------------------------------------------------
 
-__all__ = ["StoreQuery"]
+    @_timed
+    def trace_spans(
+        self,
+        *,
+        campaign_id: Optional[str] = None,
+        trace_id: Optional[str] = None,
+        scenario: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> List[TraceSpan]:
+        """Stored distributed-trace spans, reconstructed and ordered.
+
+        Filters compose (``AND``); *campaign_id* / *trace_id* /
+        *scenario* accept globs.  Rows come back ordered by
+        ``(trace_id, start_ts)`` — ready for
+        :func:`repro.obs.trace.render_trace_timeline` — and the range
+        filter applies to the ingest axis like every other query.
+        """
+        import json as _json
+
+        where, params = self._range(since, until)
+        sql = (
+            f"SELECT trace_id, span_id, parent_span_id, name, service,"
+            f" campaign_id, scenario, status, start_ts, duration_s,"
+            f" attrs FROM trace_spans WHERE {where}"
+        )
+        args: List[object] = list(params)
+        for column, value in (
+            ("campaign_id", campaign_id),
+            ("trace_id", trace_id),
+            ("scenario", scenario),
+        ):
+            if value is not None:
+                sql += (
+                    f" AND {column} GLOB ?"
+                    if _is_glob(value)
+                    else f" AND {column} = ?"
+                )
+                args.append(value)
+        sql += " ORDER BY trace_id ASC, start_ts ASC, name ASC"
+        return [
+            TraceSpan(
+                trace_id=row[0],
+                span_id=row[1],
+                parent_span_id=row[2],
+                name=row[3],
+                service=row[4],
+                campaign_id=row[5],
+                scenario=row[6],
+                status=row[7],
+                ts_s=float(row[8]),
+                duration_s=float(row[9]),
+                attrs=_json.loads(row[10]),
+            )
+            for row in self._conn.execute(sql, args)
+        ]
+
+
+__all__ = ["QUERY_METRIC", "StoreQuery"]

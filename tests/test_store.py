@@ -282,6 +282,7 @@ class TestReindexAndRetention:
             "snapshots": 1,
             "metrics": 1,
             "alerts": 0,
+            "trace_spans": 0,
         }
         assert store.rows_total() == before
         # Queries answer identically from the rebuilt index.
