@@ -34,6 +34,7 @@ from repro.api.facade import (
     TraceLike,
     analyze,
     campaign,
+    causal_bench,
     expand_campaign,
     open_stream,
     read_snapshot,
@@ -85,6 +86,7 @@ __all__ = [
     "WindowDetection",
     "analyze",
     "campaign",
+    "causal_bench",
     "expand_campaign",
     "open_stream",
     "read_snapshot",

@@ -190,6 +190,57 @@ def campaign(
     return outcomes
 
 
+def causal_bench(
+    scenarios: Union[CampaignLike, Sequence[SessionOutcome]] = "adversarial",
+    *,
+    backend: Optional[ExecutionBackend] = None,
+    detector_config: Optional[DetectorConfig] = None,
+    cache_dir: Optional[str] = None,
+    fail_fast: bool = False,
+):
+    """Run a confounder campaign and score every detector's attributions.
+
+    *scenarios* is anything :func:`campaign` accepts (default: the
+    ``adversarial`` preset) — or an already-collected sequence of
+    :class:`~repro.fleet.executor.SessionOutcome`, in which case no
+    simulation runs and the outcomes are just scored.  Returns a
+    :class:`repro.causal.score.CausalReport`; render it with
+    :func:`repro.causal.score.render_leaderboard`.
+    """
+    from repro.causal.score import score_outcomes
+
+    if (
+        not isinstance(scenarios, str)
+        and isinstance(scenarios, Sequence)
+        and scenarios
+        and isinstance(scenarios[0], SessionOutcome)
+    ):
+        outcomes = list(scenarios)
+        label = "outcomes"
+    else:
+        label = scenarios if isinstance(scenarios, str) else "campaign"
+        outcomes = campaign(
+            scenarios,
+            backend=backend,
+            detector_config=detector_config,
+            cache_dir=cache_dir,
+            fail_fast=fail_fast,
+        )
+    with span("causal.bench", n_outcomes=len(outcomes)):
+        report = score_outcomes(outcomes, campaign=label)
+    # Same collection-point pattern as campaign(): workers have their
+    # own registries, so axis totals are counted from returned labels.
+    counter = get_registry().counter(
+        "repro_causal_scenarios_total",
+        help="Labelled causal-validation scenarios scored, per axis.",
+    )
+    for outcome in outcomes:
+        if outcome.ground_truth is not None:
+            for axis in outcome.ground_truth.axes or ("unlabelled",):
+                counter.inc(axis=axis)
+    return report
+
+
 def serve(
     sources: Sequence[TelemetrySource],
     config: Optional[DetectorConfig] = None,
@@ -316,6 +367,7 @@ __all__ = [
     "TraceLike",
     "analyze",
     "campaign",
+    "causal_bench",
     "expand_campaign",
     "open_stream",
     "read_snapshot",

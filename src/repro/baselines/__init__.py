@@ -14,17 +14,30 @@ what the causal-chain approach adds:
   metric as the root cause.
 * :mod:`repro.baselines.single_layer` — all Table 5 event detectors as
   independent alerts with no chaining (alert-volume comparison).
+* :mod:`repro.baselines.causal` — lag-aware Granger precedence and a
+  PCMCI-style conditional-independence baseline; the causal rungs the
+  ``repro causal bench`` leaderboard scores against ground truth.
 """
 
 from repro.baselines.app_only import AppOnlyDetector, AppOnlyReport
+from repro.baselines.causal import (
+    CausalResult,
+    GrangerRca,
+    PcmciRca,
+    cause_label_for_series,
+)
 from repro.baselines.correlation import CorrelationRca, CorrelationResult
 from repro.baselines.single_layer import SingleLayerAlerts, AlertReport
 
 __all__ = [
     "AppOnlyDetector",
     "AppOnlyReport",
+    "CausalResult",
     "CorrelationRca",
     "CorrelationResult",
+    "GrangerRca",
+    "PcmciRca",
     "SingleLayerAlerts",
     "AlertReport",
+    "cause_label_for_series",
 ]

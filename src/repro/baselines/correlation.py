@@ -60,6 +60,46 @@ def _lagged_correlation(
     return best
 
 
+def cause_series(timeline: Timeline) -> Dict[str, np.ndarray]:
+    """5G-layer candidate-cause series, keyed ``{direction}_{metric}``.
+
+    Shared by every statistical baseline (correlation, Granger, PCMCI)
+    so they all reason over the same candidate set.
+    """
+    out: Dict[str, np.ndarray] = {}
+    for direction in ("ul", "dl"):
+        for name in _CAUSE_SERIES:
+            if name == "mcs_deficit":
+                mcs = timeline[f"{direction}_mcs_mean"]
+                values = np.maximum(0.0, 15.0 - np.nan_to_num(mcs, nan=15.0))
+            elif f"{direction}_{name}" in timeline:
+                values = timeline[f"{direction}_{name}"]
+            else:
+                continue
+            out[f"{direction}_{name}"] = values
+    out["rrc_events"] = timeline["rrc_events"]
+    return out
+
+
+def consequence_series(timeline: Timeline) -> Dict[str, np.ndarray]:
+    """App-layer consequence indicator series, per client role."""
+    out: Dict[str, np.ndarray] = {}
+    for role in ("local", "remote"):
+        jb = timeline[f"{role}_video_jitter_buffer_ms"]
+        out[f"{role}_jitter_buffer_drain"] = (
+            np.nan_to_num(jb, nan=np.inf) <= 0.5
+        ).astype(float)
+        target = np.nan_to_num(timeline[f"{role}_target_bitrate_bps"])
+        drop = np.zeros_like(target)
+        drop[1:] = np.maximum(0.0, target[:-1] - target[1:])
+        out[f"{role}_target_bitrate_down"] = drop
+        pushback = np.nan_to_num(timeline[f"{role}_pushback_bitrate_bps"])
+        pdrop = np.zeros_like(pushback)
+        pdrop[1:] = np.maximum(0.0, pushback[:-1] - pushback[1:])
+        out[f"{role}_pushback_rate_down"] = pdrop
+    return out
+
+
 @dataclass
 class CorrelationResult:
     """Ranked cause attribution for one consequence indicator."""
@@ -84,38 +124,10 @@ class CorrelationRca:
         self.dt_us = dt_us
 
     def _cause_series(self, timeline: Timeline) -> Dict[str, np.ndarray]:
-        out: Dict[str, np.ndarray] = {}
-        for direction in ("ul", "dl"):
-            for name in _CAUSE_SERIES:
-                if name == "mcs_deficit":
-                    mcs = timeline[f"{direction}_mcs_mean"]
-                    values = np.maximum(0.0, 15.0 - np.nan_to_num(mcs, nan=15.0))
-                elif f"{direction}_{name}" in timeline:
-                    values = timeline[f"{direction}_{name}"]
-                else:
-                    continue
-                out[f"{direction}_{name}"] = values
-        out["rrc_events"] = timeline["rrc_events"]
-        return out
+        return cause_series(timeline)
 
     def _consequence_series(self, timeline: Timeline) -> Dict[str, np.ndarray]:
-        out: Dict[str, np.ndarray] = {}
-        for role in ("local", "remote"):
-            jb = timeline[f"{role}_video_jitter_buffer_ms"]
-            out[f"{role}_jitter_buffer_drain"] = (
-                np.nan_to_num(jb, nan=np.inf) <= 0.5
-            ).astype(float)
-            target = np.nan_to_num(timeline[f"{role}_target_bitrate_bps"])
-            drop = np.zeros_like(target)
-            drop[1:] = np.maximum(0.0, target[:-1] - target[1:])
-            out[f"{role}_target_bitrate_down"] = drop
-            pushback = np.nan_to_num(
-                timeline[f"{role}_pushback_bitrate_bps"]
-            )
-            pdrop = np.zeros_like(pushback)
-            pdrop[1:] = np.maximum(0.0, pushback[:-1] - pushback[1:])
-            out[f"{role}_pushback_rate_down"] = pdrop
-        return out
+        return consequence_series(timeline)
 
     def analyze(self, bundle: TelemetryBundle) -> List[CorrelationResult]:
         """Rank 5G metrics per consequence indicator."""

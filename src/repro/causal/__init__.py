@@ -1,0 +1,36 @@
+"""Confounder-aware causal validation (ROADMAP item 4).
+
+The simulator knows the true cause of every impairment it injects; this
+package turns that privileged knowledge into an evaluation product:
+
+- :mod:`repro.causal.confounders` — declarative adversarial scenario
+  axes (correlated cross-traffic, lagged mimics, recovery surges,
+  reactive rate-control interventions) plus machine-readable
+  ground-truth cause labels.
+- :mod:`repro.causal.score` — per-detector cause attribution, scoring
+  against ground truth, and the ``repro causal bench`` leaderboard.
+"""
+
+from repro.causal.confounders import (
+    CONFOUNDER_AXES,
+    ConfounderSpec,
+    GroundTruthLabel,
+    ground_truth_label,
+)
+from repro.causal.score import (
+    CausalReport,
+    attribute_detectors,
+    render_leaderboard,
+    score_outcomes,
+)
+
+__all__ = [
+    "CONFOUNDER_AXES",
+    "ConfounderSpec",
+    "GroundTruthLabel",
+    "ground_truth_label",
+    "CausalReport",
+    "attribute_detectors",
+    "render_leaderboard",
+    "score_outcomes",
+]

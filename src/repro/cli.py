@@ -23,8 +23,10 @@ saved outcomes with ``fleet-report``).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro import api
@@ -1131,6 +1133,55 @@ def _cmd_obs_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_causal_bench(args: argparse.Namespace) -> int:
+    from repro.causal import render_leaderboard
+
+    matrix = get_preset(args.preset)
+    if args.base_seed is not None:
+        matrix = matrix.with_base_seed(args.base_seed)
+    scenarios = matrix.expand()
+    print(
+        f"causal bench {matrix.name}: {len(scenarios)} sessions, "
+        f"workers={args.workers}"
+    )
+    report = api.causal_bench(
+        scenarios,
+        backend=api.ProcessPoolBackend(args.workers),
+        cache_dir=args.cache_dir,
+        fail_fast=args.fail_fast,
+    )
+    # score_outcomes labels by what it was handed; restore the preset
+    # name the expanded scenario list no longer carries.
+    report = replace(report, campaign=matrix.name)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    print()
+    print(render_leaderboard(report))
+    return 0
+
+
+def _cmd_causal_score(args: argparse.Namespace) -> int:
+    from repro.causal import render_leaderboard, score_outcomes
+
+    try:
+        outcomes = list(iter_outcomes(args.outcomes))
+    except TelemetryError as exc:
+        logger.error("%s", exc)
+        return 1
+    report = score_outcomes(outcomes, campaign=args.outcomes)
+    if not report.n_labeled:
+        print(
+            f"{args.outcomes}: no outcome carries ground-truth labels "
+            "(run an adversarial-preset campaign)"
+        )
+        return 1
+    print(render_leaderboard(report))
+    return 0
+
+
 def _add_cluster_client_args(parser: argparse.ArgumentParser) -> None:
     """Auth/TLS options shared by every cluster-connecting command."""
     parser.add_argument(
@@ -1713,6 +1764,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="timeline bar width in characters (default 48)",
     )
     obs_trace.set_defaults(fn=_cmd_obs_trace)
+
+    causal = sub.add_parser(
+        "causal",
+        help="confounder-aware causal validation: benchmark every "
+        "detector against simulator ground truth",
+    )
+    causal_sub = causal.add_subparsers(dest="causal_command", required=True)
+    causal_bench = causal_sub.add_parser(
+        "bench",
+        help="run a confounder campaign and print the ground-truth "
+        "leaderboard (F1 per detector, confusion per axis)",
+    )
+    causal_bench.add_argument(
+        "--preset",
+        default="adversarial",
+        choices=sorted(PRESETS),
+        help="scenario preset (default: adversarial)",
+    )
+    causal_bench.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=os.cpu_count() or 4,
+        help="parallel session workers (default: CPU count)",
+    )
+    causal_bench.add_argument(
+        "--base-seed",
+        type=int,
+        default=None,
+        help="re-seed the preset's scenario matrix",
+    )
+    causal_bench.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="reuse cached per-scenario outcomes from DIR",
+    )
+    causal_bench.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the scored causal_report artifact as JSON",
+    )
+    causal_bench.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort the campaign on the first failed scenario",
+    )
+    causal_bench.set_defaults(fn=_cmd_causal_bench)
+
+    causal_score = causal_sub.add_parser(
+        "score",
+        help="re-score a saved campaign JSONL (fleet --out) that "
+        "carries ground-truth labels",
+    )
+    causal_score.add_argument("outcomes", help="campaign outcomes JSONL")
+    causal_score.set_defaults(fn=_cmd_causal_score)
 
     store = sub.add_parser(
         "store",

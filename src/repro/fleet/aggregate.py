@@ -67,6 +67,12 @@ class FleetAggregate:
         # of floats per outcome, not the outcome itself.
         self._degradation_rates: List[float] = []
         self._qoe_values: Dict[str, List[float]] = {}
+        # Ground-truth agreement (adversarial campaigns only): detector
+        # → {"agree", "spurious", "other", "total"}.  Outcomes without
+        # labels never touch these, so ordinary campaigns roll up — and
+        # render — exactly as before.
+        self.n_labeled = 0
+        self._agreement: Dict[str, Counter] = {}
         for outcome in outcomes:
             self.update(outcome)
 
@@ -89,6 +95,20 @@ class FleetAggregate:
         self._degradation_rates.append(outcome.degradation_events_per_min)
         for metric, value in outcome.qoe.items():
             self._qoe_values.setdefault(metric, []).append(value)
+        label = outcome.ground_truth
+        if label is not None and outcome.attributions:
+            self.n_labeled += 1
+            for detector, prediction in outcome.attributions.items():
+                tally = self._agreement.setdefault(detector, Counter())
+                tally["total"] += 1
+                # Same mechanism-aware credit as the causal scorer: any
+                # family on the true pathway counts as agreement.
+                if prediction == label.cause or prediction in label.accepted:
+                    tally["agree"] += 1
+                elif prediction in label.spurious:
+                    tally["spurious"] += 1
+                else:
+                    tally["other"] += 1
 
     @property
     def total_minutes(self) -> float:
@@ -166,6 +186,28 @@ class FleetAggregate:
         minutes = self._fleet.minutes
         return {
             k: c / minutes for k, c in sorted(self._fleet.consequence.items())
+        }
+
+    # -- ground-truth agreement ------------------------------------------------
+
+    def ground_truth_agreement(self) -> Dict[str, Dict[str, int]]:
+        """detector → agree/spurious/other/total attribution tallies.
+
+        Empty unless the campaign carried ground-truth labels (the
+        ``adversarial`` preset); leaderboard rank order, then name.
+        """
+        from repro.causal.score import DETECTORS
+
+        rank = {name: i for i, name in enumerate(DETECTORS)}
+        ordered = sorted(
+            self._agreement, key=lambda d: (rank.get(d, len(rank)), d)
+        )
+        return {
+            detector: {
+                key: self._agreement[detector].get(key, 0)
+                for key in ("agree", "spurious", "other", "total")
+            }
+            for detector in ordered
         }
 
     # -- distributions across sessions ----------------------------------------

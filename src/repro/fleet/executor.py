@@ -32,6 +32,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.analysis.summarize import summarize_session
+from repro.causal.confounders import GroundTruthLabel, ground_truth_label
 from repro.core.detector import DetectorConfig, DominoDetector
 from repro.core.stats import DominoStats
 from repro.errors import ConfigError, SchemaError, TelemetryError
@@ -68,6 +69,12 @@ class SessionOutcome:
     consequence_counts: Dict[str, int] = field(default_factory=dict)
     qoe: Dict[str, float] = field(default_factory=dict)
     event_rates: Dict[str, float] = field(default_factory=dict)
+    # Causal-validation payload (repro.causal): the simulator's
+    # ground-truth cause label and each detector's attribution.  Both
+    # stay at their defaults outside adversarial campaigns, and old
+    # wire payloads without them decode unchanged.
+    ground_truth: Optional[GroundTruthLabel] = None
+    attributions: Dict[str, str] = field(default_factory=dict)
 
     def to_json(self) -> dict:
         # Canonical serde lives in repro.schema; the import is lazy
@@ -95,9 +102,21 @@ CACHE_VERSION = 1
 
 
 def scenario_fingerprint(spec: ScenarioSpec) -> str:
-    """Stable digest of everything that pins down one scenario."""
-    payload = json.dumps(asdict(spec), sort_keys=True)
-    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+    """Stable digest of everything that pins down one scenario.
+
+    Axis fields that sit at their empty defaults (``confounders`` today,
+    any future scenario axis likewise) are dropped from the digest
+    payload, so specs that don't use an axis keep the fingerprint they
+    had before the axis existed — cached outcomes and journal ids
+    survive scenario-schema growth.
+    """
+    payload = {
+        key: value
+        for key, value in asdict(spec).items()
+        if not (key == "confounders" and not value)
+    }
+    encoded = json.dumps(payload, sort_keys=True)
+    return hashlib.blake2b(encoded.encode(), digest_size=16).hexdigest()
 
 
 def detector_config_hash(config: Optional[DetectorConfig]) -> str:
@@ -184,6 +203,19 @@ def run_scenario(
         detector = DominoDetector(detector_config)
         report = detector.analyze(bundle)
         stats = DominoStats.from_report(report)
+        ground_truth = None
+        attributions: Dict[str, str] = {}
+        if spec.confounders:
+            # Lazy: the scoring harness pulls in every baseline, which
+            # ordinary (non-adversarial) campaigns never need.  Runs
+            # inside the worker, so process-pool and cluster backends
+            # carry attributions home in the picklable outcome.
+            from repro.causal.score import attribute_detectors
+
+            ground_truth = ground_truth_label(
+                spec.impairment, spec.confounders
+            )
+            attributions = attribute_detectors(bundle, stats)
         summary = summarize_session(bundle)
         qoe = {
             "ul_delay_p50_ms": summary.ul_delay.median,
@@ -220,6 +252,8 @@ def run_scenario(
             },
             qoe=qoe,
             event_rates=bundle.event_rates_per_minute(),
+            ground_truth=ground_truth,
+            attributions=attributions,
         )
         if cache_path is not None:
             _cache_store(cache_path, outcome)

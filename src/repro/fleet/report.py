@@ -66,6 +66,24 @@ def render_fleet_report(
     else:
         sections.append("Top root causes fleet-wide: (no detections)")
 
+    # Only adversarial (ground-truth-labelled) campaigns grow this
+    # section — ordinary campaign reports render byte-identically.
+    if aggregate.n_labeled:
+        agreement = aggregate.ground_truth_agreement()
+        sections.append(
+            f"Ground-truth agreement ({aggregate.n_labeled} labelled "
+            "sessions)\n"
+            + render_table(
+                ["detector", "agree", "spurious", "other", "total"],
+                [
+                    [detector] + [tally[k] for k in
+                                  ("agree", "spurious", "other", "total")]
+                    for detector, tally in agreement.items()
+                ],
+                width=10,
+            )
+        )
+
     for group_by in ("profile", "impairment"):
         groups = aggregate.groups(group_by)
         if group_by == "impairment" and groups == ["none"]:

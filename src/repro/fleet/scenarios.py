@@ -9,8 +9,8 @@ product of those axes and derives a deterministic per-scenario seed, so
 the same matrix expands to the same sessions on every machine and in
 every worker process.
 
-Named presets (``smoke``, ``campus_sweep``, ``impairment_grid``) give
-the CLI and examples ready-made campaigns.
+Named presets (``smoke``, ``campus_sweep``, ``impairment_grid``,
+``adversarial``) give the CLI and examples ready-made campaigns.
 """
 
 from __future__ import annotations
@@ -19,6 +19,11 @@ import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Tuple
 
+from repro.causal.confounders import (
+    ConfounderSpec,
+    attach_reactive_hook,
+    scheduled_bursts,
+)
 from repro.datasets.cells import CELL_PROFILES, get_profile
 from repro.datasets.runner import make_cellular_session, make_wired_session
 from repro.phy.channel import FadeEvent
@@ -72,13 +77,20 @@ class ImpairmentSpec:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One fully pinned-down session of a campaign."""
+    """One fully pinned-down session of a campaign.
+
+    ``confounders`` lists adversarial axes (:mod:`repro.causal`) layered
+    on top of the impairment.  The empty default keeps the spec's wire
+    form and fingerprint byte-identical to pre-confounder releases, so
+    outcome caches and journal ids survive the upgrade.
+    """
 
     name: str
     profile: str  # key into CELL_PROFILES, or "wired" / "wifi"
     seed: int
     duration_s: float
     impairment: ImpairmentSpec = field(default_factory=ImpairmentSpec)
+    confounders: Tuple[ConfounderSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if (
@@ -108,12 +120,24 @@ class ScenarioSpec:
                     f"uses RAN knobs, which baseline profile "
                     f"{self.profile!r} cannot apply"
                 )
+            if any(c.needs_ran for c in self.confounders):
+                raise ValueError(
+                    f"scenario {self.name!r}: confounder axes inject "
+                    f"RAN cross traffic, which baseline profile "
+                    f"{self.profile!r} cannot apply"
+                )
             return make_wired_session(
                 seed=self.seed,
                 wifi=self.profile == "wifi",
                 pushback_enabled=imp.pushback_enabled,
             )
-        return make_cellular_session(
+        dl_bursts = [
+            (int(start * 1e6), int(duration * 1e6), prbs)
+            for start, duration, prbs in imp.dl_bursts
+        ]
+        for conf in self.confounders:
+            dl_bursts.extend(scheduled_bursts(conf, imp))
+        session = make_cellular_session(
             get_profile(self.profile),
             seed=self.seed,
             scripted_rrc_releases_us=[
@@ -129,13 +153,13 @@ class ScenarioSpec:
                 for start, duration, depth in imp.ul_fades
             ]
             or None,
-            dl_cross_bursts=[
-                (int(start * 1e6), int(duration * 1e6), prbs)
-                for start, duration, prbs in imp.dl_bursts
-            ]
-            or None,
+            dl_cross_bursts=dl_bursts or None,
             pushback_enabled=imp.pushback_enabled,
         )
+        for conf in self.confounders:
+            if conf.axis == "reactive_control":
+                attach_reactive_hook(session, conf, seed=self.seed + 49)
+        return session
 
 
 @dataclass(frozen=True)
@@ -156,6 +180,10 @@ class ScenarioMatrix:
     impairments: Tuple[ImpairmentSpec, ...] = (ImpairmentSpec(),)
     repetitions: int = 1
     base_seed: int = 0
+    #: Adversarial axis sets swept as one more campaign dimension.  The
+    #: default single empty set expands to exactly the pre-confounder
+    #: scenario list (names, seeds, and fingerprints unchanged).
+    confounder_sets: Tuple[Tuple[ConfounderSpec, ...], ...] = ((),)
 
     def expand(self) -> List[ScenarioSpec]:
         """Enumerate every scenario, in deterministic order."""
@@ -166,22 +194,31 @@ class ScenarioMatrix:
                 for impairment in self.impairments:
                     if is_baseline and impairment.needs_ran:
                         continue
-                    for rep in range(self.repetitions):
-                        scenario_name = (
-                            f"{self.name}/{profile}/{impairment.name}"
-                            f"/d{duration_s:g}/r{rep}"
-                        )
-                        scenarios.append(
-                            ScenarioSpec(
-                                name=scenario_name,
-                                profile=profile,
-                                seed=derive_seed(
-                                    self.base_seed, scenario_name
-                                ),
-                                duration_s=duration_s,
-                                impairment=impairment,
+                    for confounders in self.confounder_sets:
+                        if is_baseline and any(
+                            c.needs_ran for c in confounders
+                        ):
+                            continue
+                        axis_label = "+".join(c.axis for c in confounders)
+                        for rep in range(self.repetitions):
+                            scenario_name = (
+                                f"{self.name}/{profile}/{impairment.name}"
+                                f"/d{duration_s:g}/r{rep}"
                             )
-                        )
+                            if axis_label:
+                                scenario_name += f"/{axis_label}"
+                            scenarios.append(
+                                ScenarioSpec(
+                                    name=scenario_name,
+                                    profile=profile,
+                                    seed=derive_seed(
+                                        self.base_seed, scenario_name
+                                    ),
+                                    duration_s=duration_s,
+                                    impairment=impairment,
+                                    confounders=tuple(confounders),
+                                )
+                            )
         return scenarios
 
     def with_base_seed(self, base_seed: int) -> "ScenarioMatrix":
@@ -230,10 +267,38 @@ IMPAIRMENT_GRID = ScenarioMatrix(
     ),
 )
 
+#: Impairments with unambiguous true causes, sized for 16 s sessions.
+_UL_FADE_ADV = ImpairmentSpec(
+    name="ul_fade", ul_fades=((4.0, 1.5, 20.0), (10.0, 1.2, 18.0))
+)
+_RRC_FLAP_ADV = ImpairmentSpec(name="rrc_release", rrc_releases_s=(5.0, 11.0))
+
+#: One confounder axis per scenario, plus a labelled control arm.
+_ADVERSARIAL_SETS: Tuple[Tuple[ConfounderSpec, ...], ...] = (
+    (ConfounderSpec(axis="control"),),
+    (ConfounderSpec(axis="correlated_cross"),),
+    (ConfounderSpec(axis="lagged_mimic", lag_s=0.9),),
+    (ConfounderSpec(axis="recovery_surge"),),
+    (ConfounderSpec(axis="reactive_control"),),
+)
+
+#: Causal-validation campaign: known-cause impairments on the idle
+#: private cell (clean cross-traffic telemetry makes the injected
+#: confounders maximally tempting) × every adversarial axis.
+ADVERSARIAL = ScenarioMatrix(
+    name="adversarial",
+    profiles=("amarisoft",),
+    durations_s=(16.0,),
+    impairments=(_UL_FADE_ADV, _RRC_FLAP_ADV),
+    confounder_sets=_ADVERSARIAL_SETS,
+    repetitions=2,
+)
+
 PRESETS: Dict[str, ScenarioMatrix] = {
     "smoke": SMOKE,
     "campus_sweep": CAMPUS_SWEEP,
     "impairment_grid": IMPAIRMENT_GRID,
+    "adversarial": ADVERSARIAL,
 }
 
 

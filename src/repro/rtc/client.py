@@ -87,6 +87,11 @@ class WebRtcClient:
         self._last_concealed = 0
         self._last_total_samples = 0
 
+    @property
+    def current_target_bps(self) -> float:
+        """Most recent congestion-controller target (app-layer symptom)."""
+        return self._last_output.target_bps
+
     # -- main step ------------------------------------------------------------
 
     def step(

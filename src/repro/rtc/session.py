@@ -79,6 +79,10 @@ class TwoPartySession:
         self._packets: Dict[int, Packet] = {}
         self.step_us = min(access_a.step_us, access_b.step_us)
         self._now_us = 0
+        # Deterministic per-step callbacks ``hook(session, now_us)`` —
+        # the seam adversarial intervention axes (repro.causal) use to
+        # react to in-call state.  Empty for every ordinary session.
+        self.tick_hooks: List = []
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -149,6 +153,9 @@ class TwoPartySession:
         """
         while self._now_us < target_us:
             self._now_us += self.step_us
+            if self.tick_hooks:
+                for hook in self.tick_hooks:
+                    hook(self, self._now_us)
             arrivals_a, arrivals_b = self._pump_access(self._now_us)
             out_a = self.client_a.step(self._now_us, arrivals_a)
             out_b = self.client_b.step(self._now_us, arrivals_b)

@@ -39,6 +39,8 @@ import json
 import os
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
 
+from repro.causal.confounders import ConfounderSpec, GroundTruthLabel
+from repro.causal.score import CausalReport
 from repro.cluster.journal import JournalRecord
 from repro.core.detector import DetectorConfig, DominoReport, WindowDetection
 from repro.core.events import EventConfig
@@ -279,6 +281,48 @@ _IMPAIRMENT_SPEC = WireCodec(
     ),
 )
 
+_CONFOUNDER_SPEC = WireCodec(
+    "confounder_spec", ConfounderSpec, _dataclass_fields(ConfounderSpec)
+)
+
+_GROUND_TRUTH = WireCodec(
+    "ground_truth",
+    GroundTruthLabel,
+    _dataclass_fields(
+        GroundTruthLabel,
+        overrides={
+            "axes": WireField(
+                "axes",
+                required=False,
+                default_factory=tuple,
+                encode=list,
+                decode=lambda raw: tuple(str(a) for a in raw),
+            ),
+            "spurious": WireField(
+                "spurious",
+                required=False,
+                default_factory=tuple,
+                encode=list,
+                decode=lambda raw: tuple(str(s) for s in raw),
+            ),
+            "accepted": WireField(
+                "accepted",
+                required=False,
+                default_factory=tuple,
+                encode=list,
+                decode=lambda raw: tuple(str(s) for s in raw),
+            ),
+            "onsets_s": WireField(
+                "onsets_s",
+                required=False,
+                default_factory=tuple,
+                encode=list,
+                decode=lambda raw: tuple(float(t) for t in raw),
+            ),
+        },
+    ),
+)
+
 _SCENARIO_SPEC = WireCodec(
     "scenario_spec",
     ScenarioSpec,
@@ -291,6 +335,17 @@ _SCENARIO_SPEC = WireCodec(
                 default_factory=ImpairmentSpec,
                 encode=lambda imp: _IMPAIRMENT_SPEC.to_wire(imp),
                 decode=lambda raw: _IMPAIRMENT_SPEC.from_wire(raw),
+            ),
+            "confounders": WireField(
+                "confounders",
+                required=False,
+                default_factory=tuple,
+                encode=lambda confs: [
+                    _CONFOUNDER_SPEC.to_wire(c) for c in confs
+                ],
+                decode=lambda raw: tuple(
+                    _CONFOUNDER_SPEC.from_wire(c) for c in raw
+                ),
             ),
         },
     ),
@@ -328,7 +383,43 @@ _WINDOW_DETECTION = WireCodec(
 )
 
 _SESSION_OUTCOME = WireCodec(
-    "session_outcome", SessionOutcome, _dataclass_fields(SessionOutcome)
+    "session_outcome",
+    SessionOutcome,
+    _dataclass_fields(
+        SessionOutcome,
+        overrides={
+            # Absent on every pre-causal payload: decodes to None.
+            "ground_truth": WireField(
+                "ground_truth",
+                required=False,
+                default_factory=lambda: None,
+                encode=lambda label: (
+                    None if label is None else _GROUND_TRUTH.to_wire(label)
+                ),
+                decode=lambda raw: (
+                    None if raw is None else _GROUND_TRUTH.from_wire(raw)
+                ),
+            ),
+        },
+    ),
+)
+
+_CAUSAL_REPORT = WireCodec(
+    "causal_report",
+    CausalReport,
+    _dataclass_fields(
+        CausalReport,
+        overrides={
+            "detectors": WireField(
+                "detectors",
+                required=False,
+                default_factory=tuple,
+                encode=list,
+                decode=lambda raw: tuple(str(d) for d in raw),
+            ),
+        },
+    ),
+    stamped=True,  # leaderboard files are artifacts
 )
 
 _SESSION_SNAPSHOT = WireCodec(
@@ -465,6 +556,9 @@ WIRE_CODECS: Dict[str, WireCodec] = {
     for codec in (
         _EVENT_CONFIG,
         _IMPAIRMENT_SPEC,
+        _CONFOUNDER_SPEC,
+        _GROUND_TRUTH,
+        _CAUSAL_REPORT,
         _SCENARIO_SPEC,
         _DETECTOR_CONFIG,
         _WINDOW_DETECTION,
@@ -583,6 +677,32 @@ def chains_from_wire(data: Sequence[Sequence[str]]) -> List[Tuple[str, ...]]:
         return _chain_tuples(data)
     except (TypeError, ValueError) as exc:
         raise SchemaError(f"malformed chain list: {exc}")
+
+
+def confounder_spec_to_wire(spec: ConfounderSpec) -> dict:
+    return _CONFOUNDER_SPEC.to_wire(spec)
+
+
+def confounder_spec_from_wire(data: Any) -> ConfounderSpec:
+    return _CONFOUNDER_SPEC.from_wire(data)
+
+
+def ground_truth_to_wire(label: GroundTruthLabel) -> dict:
+    return _GROUND_TRUTH.to_wire(label)
+
+
+def ground_truth_from_wire(data: Any) -> GroundTruthLabel:
+    return _GROUND_TRUTH.from_wire(data)
+
+
+def causal_report_to_wire(report: CausalReport) -> dict:
+    """CausalReport → stamped wire dict (leaderboards are artifacts)."""
+    return _CAUSAL_REPORT.to_wire(report)
+
+
+def causal_report_from_wire(data: Any) -> CausalReport:
+    """Decode a causal report, schema stamp validated."""
+    return _CAUSAL_REPORT.from_wire(data)
 
 
 def session_outcome_to_wire(outcome: SessionOutcome) -> dict:
@@ -725,6 +845,12 @@ __all__ = [
     "alert_event_to_wire",
     "chains_from_wire",
     "chains_to_wire",
+    "causal_report_from_wire",
+    "causal_report_to_wire",
+    "confounder_spec_from_wire",
+    "confounder_spec_to_wire",
+    "ground_truth_from_wire",
+    "ground_truth_to_wire",
     "check_schema_version",
     "detections_from_wire",
     "detections_to_wire",

@@ -54,3 +54,48 @@ def test_single_layer_reduction_vs_domino(cellular_bundle):
     report = DominoDetector().analyze(cellular_bundle)
     reduction = alerts.reduction_vs(report)
     assert reduction >= 1.0  # chaining never *increases* volume
+
+
+def test_granger_rca_scores_lagged_drivers(private_bundle):
+    from repro.baselines.causal import GrangerRca
+
+    results = GrangerRca().analyze(private_bundle)
+    assert results, "no consequence series analyzed"
+    ranked = [r for r in results if r.ranking]
+    assert ranked, "Granger found no candidate driver at all"
+    for result in ranked:
+        scores = [score for _, score in result.ranking]
+        # F-statistics: non-negative and sorted strongest-first.
+        assert all(score >= 0.0 for score in scores)
+        assert scores == sorted(scores, reverse=True)
+
+
+def test_pcmci_rca_prunes_to_a_subset_of_links(private_bundle):
+    from repro.baselines.causal import PcmciRca
+
+    loose = PcmciRca(alpha=0.0).analyze(private_bundle)
+    strict = PcmciRca(alpha=0.5).analyze(private_bundle)
+    n_loose = sum(len(r.ranking) for r in loose)
+    n_strict = sum(len(r.ranking) for r in strict)
+    # Conditional-independence pruning is monotone in alpha.
+    assert n_strict <= n_loose
+
+
+def test_causal_baselines_are_deterministic(private_bundle):
+    from repro.baselines.causal import GrangerRca, PcmciRca
+
+    for cls in (GrangerRca, PcmciRca):
+        first = cls().analyze(private_bundle)
+        second = cls().analyze(private_bundle)
+        assert [(r.consequence, r.ranking) for r in first] == [
+            (r.consequence, r.ranking) for r in second
+        ]
+
+
+def test_cause_label_for_series_strips_direction_prefix():
+    from repro.baselines.causal import cause_label_for_series
+
+    assert cause_label_for_series("ul_harq_retx") == "HARQ ReTX"
+    assert cause_label_for_series("dl_other_prbs") == "Cross Traffic"
+    assert cause_label_for_series("rrc_events") == "RRC State"
+    assert cause_label_for_series("not_a_series") is None

@@ -1,0 +1,345 @@
+"""Confounder axes, ground-truth labels, and causal scoring."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.causal.confounders import (
+    CONFOUNDER_AXES,
+    CONFOUNDER_RNTI,
+    RRC_NOMINAL_OUTAGE_S,
+    ConfounderSpec,
+    GroundTruthLabel,
+    ReactiveCrossTraffic,
+    attach_reactive_hook,
+    cause_events_s,
+    ground_truth_label,
+    scheduled_bursts,
+    true_cause,
+)
+from repro.causal.score import (
+    CausalReport,
+    attribute_detectors,
+    render_leaderboard,
+    score_outcomes,
+)
+from repro.fleet.executor import SessionOutcome
+from repro.fleet.scenarios import (
+    ImpairmentSpec,
+    ScenarioMatrix,
+    ScenarioSpec,
+    get_preset,
+)
+
+_UL_FADE = ImpairmentSpec(name="ul_fade", ul_fades=((4.0, 1.5, 20.0),))
+_RRC = ImpairmentSpec(name="rrc_release", rrc_releases_s=(5.0,))
+
+
+# -- ConfounderSpec ---------------------------------------------------------------
+
+
+def test_unknown_axis_rejected():
+    with pytest.raises(ValueError, match="unknown confounder axis"):
+        ConfounderSpec(axis="chemtrails")
+
+
+def test_control_axis_needs_no_ran():
+    assert not ConfounderSpec(axis="control").needs_ran
+    for axis in CONFOUNDER_AXES:
+        if axis != "control":
+            assert ConfounderSpec(axis=axis).needs_ran
+
+
+# -- ground truth -----------------------------------------------------------------
+
+
+def test_true_cause_per_impairment():
+    assert true_cause(_UL_FADE) == "Poor Channel"
+    assert true_cause(_RRC) == "RRC State"
+    assert true_cause(ImpairmentSpec()) is None
+
+
+def test_cause_events_cover_rrc_nominal_outage():
+    assert cause_events_s(_RRC) == ((5.0, RRC_NOMINAL_OUTAGE_S),)
+    assert cause_events_s(_UL_FADE) == ((4.0, 1.5),)
+
+
+def test_scheduled_bursts_anchor_per_axis():
+    conf = ConfounderSpec(axis="correlated_cross", duration_s=2.0, prbs=30)
+    assert scheduled_bursts(conf, _UL_FADE) == ((4_000_000, 2_000_000, 30),)
+
+    lagged = ConfounderSpec(axis="lagged_mimic", lag_s=0.9)
+    ((start, _, _),) = scheduled_bursts(lagged, _UL_FADE)
+    assert start == 4_900_000
+
+    surge = ConfounderSpec(axis="recovery_surge")
+    ((start, _, _),) = scheduled_bursts(surge, _UL_FADE)
+    assert start == 5_500_000  # fires when the fade *ends*
+
+    # Runtime-driven and no-op axes schedule nothing up front.
+    assert scheduled_bursts(
+        ConfounderSpec(axis="reactive_control"), _UL_FADE
+    ) == ()
+    assert scheduled_bursts(ConfounderSpec(axis="control"), _UL_FADE) == ()
+
+
+def test_ground_truth_label_marks_spurious_only_when_injecting():
+    label = ground_truth_label(
+        _UL_FADE, (ConfounderSpec(axis="correlated_cross"),)
+    )
+    assert label.cause == "Poor Channel"
+    assert label.spurious == ("Cross Traffic",)
+    assert "HARQ ReTX" in label.accepted
+    assert label.onsets_s == (4.0,)
+
+    control = ground_truth_label(_UL_FADE, (ConfounderSpec(axis="control"),))
+    assert control.spurious == ()
+    assert control.axes == ("control",)
+
+
+# -- scenario expansion -----------------------------------------------------------
+
+
+def test_matrix_sweeps_confounder_sets_with_stable_names():
+    matrix = ScenarioMatrix(
+        name="t",
+        profiles=("amarisoft",),
+        durations_s=(8.0,),
+        impairments=(_UL_FADE,),
+        confounder_sets=((), (ConfounderSpec(axis="correlated_cross"),)),
+    )
+    names = [spec.name for spec in matrix.expand()]
+    assert names == [
+        "t/amarisoft/ul_fade/d8/r0",
+        "t/amarisoft/ul_fade/d8/r0/correlated_cross",
+    ]
+
+
+def test_baseline_profiles_skip_injecting_axes():
+    matrix = ScenarioMatrix(
+        name="t",
+        profiles=("wired",),
+        durations_s=(8.0,),
+        impairments=(ImpairmentSpec(),),
+        confounder_sets=(
+            (ConfounderSpec(axis="control"),),
+            (ConfounderSpec(axis="correlated_cross"),),
+        ),
+    )
+    names = [spec.name for spec in matrix.expand()]
+    assert names == ["t/wired/none/d8/r0/control"]
+
+
+def test_baseline_session_rejects_ran_confounder():
+    spec = ScenarioSpec(
+        name="t/bad",
+        profile="wired",
+        seed=1,
+        duration_s=5.0,
+        confounders=(ConfounderSpec(axis="correlated_cross"),),
+    )
+    with pytest.raises(ValueError, match="confounder axes inject"):
+        spec.build_session()
+
+
+def test_adversarial_preset_covers_every_axis():
+    specs = get_preset("adversarial").expand()
+    seen = {
+        axis for spec in specs for c in spec.confounders for axis in (c.axis,)
+    }
+    assert seen == set(CONFOUNDER_AXES)
+    assert all(spec.confounders for spec in specs)
+
+
+# -- reactive hook ----------------------------------------------------------------
+
+
+def test_reactive_hook_fires_on_target_collapse():
+    spec = ScenarioSpec(
+        name="t/reactive",
+        profile="amarisoft",
+        seed=11,
+        duration_s=9.0,
+        impairment=ImpairmentSpec(name="ul_fade", ul_fades=((3.0, 1.2, 20.0),)),
+    )
+    session = spec.build_session()
+    conf = ConfounderSpec(axis="reactive_control")
+    hook = attach_reactive_hook(session, conf, seed=123)
+    assert isinstance(hook, ReactiveCrossTraffic)
+    ue = session.access_a.ran.dl.cross.ues[-1]
+    assert ue.rnti == CONFOUNDER_RNTI
+    session.run(spec.duration_us)
+    # The fade collapses the GCC target, so the hook must intervene —
+    # and only via scripted bursts on its silent UE.
+    assert hook.interventions >= 1
+    assert len(ue.scripted_bursts) == hook.interventions
+    assert all(
+        burst[0] >= int(conf.warmup_s * 1e6) for burst in ue.scripted_bursts
+    )
+
+
+# -- scoring ----------------------------------------------------------------------
+
+
+def _outcome(name, cause, prediction, axes=("correlated_cross",)):
+    label = GroundTruthLabel(
+        cause=cause,
+        impairment="ul_fade",
+        axes=axes,
+        spurious=("Cross Traffic",),
+        accepted=("Poor Channel", "HARQ ReTX"),
+    )
+    return SessionOutcome(
+        scenario=name,
+        profile="amarisoft",
+        impairment="ul_fade",
+        seed=1,
+        duration_s=8.0,
+        n_windows=10,
+        n_detected_windows=4,
+        degradation_events_per_min=1.0,
+        ground_truth=label,
+        attributions={"domino": prediction},
+    )
+
+
+def test_score_outcomes_credits_accepted_pathway():
+    outcomes = [
+        _outcome("a", "Poor Channel", "HARQ ReTX"),  # on-pathway: credit
+        _outcome("b", "Poor Channel", "Poor Channel"),
+    ]
+    report = score_outcomes(outcomes, campaign="unit")
+    assert report.n_labeled == 2
+    assert report.scores["domino"]["f1"] == 1.0
+    assert report.per_axis["correlated_cross"]["domino"]["correct"] == 2
+
+
+def test_score_outcomes_counts_spurious_attributions():
+    outcomes = [
+        _outcome("a", "Poor Channel", "Cross Traffic"),
+        _outcome("b", "Poor Channel", "Poor Channel"),
+    ]
+    report = score_outcomes(outcomes, campaign="unit")
+    tally = report.per_axis["correlated_cross"]["domino"]
+    assert tally == {"correct": 1, "spurious": 1, "other": 0, "total": 2}
+    assert report.scores["domino"]["accuracy"] == 0.5
+
+
+def test_unlabeled_outcomes_are_excluded():
+    plain = dataclasses.replace(
+        _outcome("a", "Poor Channel", "Poor Channel"),
+        ground_truth=None,
+        attributions={},
+    )
+    report = score_outcomes(
+        [plain, _outcome("b", "Poor Channel", "Poor Channel")]
+    )
+    assert report.n_scenarios == 2
+    assert report.n_labeled == 1
+
+
+def test_report_ranks_by_f1_and_round_trips():
+    outcomes = []
+    for i, (domino, corr) in enumerate(
+        [("Poor Channel", "Cross Traffic"), ("Poor Channel", "Poor Channel")]
+    ):
+        outcome = _outcome(f"s{i}", "Poor Channel", domino)
+        outcome.attributions["correlation"] = corr
+        outcomes.append(outcome)
+    report = score_outcomes(outcomes, campaign="unit")
+    assert report.detectors == ("domino", "correlation")
+    assert report.f1("domino") > report.f1("correlation")
+
+    wire = json.loads(json.dumps(report.to_json()))
+    assert wire["schema"] >= 1
+    assert CausalReport.from_json(wire) == report
+
+
+def test_leaderboard_renders_axis_confusion():
+    report = score_outcomes(
+        [_outcome("a", "Poor Channel", "Cross Traffic")], campaign="unit"
+    )
+    text = render_leaderboard(report)
+    assert "# Causal validation — unit" in text
+    assert "| 1 | domino |" in text
+    assert "| correlated_cross | 0/1/0 |" in text
+
+
+def test_attributions_are_deterministic(private_bundle):
+    from repro.core.detector import DominoDetector
+    from repro.core.stats import DominoStats
+
+    stats = DominoStats.from_report(
+        DominoDetector().analyze(private_bundle)
+    )
+    first = attribute_detectors(private_bundle, stats)
+    second = attribute_detectors(private_bundle, stats)
+    assert first == second
+    assert set(first) == {
+        "domino",
+        "pcmci",
+        "granger",
+        "correlation",
+        "single_layer",
+        "app_only",
+    }
+
+
+# -- fleet report integration -----------------------------------------------------
+
+
+def test_fleet_report_grows_agreement_section_only_when_labeled():
+    from repro.fleet.aggregate import FleetAggregate
+    from repro.fleet.report import render_fleet_report
+
+    plain = dataclasses.replace(
+        _outcome("a", "Poor Channel", "Poor Channel"),
+        ground_truth=None,
+        attributions={},
+    )
+    text = render_fleet_report(FleetAggregate.from_outcomes([plain]))
+    assert "Ground-truth agreement" not in text
+
+    labeled = [
+        _outcome("a", "Poor Channel", "HARQ ReTX"),
+        _outcome("b", "Poor Channel", "Cross Traffic"),
+    ]
+    agg = FleetAggregate.from_outcomes(labeled)
+    assert agg.ground_truth_agreement()["domino"] == {
+        "agree": 1,
+        "spurious": 1,
+        "other": 0,
+        "total": 2,
+    }
+    text = render_fleet_report(agg)
+    assert "Ground-truth agreement (2 labelled sessions)" in text
+
+
+# -- facade -----------------------------------------------------------------------
+
+
+def test_causal_bench_scores_prebuilt_outcomes_and_counts_axes():
+    from repro.api import causal_bench
+    from repro.obs import get_registry
+
+    outcomes = [
+        _outcome("a", "Poor Channel", "Poor Channel"),
+        _outcome("b", "Poor Channel", "HARQ ReTX", axes=("reactive_control",)),
+    ]
+    counter = get_registry().counter("repro_causal_scenarios_total")
+    before = {
+        axis: counter.value(axis=axis)
+        for axis in ("correlated_cross", "reactive_control")
+    }
+    report = causal_bench(outcomes)
+    assert report.n_labeled == 2
+    assert report.f1("domino") == 1.0
+    assert (
+        counter.value(axis="correlated_cross")
+        == before["correlated_cross"] + 1
+    )
+    assert (
+        counter.value(axis="reactive_control")
+        == before["reactive_control"] + 1
+    )

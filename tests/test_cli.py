@@ -263,3 +263,58 @@ def test_sigterm_graceful_drain_flushes_metrics_file(tmp_path):
     assert code == 143
     with open(metrics_path) as handle:
         parse_prom(handle.read())  # flushed snapshot is parseable
+
+
+def test_causal_score_renders_saved_labeled_campaign(tmp_path, capsys):
+    from repro.causal.confounders import GroundTruthLabel
+    from repro.fleet.executor import SessionOutcome, save_outcomes
+
+    outcomes = [
+        SessionOutcome(
+            scenario=f"adv/s{i}",
+            profile="amarisoft",
+            impairment="ul_fade",
+            seed=i,
+            duration_s=8.0,
+            n_windows=10,
+            n_detected_windows=3,
+            degradation_events_per_min=1.0,
+            ground_truth=GroundTruthLabel(
+                cause="Poor Channel",
+                impairment="ul_fade",
+                axes=("reactive_control",),
+                spurious=("Cross Traffic",),
+                accepted=("Poor Channel", "HARQ ReTX"),
+            ),
+            attributions={
+                "domino": "Poor Channel",
+                "correlation": "Cross Traffic" if i else "Poor Channel",
+            },
+        )
+        for i in range(2)
+    ]
+    path = str(tmp_path / "labeled.jsonl")
+    save_outcomes(outcomes, path)
+    assert main(["causal", "score", path]) == 0
+    out = capsys.readouterr().out
+    assert "| 1 | domino | 1.000 |" in out
+    assert "reactive_control" in out
+
+
+def test_causal_score_rejects_unlabeled_campaign(tmp_path, capsys):
+    from repro.fleet.executor import SessionOutcome, save_outcomes
+
+    outcome = SessionOutcome(
+        scenario="plain/s0",
+        profile="amarisoft",
+        impairment="none",
+        seed=0,
+        duration_s=8.0,
+        n_windows=10,
+        n_detected_windows=0,
+        degradation_events_per_min=0.0,
+    )
+    path = str(tmp_path / "plain.jsonl")
+    save_outcomes([outcome], path)
+    assert main(["causal", "score", path]) == 1
+    assert "no outcome carries ground-truth labels" in capsys.readouterr().out

@@ -198,3 +198,50 @@ def test_pending_and_eviction_watermark_properties(private_bundle):
 def test_streaming_no_data_no_windows():
     stream = StreamingDomino()
     assert stream.advance(2_000_000) == []  # less than one window
+
+
+# -- parity under adversarial confounder axes -------------------------------------
+
+
+@pytest.fixture(scope="module", params=[
+    "control",
+    "correlated_cross",
+    "lagged_mimic",
+    "recovery_surge",
+    "reactive_control",
+])
+def confounded_bundle(request):
+    """One short adversarial session per confounder axis."""
+    from repro.causal.confounders import ConfounderSpec
+    from repro.fleet.scenarios import ImpairmentSpec, ScenarioSpec
+
+    spec = ScenarioSpec(
+        name=f"stream-parity/{request.param}",
+        profile="amarisoft",
+        seed=2025,
+        duration_s=9.0,
+        impairment=ImpairmentSpec(
+            name="ul_fade", ul_fades=((3.0, 1.2, 20.0),)
+        ),
+        confounders=(ConfounderSpec(axis=request.param),),
+    )
+    return spec.build_session().run(spec.duration_us).bundle
+
+
+def test_streaming_matches_batch_under_confounders(confounded_bundle):
+    """Injected confounder traffic — scheduled or reactive — must not
+    open any batch/streaming divergence: detections are byte-identical
+    on the wire."""
+    import json
+
+    from repro import schema
+
+    offline = DominoDetector().analyze(confounded_bundle)
+    stream = StreamingDomino(gnb_log_available=True)
+    _feed_bundle(stream, confounded_bundle)
+    windows = stream.advance(confounded_bundle.duration_us)
+    assert json.dumps(
+        schema.detections_to_wire(windows), sort_keys=True
+    ) == json.dumps(
+        schema.detections_to_wire(offline.windows), sort_keys=True
+    )

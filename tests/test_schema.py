@@ -15,6 +15,12 @@ import random
 import pytest
 
 from repro import schema
+from repro.causal.confounders import (
+    CONFOUNDER_AXES,
+    ConfounderSpec,
+    GroundTruthLabel,
+)
+from repro.causal.score import CausalReport
 from repro.core.detector import DetectorConfig, DominoReport, WindowDetection
 from repro.core.events import EventConfig
 from repro.errors import (
@@ -58,6 +64,64 @@ def _rand_impairment(rng):
     )
 
 
+def _rand_confounder(rng):
+    return ConfounderSpec(
+        axis=rng.choice(CONFOUNDER_AXES),
+        lag_s=rng.uniform(0, 3),
+        duration_s=rng.uniform(0.5, 4),
+        prbs=rng.randrange(10, 60),
+        trigger_fraction=rng.uniform(0.3, 0.9),
+        hold_s=rng.uniform(0.2, 2),
+        warmup_s=rng.uniform(0, 5),
+    )
+
+
+def _rand_ground_truth(rng):
+    return GroundTruthLabel(
+        cause=rng.choice(("Poor Channel", "RRC State", "none")),
+        impairment=rng.choice(("ul_fade", "rrc_release", "none")),
+        axes=tuple(rng.sample(CONFOUNDER_AXES, rng.randrange(3))),
+        spurious=("Cross Traffic",) if rng.random() < 0.5 else (),
+        accepted=tuple(
+            rng.sample(
+                ("Poor Channel", "HARQ ReTX", "RLC ReTX", "UL Scheduling"),
+                rng.randrange(1, 4),
+            )
+        ),
+        onsets_s=tuple(rng.uniform(0, 30) for _ in range(rng.randrange(3))),
+    )
+
+
+def _rand_causal_report(rng):
+    detectors = ("domino", "pcmci", "granger", "correlation")
+    return CausalReport(
+        campaign=f"adv/{rng.randrange(1 << 16)}",
+        n_scenarios=rng.randrange(50),
+        n_labeled=rng.randrange(50),
+        detectors=detectors,
+        scores={
+            d: {
+                "precision": rng.random(),
+                "recall": rng.random(),
+                "f1": rng.random(),
+                "accuracy": rng.random(),
+            }
+            for d in detectors
+        },
+        per_axis={
+            rng.choice(CONFOUNDER_AXES): {
+                d: {
+                    "correct": rng.randrange(5),
+                    "spurious": rng.randrange(5),
+                    "other": rng.randrange(5),
+                    "total": rng.randrange(9),
+                }
+                for d in detectors
+            }
+        },
+    )
+
+
 def _rand_spec(rng):
     return ScenarioSpec(
         name=f"t/{rng.randrange(1 << 16)}",
@@ -65,6 +129,9 @@ def _rand_spec(rng):
         seed=rng.randrange(1 << 62),
         duration_s=rng.uniform(6, 60),
         impairment=_rand_impairment(rng),
+        confounders=tuple(
+            _rand_confounder(rng) for _ in range(rng.randrange(3))
+        ),
     )
 
 
@@ -115,6 +182,14 @@ def _rand_outcome(rng, nan_heavy=True):
             f"q{i}": _rand_float(rng, nan_heavy=nan_heavy) for i in range(5)
         },
         event_rates={"packets": _rand_float(rng, nan_heavy=nan_heavy)},
+        ground_truth=(
+            _rand_ground_truth(rng) if rng.random() < 0.5 else None
+        ),
+        attributions=(
+            {"domino": "Poor Channel", "correlation": "Cross Traffic"}
+            if rng.random() < 0.5
+            else {}
+        ),
     )
 
 
@@ -182,6 +257,9 @@ _BUILDERS = {
     "fleet_snapshot": _rand_fleet_snapshot,
     "domino_report": _rand_report,
     "impairment_spec": _rand_impairment,
+    "confounder_spec": _rand_confounder,
+    "ground_truth": _rand_ground_truth,
+    "causal_report": _rand_causal_report,
 }
 
 
@@ -232,10 +310,12 @@ def test_unknown_extra_fields_tolerated(kind):
     # data dicts like features/chain_counts carry arbitrary keys by
     # design, so injecting there would legitimately change the data).
     nested = {
-        "scenario_spec": [wire.get("impairment")],
+        "scenario_spec": [wire.get("impairment")]
+        + list(wire.get("confounders", [])),
         "detector_config": [wire.get("events")],
         "fleet_snapshot": wire.get("sessions", []),
         "domino_report": wire.get("windows", []),
+        "session_outcome": [wire.get("ground_truth")],
     }.get(kind, [])
     for inner in nested:
         if isinstance(inner, dict):
@@ -400,6 +480,76 @@ def test_dumps_loads_helpers():
     assert schema.loads("scenario_spec", schema.dumps(spec)) == spec
     with pytest.raises(SchemaError, match="undecodable JSON"):
         schema.loads("scenario_spec", "{nope")
+
+
+# -- scenario fingerprints across schema growth -----------------------------------
+
+#: Fingerprints of pre-confounder preset scenarios, hard-coded from the
+#: release before the `confounders` axis existed.  The cache/journal
+#: contract: growing ScenarioSpec must never invalidate cached outcomes
+#: of scenarios that don't use the new axis.
+_GOLDEN_FINGERPRINTS = {
+    "smoke/tmobile_fdd/none/d12/r0": "869910f0aeb843f46228197b4cfe4f61",
+    "smoke/tmobile_fdd/ul_fade/d12/r0": "3442dfab0ad26907e351e5982998d51a",
+    "smoke/amarisoft/none/d12/r0": "954a8a15023cb353a7e066f4d4631384",
+    "smoke/amarisoft/ul_fade/d12/r0": "fe4446b075f78e83853dee460baedf10",
+    "smoke/wired/none/d12/r0": "fd6428cc365f6671b0a6fa9fb9482727",
+    "impairment_grid/tmobile_fdd/dl_burst/d20/r0": (
+        "df2a4f9cf4ceea31cfc0529ba8e46231"
+    ),
+}
+
+
+def test_confounder_free_fingerprints_match_pre_axis_release():
+    from repro.fleet.executor import scenario_fingerprint
+    from repro.fleet.scenarios import get_preset
+
+    specs = {
+        spec.name: spec
+        for preset in ("smoke", "impairment_grid")
+        for spec in get_preset(preset).expand()
+    }
+    for name, expected in _GOLDEN_FINGERPRINTS.items():
+        assert scenario_fingerprint(specs[name]) == expected, name
+
+
+def test_unknown_future_axis_fields_do_not_perturb_fingerprint():
+    """A spec round-tripped through a *newer* writer's wire payload —
+    unknown top-level fields, unknown knobs inside a confounder —
+    must fingerprint identically to the local original."""
+    from repro.fleet.executor import scenario_fingerprint
+
+    rng = random.Random(99)
+    plain = dataclasses.replace(_rand_spec(rng), confounders=())
+    wire = schema.to_wire(plain)
+    wire["future_axis_config"] = {"mode": "quantum", "level": 9}
+    back = schema.from_wire("scenario_spec", json.loads(json.dumps(wire)))
+    assert scenario_fingerprint(back) == scenario_fingerprint(plain)
+
+    confounded = dataclasses.replace(
+        plain, confounders=(ConfounderSpec(axis="reactive_control"),)
+    )
+    wire = schema.to_wire(confounded)
+    wire["confounders"][0]["future_knob"] = 3.5
+    back = schema.from_wire("scenario_spec", json.loads(json.dumps(wire)))
+    assert back == confounded
+    assert scenario_fingerprint(back) == scenario_fingerprint(confounded)
+    # The axis changes the fingerprint; the unknown knob never does.
+    assert scenario_fingerprint(confounded) != scenario_fingerprint(plain)
+
+
+def test_labeled_outcome_wire_matches_asdict():
+    """Outcomes carrying ground truth keep strict asdict() parity, so
+    the fleet JSONL stays hand-inspectable and diffable."""
+    rng = random.Random(101)
+    outcome = dataclasses.replace(
+        _rand_outcome(rng, nan_heavy=False),
+        ground_truth=_rand_ground_truth(rng),
+        attributions={"domino": "Poor Channel"},
+    )
+    assert json.dumps(
+        schema.to_wire(outcome), sort_keys=True
+    ) == json.dumps(dataclasses.asdict(outcome), sort_keys=True)
 
 
 # -- versioned fleet artifacts ----------------------------------------------------
